@@ -1,0 +1,83 @@
+// Command bestmethod runs the paper's statistical pipeline over sweep
+// measurements and prints the Figure 6 / Figure 9 best-method matrices:
+// Shapiro-Wilk normality screening, Kruskal-Wallis across the twelve
+// configurations per (NS, NT) cell, Conover-Iman post-hoc to find the set
+// statistically tied with the fastest, and frequency-based tie-breaking.
+//
+//	bestmethod -in eth_all.csv -metric reconfig
+//	bestmethod -in eth_all.csv -metric total -alpha 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func main() {
+	in := flag.String("in", "", "measurements CSV from redistsweep (required)")
+	metricName := flag.String("metric", "reconfig", "cell metric: reconfig (Figure 6) or total (Figure 9)")
+	alpha := flag.Float64("alpha", 0.05, "significance level")
+	flag.Parse()
+
+	if *in == "" {
+		fail(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	m, err := harness.ParseCSV(f)
+	if err != nil {
+		fail(err)
+	}
+
+	var metric harness.Metric
+	switch *metricName {
+	case "reconfig":
+		metric = harness.ReconfigMetric
+	case "total":
+		metric = harness.TotalMetric
+	default:
+		fail(fmt.Errorf("unknown metric %q", *metricName))
+	}
+
+	// Pairs present in the file.
+	pairSet := map[harness.Pair]bool{}
+	for k := range m {
+		pairSet[k.Pair] = true
+	}
+	var pairs []harness.Pair
+	for _, p := range harness.AllPairs() {
+		if pairSet[p] {
+			pairs = append(pairs, p)
+		}
+	}
+
+	rejected, tested := harness.ShapiroSummary(m, metric, *alpha)
+	fmt.Printf("Shapiro-Wilk: %d/%d cells reject normality at alpha=%g "+
+		"(the paper's data rejects everywhere; medians + non-parametric tests follow)\n\n",
+		rejected, tested, *alpha)
+
+	bm := harness.BestMethodMap(m, pairs, core.AllConfigs(), metric, *alpha)
+	bm.Render(os.Stdout)
+
+	fmt.Println("\ncells won per configuration:")
+	counts := bm.WinnerCounts()
+	for i, cfg := range core.AllConfigs() {
+		if n := counts[cfg.String()]; n > 0 {
+			fmt.Printf("  %2d  %-14s %d\n", i, cfg, n)
+		}
+	}
+	top, n := bm.TopWinner()
+	fmt.Printf("preferred method: %s (%d cells)\n", top, n)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bestmethod:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Command figures renders the paper's line plots as text tables from sweep
+// measurements: synchronous reconfiguration times (Figures 2-3), α ratios
+// of the asynchronous variants (Figures 4-5), and application speedups
+// against Baseline COLS with the reference reconfiguration series
+// (Figures 7-8).
+//
+//	figures -in eth.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	in := flag.String("in", "", "measurements CSV from redistsweep (required)")
+	flag.Parse()
+	if *in == "" {
+		fail(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	m, err := harness.ParseCSV(f)
+	if err != nil {
+		fail(err)
+	}
+
+	shrink, expand := harness.From160(), harness.To160()
+
+	harness.RenderSeries(os.Stdout, "Fig 2/3 top — synchronous reconfiguration time (s), shrinking from 160 (x = NT)",
+		harness.SyncReconfigSeries(m, shrink))
+	fmt.Println()
+	harness.RenderSeries(os.Stdout, "Fig 2/3 bottom — synchronous reconfiguration time (s), expanding to 160 (x = NS)",
+		harness.SyncReconfigSeries(m, expand))
+	fmt.Println()
+	harness.RenderSeries(os.Stdout, "Fig 4/5 top — alpha (async/sync reconfiguration), shrinking from 160 (x = NT)",
+		harness.AlphaSeries(m, shrink))
+	fmt.Println()
+	harness.RenderSeries(os.Stdout, "Fig 4/5 bottom — alpha (async/sync reconfiguration), expanding to 160 (x = NS)",
+		harness.AlphaSeries(m, expand))
+	fmt.Println()
+
+	spS, baseS := harness.SpeedupSeries(m, shrink)
+	harness.RenderSeries(os.Stdout, "Fig 7/8 top — speedup vs Baseline COLS, shrinking from 160 (x = NT)", spS)
+	harness.RenderSeries(os.Stdout, "Fig 7/8 top reference", []harness.Series{baseS})
+	fmt.Println()
+	spE, baseE := harness.SpeedupSeries(m, expand)
+	harness.RenderSeries(os.Stdout, "Fig 7/8 bottom — speedup vs Baseline COLS, expanding to 160 (x = NS)", spE)
+	harness.RenderSeries(os.Stdout, "Fig 7/8 bottom reference", []harness.Series{baseE})
+
+	bestAll, labelAll := harness.MaxSpeedup(append(spS, spE...))
+	fmt.Printf("\nmax speedup vs Baseline COLS: %.3fx (%s)\n", bestAll, labelAll)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Command mkconfig writes the synthetic-application configuration used by
+// the paper's evaluation (§4.2): the Conjugate Gradient emulation on a
+// Queen_4147-shaped data set, 1000 iterations with a reconfiguration at 500.
+//
+//	mkconfig -out cg.json [-iter-seconds 0.006] [-ref-procs 160]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/synthapp"
+)
+
+func main() {
+	out := flag.String("out", "cg.json", "output configuration path")
+	iterSeconds := flag.Float64("iter-seconds", 0.006, "target iteration time at the reference process count")
+	refProcs := flag.Int("ref-procs", 160, "reference process count for the iteration target")
+	flag.Parse()
+
+	cfg := synthapp.CGConfig(*iterSeconds, *refProcs)
+	if err := cfg.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "mkconfig:", err)
+		os.Exit(1)
+	}
+	total, constFrac := cfg.TotalDataBytes()
+	fmt.Printf("wrote %s: %d iterations, reconfig at %d, %.3f GB data (%.1f%% constant)\n",
+		*out, cfg.TotalIterations, cfg.ReconfigIteration,
+		float64(total)/1e9, 100*constFrac)
+}

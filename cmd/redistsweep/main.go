@@ -1,0 +1,77 @@
+// Command redistsweep reproduces the paper's measurement sweep: every
+// requested (NS, NT) pair under every requested malleability configuration,
+// repeated with distinct seeds, written as CSV for cmd/bestmethod and the
+// figure emitters.
+//
+//	redistsweep -net ethernet -pairs plots -reps 5 -out eth.csv
+//	redistsweep -net infiniband -pairs all -reps 5 -out ib_all.csv
+//
+// -pairs plots covers the from/to-160 families the paper's line plots use
+// (Figures 2-5, 7-8); -pairs all covers the 42 pairs of Figures 6 and 9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	netName := flag.String("net", "ethernet", "interconnect: ethernet or infiniband")
+	pairsName := flag.String("pairs", "plots", "pair family: plots (from/to 160), all (42 pairs), from160, to160")
+	configsName := flag.String("configs", "all", "configuration family: all, sync, async, rma, extended (all + RMA + CR)")
+	reps := flag.Int("reps", 5, "repetitions per cell")
+	out := flag.String("out", "", "CSV output path (default stdout)")
+	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	flag.Parse()
+
+	net, err := harness.ParseNet(*netName)
+	if err != nil {
+		fail(err)
+	}
+	pairs, err := harness.ParsePairFamily(*pairsName)
+	if err != nil {
+		fail(err)
+	}
+	configs, err := harness.ParseConfigFamily(*configsName)
+	if err != nil {
+		fail(err)
+	}
+
+	setup := harness.DefaultSetup(net)
+	setup.Reps = *reps
+
+	progress := func(line string) {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
+	start := time.Now()
+	m, err := setup.Sweep(pairs, configs, progress)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "# sweep: %d cells x %d reps on %s in %s\n",
+		len(m), *reps, net.Name, time.Since(start).Round(time.Second))
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := harness.WriteCSV(w, m); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "redistsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Malleable Conjugate Gradient: the paper's emulated application run for
+// real. A distributed CG solves a Queen_4147-profile SPD system on 4
+// processes; at iteration 10 the job expands to 6 processes (Merge, P2P,
+// auxiliary-thread redistribution), moving the matrix asynchronously and
+// the live solver vectors at the halt; the solve then converges on the new
+// group and the solution is verified against A x = b.
+//
+//	go run ./examples/cg
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/cg"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+func main() {
+	const (
+		n  = 600
+		ns = 4
+		nt = 6
+	)
+	a := sparse.QueenLike(n, 8)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.05)
+	}
+	fmt.Printf("system: %dx%d, %d non-zeros; solving on %d procs, expanding to %d at iteration 10\n",
+		n, n, a.Nnz(), ns, nt)
+
+	kernel := sim.NewKernel()
+	machine := cluster.New(kernel, cluster.Config{
+		Nodes: 2, CoresPerNode: 4,
+		Net:       netmodel.InfinibandEDR(),
+		SpawnBase: 10e-3, SpawnPerProc: 2e-3,
+		Seed: 1,
+	})
+	world := mpi.NewWorld(machine, mpi.DefaultOptions())
+
+	variant := core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Thread}
+	opts := cg.Options{
+		Tol: 1e-9, MaxIter: 2000,
+		Reconfigure: &cg.Malleability{Config: variant, AtIteration: 10, NT: nt},
+	}
+
+	x := make([]float64, n)
+	collected := 0
+	collect := func(ctx *mpi.Ctx, res cg.Result) {
+		copy(x[res.Lo:res.Hi], res.XLocal)
+		collected++
+		fmt.Printf("  rank %d/%d: block [%d,%d) converged after %d iterations, residual %.2e (t=%.2f ms)\n",
+			res.Comm.Rank(ctx), res.Comm.Size(), res.Lo, res.Hi, res.Iterations, res.Residual, ctx.Now()*1e3)
+	}
+
+	world.Launch(ns, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		res, ok := cg.Solve(c, comm, a, b, opts, collect)
+		if ok {
+			collect(c, res)
+		}
+	})
+	if err := kernel.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		os.Exit(1)
+	}
+	if collected != nt {
+		fmt.Fprintf(os.Stderr, "collected %d blocks, want %d\n", collected, nt)
+		os.Exit(1)
+	}
+
+	// Verify against the original system.
+	y := make([]float64, n)
+	a.MulVec(x, y)
+	worst := 0.0
+	for i := range y {
+		if d := math.Abs(y[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("verification: max |Ax - b| = %.3e across the reassembled solution\n", worst)
+	if worst > 1e-6 {
+		os.Exit(1)
+	}
+	fmt.Println("malleable CG solved the system correctly across the reconfiguration")
+}

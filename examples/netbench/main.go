@@ -1,0 +1,71 @@
+// Network microbenchmark: an OSU-style ping-pong across two nodes of the
+// simulated cluster, on both of the paper's interconnects. The half
+// round-trip time and effective bandwidth per message size show exactly
+// the latency/bandwidth regimes the redistribution strategies live in —
+// and why a 33 MB vector behaves so differently on Ethernet and EDR.
+//
+//	go run ./examples/netbench
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+)
+
+func main() {
+	for _, net := range []netmodel.Params{netmodel.Ethernet10G(), netmodel.InfinibandEDR()} {
+		fmt.Printf("== %s (latency %.1f µs, %.1f GB/s per NIC) ==\n",
+			net.Name, net.Latency*1e6, net.Bandwidth/1e9)
+		fmt.Printf("%12s %14s %14s\n", "bytes", "latency (µs)", "bandwidth (GB/s)")
+		for size := int64(8); size <= 32<<20; size *= 8 {
+			lat, bw := pingpong(net, size)
+			fmt.Printf("%12d %14.2f %14.3f\n", size, lat*1e6, bw/1e9)
+		}
+		fmt.Println()
+	}
+}
+
+// pingpong measures the half round-trip of `iters` exchanges of size bytes
+// between ranks on two different nodes.
+func pingpong(net netmodel.Params, size int64) (latency, bandwidth float64) {
+	const iters = 10
+	kernel := sim.NewKernel()
+	machine := cluster.New(kernel, cluster.Config{
+		Nodes: 2, CoresPerNode: 2,
+		Net:       net,
+		SpawnBase: 1e-3, SpawnPerProc: 1e-4,
+		Seed: 1,
+	})
+	opts := mpi.DefaultOptions()
+	opts.CopyRate = 0 // isolate the wire
+	world := mpi.NewWorld(machine, opts)
+
+	var elapsed float64
+	world.Launch(2, func(r int) int { return r }, func(c *mpi.Ctx, comm *mpi.Comm) {
+		switch comm.Rank(c) {
+		case 0:
+			start := c.Now()
+			for i := 0; i < iters; i++ {
+				c.Send(comm, 1, 1, mpi.Virtual(size))
+				c.Recv(comm, 1, 2)
+			}
+			elapsed = c.Now() - start
+		case 1:
+			for i := 0; i < iters; i++ {
+				c.Recv(comm, 0, 1)
+				c.Send(comm, 0, 2, mpi.Virtual(size))
+			}
+		}
+	})
+	if err := kernel.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simulation failed:", err)
+		os.Exit(1)
+	}
+	half := elapsed / (2 * iters)
+	return half, float64(size) / half
+}

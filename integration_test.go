@@ -1,0 +1,96 @@
+package repro
+
+// Integration checks at paper scale: one simulated run per claim, asserting
+// the orderings the reproduction stands on. `go test -short` skips them.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func integrationSetup(t *testing.T, netName string) harness.Setup {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-scale integration run")
+	}
+	net, err := harness.ParseNet(netName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := harness.DefaultSetup(net)
+	s.Reps = 1
+	return s
+}
+
+func reconfigOf(t *testing.T, s harness.Setup, p harness.Pair, cfg core.Config) float64 {
+	t.Helper()
+	res, err := s.RunCell(p, cfg, 1)
+	if err != nil {
+		t.Fatalf("%s %d->%d: %v", cfg, p.NS, p.NT, err)
+	}
+	return res.ReconfigTime()
+}
+
+func TestIntegrationMergeBeatsBaseline(t *testing.T) {
+	for _, netName := range []string{"ethernet", "infiniband"} {
+		s := integrationSetup(t, netName)
+		for _, p := range []harness.Pair{{NS: 160, NT: 80}, {NS: 80, NT: 160}} {
+			merge := reconfigOf(t, s, p, core.Config{Spawn: core.Merge, Comm: core.COL})
+			base := reconfigOf(t, s, p, core.Config{Spawn: core.Baseline, Comm: core.COL})
+			if merge >= base {
+				t.Errorf("%s %d->%d: Merge COLS %.3f not below Baseline COLS %.3f",
+					netName, p.NS, p.NT, merge, base)
+			}
+		}
+	}
+}
+
+func TestIntegrationBaselineCOLAAnomaly(t *testing.T) {
+	// §4.4.2: the non-blocking Baseline COL can beat its blocking
+	// counterpart despite overlapping with the application.
+	s := integrationSetup(t, "infiniband")
+	p := harness.Pair{NS: 160, NT: 80}
+	cols := reconfigOf(t, s, p, core.Config{Spawn: core.Baseline, Comm: core.COL, Overlap: core.Sync})
+	cola := reconfigOf(t, s, p, core.Config{Spawn: core.Baseline, Comm: core.COL, Overlap: core.NonBlocking})
+	if cola >= cols {
+		t.Errorf("Baseline COLA %.3f not below COLS %.3f (the alpha<1 anomaly)", cola, cols)
+	}
+}
+
+func TestIntegrationAsyncMergeSpeedsUpApplication(t *testing.T) {
+	for _, netName := range []string{"ethernet", "infiniband"} {
+		s := integrationSetup(t, netName)
+		p := harness.Pair{NS: 120, NT: 160}
+		base, err := s.RunCell(p, core.Config{Spawn: core.Baseline, Comm: core.COL, Overlap: core.Sync}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		async, err := s.RunCell(p, core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.NonBlocking}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedup := base.TotalTime / async.TotalTime
+		if speedup < 1.05 {
+			t.Errorf("%s: async Merge speedup %.3f, want > 1.05 (paper: 1.14-1.21)", netName, speedup)
+		}
+		if async.OverlappedIterations == 0 {
+			t.Errorf("%s: async run overlapped no iterations", netName)
+		}
+	}
+}
+
+func TestIntegrationAlphaAboveOneForMergeAsync(t *testing.T) {
+	s := integrationSetup(t, "infiniband")
+	p := harness.Pair{NS: 160, NT: 80}
+	syncT := reconfigOf(t, s, p, core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync})
+	asyncT := reconfigOf(t, s, p, core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.NonBlocking})
+	threadT := reconfigOf(t, s, p, core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.Thread})
+	if asyncT <= syncT {
+		t.Errorf("alpha(A) = %.3f <= 1", asyncT/syncT)
+	}
+	if threadT <= asyncT {
+		t.Errorf("alpha(T) %.3f not above alpha(A) %.3f for COL", threadT/syncT, asyncT/syncT)
+	}
+}

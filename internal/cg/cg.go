@@ -1,0 +1,287 @@
+// Package cg implements the distributed Conjugate Gradient solver of the
+// paper's emulated application (§4.2) on the simulated MPI runtime, with
+// optional mid-solve malleability: the solver reconfigures from NS to NT
+// processes at a checkpoint iteration, redistributing the matrix (constant,
+// asynchronously under the A/T strategies) and the solver vectors
+// (variable, at the halt), then continues converging on the new group.
+//
+// The communication structure per iteration matches the paper exactly: one
+// MPI_Allgatherv to assemble the full direction vector for the SpMV, and
+// two MPI_Allreduce for the dot products; the axpy updates are local.
+// During an asynchronous reconfiguration the sources additionally agree on
+// completion with a flag reduction at each checkpoint, so the lock-stepped
+// iteration collectives cannot deadlock against ranks that already stopped.
+package cg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/sparse"
+)
+
+// Result reports a distributed solve on one surviving rank.
+type Result struct {
+	XLocal     []float64 // this rank's block of the solution
+	Lo, Hi     int64     // the block's global range
+	Iterations int
+	Residual   float64
+	Converged  bool
+	Comm       *mpi.Comm // the communicator at completion (post-reconfiguration)
+}
+
+// Malleability configures an optional mid-solve reconfiguration.
+type Malleability struct {
+	Config      core.Config
+	AtIteration int // checkpoint that triggers the reconfiguration
+	NT          int // target process count
+}
+
+// Options configures a distributed solve.
+type Options struct {
+	Tol     float64
+	MaxIter int
+	// Reconfigure, when non-nil, applies one malleability step.
+	Reconfigure *Malleability
+}
+
+// state carries the solver vectors and matrix block between iterations and
+// across reconfigurations.
+type state struct {
+	aBlock  *sparse.CSR
+	x, r, p []float64
+	lo, hi  int64
+	rs      float64
+	iter    int
+}
+
+// Solve runs distributed CG for A x = b; a and b are the global system
+// (identically known on every rank, as in the paper's synthetic setup) and
+// each rank works on its block. Every launched rank calls Solve; ranks that
+// do not survive the reconfiguration return ok=false. Processes spawned by
+// the reconfiguration run the continuation internally and deliver their
+// Result through the done callback.
+func Solve(c *mpi.Ctx, comm *mpi.Comm, a *sparse.CSR, b []float64, opts Options,
+	done func(*mpi.Ctx, Result)) (res Result, ok bool) {
+
+	if a.Rows != a.Cols || len(b) != a.Rows {
+		panic(fmt.Sprintf("cg: bad system %dx%d with |b|=%d", a.Rows, a.Cols, len(b)))
+	}
+	n := int64(a.Rows)
+	dist := partition.NewBlockDist(n, comm.Size())
+	rank := comm.Rank(c)
+	lo, hi := dist.Lo(rank), dist.Hi(rank)
+
+	st := &state{aBlock: a.RowBlock(lo, hi), lo: lo, hi: hi}
+	st.x = make([]float64, hi-lo)
+	st.r = append([]float64(nil), b[lo:hi]...) // r = b - A*0
+	st.p = append([]float64(nil), st.r...)
+	st.rs = allreduceSum(c, comm, sparse.Dot(st.r, st.r))
+
+	return iterate(c, comm, a, b, st, opts, done)
+}
+
+// iterate runs CG from st to convergence, handling one reconfiguration.
+func iterate(c *mpi.Ctx, comm *mpi.Comm, a *sparse.CSR, b []float64, st *state,
+	opts Options, done func(*mpi.Ctx, Result)) (Result, bool) {
+
+	var recon *core.Reconfig
+	for st.iter < opts.MaxIter && math.Sqrt(st.rs) > opts.Tol {
+		if m := opts.Reconfigure; m != nil && recon == nil && st.iter >= m.AtIteration {
+			recon = startReconfig(c, comm, a, b, st, m, opts, done)
+			if !m.Config.Asynchronous() {
+				refreshVectors(recon.Store(), st)
+				recon.Wait(c)
+				if !recon.Continues() {
+					return Result{}, false
+				}
+				comm, st = recon.NewComm(), resumeFrom(c, recon.NewComm(), recon.Store(), a)
+				recon, opts.Reconfigure = nil, nil
+				continue
+			}
+		}
+		if recon != nil {
+			// Sources agree on completion so nobody leaves the lock-stepped
+			// loop alone (the checkPoint() of Algorithm 3).
+			flag := 0.0
+			if recon.Test(c) {
+				flag = 1
+			}
+			if allreduceSum(c, comm, flag) == float64(comm.Size()) {
+				refreshVectors(recon.Store(), st)
+				recon.Finish(c)
+				if !recon.Continues() {
+					return Result{}, false
+				}
+				comm, st = recon.NewComm(), resumeFrom(c, recon.NewComm(), recon.Store(), a)
+				recon, opts.Reconfigure = nil, nil
+				continue
+			}
+		}
+		step(c, comm, st)
+	}
+	if recon != nil {
+		// Converged mid-reconfiguration: drain so spawned processes do not
+		// hang, then continue on the new group (it will re-verify
+		// convergence immediately).
+		flagDrain(c, comm, recon, st)
+		if !recon.Continues() {
+			return Result{}, false
+		}
+		comm, st = recon.NewComm(), resumeFrom(c, recon.NewComm(), recon.Store(), a)
+	}
+	rs := math.Sqrt(st.rs)
+	return Result{
+		XLocal: st.x, Lo: st.lo, Hi: st.hi,
+		Iterations: st.iter, Residual: rs,
+		Converged: rs <= opts.Tol, Comm: comm,
+	}, true
+}
+
+// flagDrain keeps answering the completion reduction until every source
+// agrees, then finishes.
+func flagDrain(c *mpi.Ctx, comm *mpi.Comm, recon *core.Reconfig, st *state) {
+	for {
+		flag := 0.0
+		if recon.Test(c) {
+			flag = 1
+		}
+		if allreduceSum(c, comm, flag) == float64(comm.Size()) {
+			refreshVectors(recon.Store(), st)
+			recon.Finish(c)
+			return
+		}
+		// Cannot iterate (converged); let the runtime progress.
+		c.Sleep(1e-4)
+	}
+}
+
+// refreshVectors re-copies the live solver vectors into the store's item
+// buffers so the variable-data phase ships their values at the halt, not at
+// the checkpoint that started the reconfiguration (§3.2: variable data
+// moves only once the sources stop).
+func refreshVectors(s *core.Store, st *state) {
+	for _, nv := range []struct {
+		name string
+		vec  []float64
+	}{{"x", st.x}, {"r", st.r}, {"p", st.p}} {
+		it := s.Item(nv.name).(*core.DenseItem)
+		copy(it.Data(), mpi.Float64s(nv.vec).Data)
+	}
+	if st.lo == 0 {
+		copy(s.Item("meta").(*core.DenseItem).Data(),
+			mpi.Float64s([]float64{float64(st.iter), st.rs}).Data)
+	}
+}
+
+// step performs one CG iteration: Allgatherv + SpMV, two Allreduce dots,
+// three axpy updates.
+func step(c *mpi.Ctx, comm *mpi.Comm, st *state) {
+	full := allgatherVector(c, comm, st.p)
+	q := make([]float64, len(st.p))
+	st.aBlock.MulVec(full, q)
+
+	alpha := st.rs / allreduceSum(c, comm, sparse.Dot(st.p, q))
+	sparse.Axpy(alpha, st.p, st.x)
+	sparse.Axpy(-alpha, q, st.r)
+	rsNew := allreduceSum(c, comm, sparse.Dot(st.r, st.r))
+	beta := rsNew / st.rs
+	for i := range st.p {
+		st.p[i] = st.r[i] + beta*st.p[i]
+	}
+	st.rs = rsNew
+	st.iter++
+}
+
+func allreduceSum(c *mpi.Ctx, comm *mpi.Comm, v float64) float64 {
+	out := c.Allreduce(comm, mpi.Float64s([]float64{v}), mpi.OpSumFloat64)
+	return out.AsFloat64s()[0]
+}
+
+func allgatherVector(c *mpi.Ctx, comm *mpi.Comm, local []float64) []float64 {
+	blocks := c.Allgatherv(comm, mpi.Float64s(local))
+	var full []float64
+	for _, b := range blocks {
+		full = append(full, b.AsFloat64s()...)
+	}
+	return full
+}
+
+// makeStore registers the solver data: the matrix as a sparse item with the
+// real CSR's wire cost (constant), the vectors with real values (variable),
+// and a one-element meta item carrying (iter, rs) from rank 0.
+func makeStore(a *sparse.CSR, st *state) *core.Store {
+	s := core.NewStore()
+	s.Register(core.NewSparseVirtual("A", a.RowPtr, 12, 0, true))
+	s.Item("A").(*core.SparseItem).SetBlock(st.lo, st.hi)
+	s.Register(core.NewDenseFloat64("x", int64(a.Rows), false, st.lo, st.x))
+	s.Register(core.NewDenseFloat64("r", int64(a.Rows), false, st.lo, st.r))
+	s.Register(core.NewDenseFloat64("p", int64(a.Rows), false, st.lo, st.p))
+	// One 16-byte element carrying (iter, rs); it lands whole on the new
+	// rank 0 under any block distribution.
+	if st.lo == 0 {
+		s.Register(core.NewDenseBytes("meta", 1, 16, false, 0, 1,
+			mpi.Float64s([]float64{float64(st.iter), st.rs}).Data))
+	} else {
+		s.Register(core.NewDenseBytes("meta", 1, 16, false, 1, 1, nil))
+	}
+	return s
+}
+
+func emptyStore(a *sparse.CSR) *core.Store {
+	n := int64(a.Rows)
+	s := core.NewStore()
+	s.Register(core.NewSparseVirtual("A", a.RowPtr, 12, 0, true))
+	s.Register(core.NewDenseBytes("x", n, 8, false, 0, 0, nil))
+	s.Register(core.NewDenseBytes("r", n, 8, false, 0, 0, nil))
+	s.Register(core.NewDenseBytes("p", n, 8, false, 0, 0, nil))
+	s.Register(core.NewDenseBytes("meta", 1, 16, false, 0, 0, nil))
+	return s
+}
+
+// startReconfig kicks off the malleability step.
+func startReconfig(c *mpi.Ctx, comm *mpi.Comm, a *sparse.CSR, b []float64,
+	st *state, m *Malleability, opts Options, done func(*mpi.Ctx, Result)) *core.Reconfig {
+
+	store := makeStore(a, st)
+	contOpts := opts
+	contOpts.Reconfigure = nil
+
+	target := func(ctx *mpi.Ctx, newComm *mpi.Comm, s *core.Store) {
+		st2 := resumeFrom(ctx, newComm, s, a)
+		res, ok := iterate(ctx, newComm, a, b, st2, contOpts, done)
+		if ok && done != nil {
+			done(ctx, res)
+		}
+	}
+	return core.StartReconfig(c, m.Config, comm, m.NT, store,
+		func() *core.Store { return emptyStore(a) }, target)
+}
+
+// resumeFrom rebuilds the state from a redistributed store: vectors from
+// the real items, the matrix block re-cut from the globally known matrix,
+// and (iter, rs) broadcast from the new rank 0.
+func resumeFrom(c *mpi.Ctx, newComm *mpi.Comm, s *core.Store, a *sparse.CSR) *state {
+	x := s.Item("x").(*core.DenseItem)
+	lo, hi := x.Block()
+	st := &state{
+		aBlock: a.RowBlock(lo, hi),
+		lo:     lo, hi: hi,
+		x: x.Float64s(),
+		r: s.Item("r").(*core.DenseItem).Float64s(),
+		p: s.Item("p").(*core.DenseItem).Float64s(),
+	}
+	var meta mpi.Payload
+	if newComm.Rank(c) == 0 {
+		meta = mpi.Bytes(s.Item("meta").(*core.DenseItem).Data())
+	} else {
+		meta = mpi.Virtual(16)
+	}
+	vals := c.Bcast(newComm, 0, meta).AsFloat64s()
+	st.iter = int(vals[0])
+	st.rs = vals[1]
+	return st
+}

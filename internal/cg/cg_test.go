@@ -1,0 +1,203 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+)
+
+func testWorld(t *testing.T) *mpi.World {
+	t.Helper()
+	k := sim.NewKernel()
+	cfg := cluster.Config{
+		Nodes:        4,
+		CoresPerNode: 4,
+		Net: netmodel.Params{
+			Name:         "test",
+			Latency:      1e-6,
+			Bandwidth:    1e9,
+			IntraLatency: 1e-7, IntraBandwidth: 1e10, IntraPerFlow: 1e10,
+		},
+		SpawnBase:    1e-3,
+		SpawnPerProc: 1e-4,
+		Seed:         3,
+	}
+	return mpi.NewWorld(cluster.New(k, cfg), mpi.DefaultOptions())
+}
+
+func testSystem(n int) (*sparse.CSR, []float64) {
+	a := sparse.QueenLike(n, 6)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Cos(float64(i) * 0.1)
+	}
+	return a, b
+}
+
+// assembleSolution collects per-rank blocks into the full vector.
+type assembler struct {
+	mu   sync.Mutex
+	full []float64
+	seen map[int64]bool
+}
+
+func newAssembler(n int) *assembler {
+	return &assembler{full: make([]float64, n), seen: map[int64]bool{}}
+}
+
+func (a *assembler) add(t *testing.T, res Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.seen[res.Lo] {
+		t.Errorf("block at %d reported twice", res.Lo)
+	}
+	a.seen[res.Lo] = true
+	copy(a.full[res.Lo:res.Hi], res.XLocal)
+}
+
+func checkSolution(t *testing.T, a *sparse.CSR, b, x []float64, tol float64) {
+	t.Helper()
+	y := make([]float64, a.Rows)
+	a.MulVec(x, y)
+	for i := range y {
+		if math.Abs(y[i]-b[i]) > tol {
+			t.Fatalf("Ax[%d] off by %g (tol %g)", i, math.Abs(y[i]-b[i]), tol)
+		}
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	const n = 200
+	a, b := testSystem(n)
+	ref := sparse.CG(a, b, 1e-9, 800)
+	if !ref.Converged {
+		t.Fatal("reference CG did not converge")
+	}
+	for _, p := range []int{1, 2, 3, 5} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			w := testWorld(t)
+			asm := newAssembler(n)
+			var iters int
+			w.Launch(p, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+				res, ok := Solve(c, comm, a, b, Options{Tol: 1e-9, MaxIter: 800}, nil)
+				if !ok {
+					t.Error("rank did not survive a run without reconfiguration")
+					return
+				}
+				if !res.Converged {
+					t.Errorf("not converged: residual %g", res.Residual)
+					return
+				}
+				asm.add(t, res)
+				iters = res.Iterations
+			})
+			if err := w.Kernel().Run(); err != nil {
+				t.Fatal(err)
+			}
+			checkSolution(t, a, b, asm.full, 1e-6)
+			if iters == 0 {
+				t.Fatal("no iterations recorded")
+			}
+		})
+	}
+}
+
+func runMalleableSolve(t *testing.T, cfg core.Config, ns, nt int) {
+	t.Helper()
+	const n = 200
+	a, b := testSystem(n)
+	w := testWorld(t)
+	asm := newAssembler(n)
+	done := func(ctx *mpi.Ctx, res Result) {
+		if !res.Converged {
+			t.Errorf("%s: spawned rank not converged: %g", cfg, res.Residual)
+			return
+		}
+		if res.Comm.Size() != nt {
+			t.Errorf("%s: final comm size %d, want %d", cfg, res.Comm.Size(), nt)
+		}
+		asm.add(t, res)
+	}
+	opts := Options{
+		Tol: 1e-9, MaxIter: 800,
+		Reconfigure: &Malleability{Config: cfg, AtIteration: 5, NT: nt},
+	}
+	w.Launch(ns, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		res, ok := Solve(c, comm, a, b, opts, done)
+		if !ok {
+			return // finalized by the reconfiguration
+		}
+		done(c, res)
+	})
+	if err := w.Kernel().Run(); err != nil {
+		t.Fatalf("%s %d->%d: %v", cfg, ns, nt, err)
+	}
+	asm.mu.Lock()
+	blocks := len(asm.seen)
+	asm.mu.Unlock()
+	if blocks != nt {
+		t.Fatalf("%s %d->%d: %d result blocks, want %d", cfg, ns, nt, blocks, nt)
+	}
+	checkSolution(t, a, b, asm.full, 1e-6)
+}
+
+func TestMalleableSolveAllConfigs(t *testing.T) {
+	for _, cfg := range core.AllConfigs() {
+		for _, pair := range []struct{ ns, nt int }{{3, 5}, {5, 3}} {
+			t.Run(fmt.Sprintf("%s/%dto%d", cfg, pair.ns, pair.nt), func(t *testing.T) {
+				runMalleableSolve(t, cfg, pair.ns, pair.nt)
+			})
+		}
+	}
+}
+
+func TestMalleableSolveEqualSize(t *testing.T) {
+	// NS == NT exercises the pure data-swap path (Baseline respawns,
+	// Merge keeps everything local).
+	for _, cfg := range []core.Config{
+		{Spawn: core.Baseline, Comm: core.COL, Overlap: core.Sync},
+		{Spawn: core.Merge, Comm: core.P2P, Overlap: core.NonBlocking},
+	} {
+		runMalleableSolve(t, cfg, 4, 4)
+	}
+}
+
+func TestMalleableMatchesUndisturbedIterationCount(t *testing.T) {
+	// Reconfiguration must not change the mathematics: iteration counts on
+	// the same system agree within a few steps (reduction order varies).
+	const n = 150
+	a, b := testSystem(n)
+	ref := sparse.CG(a, b, 1e-9, 800)
+
+	w := testWorld(t)
+	var got int
+	done := func(ctx *mpi.Ctx, res Result) {
+		if res.Iterations > got {
+			got = res.Iterations
+		}
+	}
+	cfg := core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.NonBlocking}
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		res, ok := Solve(c, comm, a, b, Options{
+			Tol: 1e-9, MaxIter: 800,
+			Reconfigure: &Malleability{Config: cfg, AtIteration: 10, NT: 4},
+		}, done)
+		if ok {
+			done(c, res)
+		}
+	})
+	if err := w.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d := got - ref.Iterations; d < -5 || d > 5 {
+		t.Fatalf("malleable CG took %d iterations, sequential %d", got, ref.Iterations)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestCheckpointRestartRedistributesCorrectly(t *testing.T) {
+	pairs := []struct{ ns, nt int }{{2, 5}, {5, 2}, {4, 4}, {1, 6}}
+	for _, spawn := range []SpawnMethod{Baseline, Merge} {
+		for _, p := range pairs {
+			cfg := Config{Spawn: spawn, Comm: CR, Overlap: Sync}
+			t.Run(fmt.Sprintf("%s/%dto%d", cfg, p.ns, p.nt), func(t *testing.T) {
+				runScenario(t, cfg, p.ns, p.nt)
+			})
+		}
+	}
+}
+
+func TestCheckpointRestartRejectsAsync(t *testing.T) {
+	w := testWorld(t)
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("CR with NonBlocking did not panic")
+			}
+		}()
+		st := NewStore()
+		st.Register(NewDenseVirtual("v", 100, 8, true))
+		StartReconfig(c, Config{Spawn: Merge, Comm: CR, Overlap: NonBlocking},
+			comm, 4, st, func() *Store { return NewStore() }, nil)
+	})
+	_ = w.Kernel().Run()
+}
+
+func TestCheckpointRestartSlowerThanInMemory(t *testing.T) {
+	// The §2 premise: disk-based reconfiguration costs more than in-memory
+	// redistribution of the same data.
+	run := func(cfg Config) float64 {
+		w := testWorld(t)
+		var done float64
+		w.Launch(4, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+			rank := comm.Rank(c)
+			st := buildStore(200_000, 4, rank)
+			r := StartReconfig(c, cfg, comm, 6, st,
+				func() *Store { return emptyStore(200_000) },
+				func(ctx *mpi.Ctx, newComm *mpi.Comm, s *Store) {
+					if ctx.Now() > done {
+						done = ctx.Now()
+					}
+				})
+			r.Wait(c)
+			if c.Now() > done {
+				done = c.Now()
+			}
+		})
+		if err := w.Kernel().Run(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	cr := run(Config{Spawn: Baseline, Comm: CR, Overlap: Sync})
+	mem := run(Config{Spawn: Baseline, Comm: COL, Overlap: Sync})
+	if cr <= mem {
+		t.Fatalf("checkpoint/restart (%g) should cost more than in-memory (%g)", cr, mem)
+	}
+}
+
+func TestParseCRConfig(t *testing.T) {
+	cfg, err := ParseConfig("baseline crs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Comm != CR || cfg.Overlap != Sync {
+		t.Fatalf("ParseConfig = %+v", cfg)
+	}
+	if cfg.String() != "Baseline CRS" {
+		t.Fatalf("String = %q", cfg.String())
+	}
+}

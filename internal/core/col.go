@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// colTransfer is the state of one Algorithm 2 redistribution pass:
+// MPI_Alltoall exchanges per-peer sizes, targets create their structures,
+// and MPI_Alltoallv moves the values. The blocking variant inherits the
+// communicator-dependent algorithm from the MPI layer (pairwise exchange on
+// inter-communicators); the non-blocking variant drives two Ialltoallv
+// phases from progress calls.
+type colTransfer struct {
+	v     *view
+	items []Item
+
+	// staged per-peer outgoing chunks, extracted before Prepare.
+	sendVals  []mpi.Payload // concatenated values per peer
+	sendSizes []mpi.Payload // per-peer size vector (one int64 per item)
+
+	phase    int // 0 = not started, 1 = sizes in flight, 2 = values in flight, 3 = done
+	sizesReq *mpi.AlltoallvReq
+	valsReq  *mpi.AlltoallvReq
+	sizes    [][]int64 // received size vectors, indexed by peer then item
+}
+
+// newCOLTransfer plans an Algorithm 2 pass for items on view v.
+func newCOLTransfer(v *view, items []Item) *colTransfer {
+	requireItems(items, "col")
+	return &colTransfer{v: v, items: items}
+}
+
+// stage extracts the outgoing data and builds the per-peer payloads. Peers
+// are the remote group for Baseline and the whole joint group for Merge;
+// non-target peers simply get zero-size contributions.
+func (t *colTransfer) stage(c *mpi.Ctx) {
+	if t.phase != 0 {
+		return
+	}
+	peers := t.v.peers()
+	t.sendSizes = make([]mpi.Payload, peers)
+	t.sendVals = make([]mpi.Payload, peers)
+	copyRate := c.World().Options().CopyRate
+
+	perPeer := make([][]mpi.Payload, peers)
+	sizeVecs := make([][]int64, peers)
+	for p := 0; p < peers; p++ {
+		sizeVecs[p] = make([]int64, len(t.items))
+	}
+	if t.v.isSource() {
+		for i, it := range t.items {
+			for _, ch := range planFor(it, t.v.ns, t.v.nt).SendChunks(t.v.srcRank) {
+				if t.v.selfChunk(ch.Src, ch.Dst) {
+					if copyRate > 0 {
+						c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
+					}
+					continue
+				}
+				pl := it.Extract(ch.Lo, ch.Hi)
+				sizeVecs[ch.Dst][i] += pl.Size
+				perPeer[ch.Dst] = append(perPeer[ch.Dst], pl)
+			}
+		}
+	}
+	for p := 0; p < peers; p++ {
+		t.sendSizes[p] = mpi.Int64s(sizeVecs[p])
+		t.sendVals[p] = concatPayloads(perPeer[p])
+	}
+	t.phase = 1
+}
+
+// concatPayloads merges pieces into one wire payload. When every piece is
+// virtual the result stays virtual (the emulation path: only sizes travel).
+// When real and virtual pieces mix — e.g. a virtual sparse matrix alongside
+// real solver vectors — the virtual pieces materialize as zero bytes so the
+// real data survives the single Alltoallv of Algorithm 2; their receivers
+// ignore payload contents anyway.
+func concatPayloads(pieces []mpi.Payload) mpi.Payload {
+	var total int64
+	anyReal := false
+	for _, p := range pieces {
+		total += p.Size
+		if !p.IsVirtual() && p.Size > 0 {
+			anyReal = true
+		}
+	}
+	if !anyReal || total == 0 {
+		return mpi.Virtual(total)
+	}
+	data := make([]byte, 0, total)
+	for _, p := range pieces {
+		if p.IsVirtual() {
+			data = append(data, make([]byte, p.Size)...)
+		} else {
+			data = append(data, p.Data...)
+		}
+	}
+	return mpi.Bytes(data)
+}
+
+// runBlocking performs Algorithm 2 with blocking collectives.
+func (t *colTransfer) runBlocking(c *mpi.Ctx) {
+	t.stage(c)
+	recvSizes := c.Alltoallv(t.v.comm, t.sendSizes)
+	t.decodeSizes(recvSizes)
+	t.prepareTargets()
+	recvVals := c.Alltoallv(t.v.comm, t.sendVals)
+	t.installValues(recvVals)
+	t.phase = 3
+}
+
+// progress drives the non-blocking variant: Ialltoallv for sizes, then
+// Ialltoallv for values, testing completion on each call (Algorithm 3's
+// Test_Redistribution for COL configurations). It reports completion.
+func (t *colTransfer) progress(c *mpi.Ctx) bool {
+	switch t.phase {
+	case 0:
+		t.stage(c)
+		t.sizesReq = c.Ialltoallv(t.v.comm, t.sendSizes)
+		return false
+	case 1:
+		if !c.Test(t.sizesReq) {
+			return false
+		}
+		t.decodeSizes(t.sizesReq.Result())
+		t.prepareTargets()
+		t.valsReq = c.Ialltoallv(t.v.comm, t.sendVals)
+		t.phase = 2
+		return false
+	case 2:
+		if !c.Test(t.valsReq) {
+			return false
+		}
+		t.installValues(t.valsReq.Result())
+		t.phase = 3
+		return true
+	default:
+		return true
+	}
+}
+
+// runNonBlockingToCompletion finishes the non-blocking pass by waiting on
+// whichever phase is pending (used when an asynchronous reconfiguration
+// must be drained before the variable-data phase).
+func (t *colTransfer) runNonBlockingToCompletion(c *mpi.Ctx) {
+	for !t.progress(c) {
+		switch t.phase {
+		case 1:
+			c.Wait(t.sizesReq)
+		case 2:
+			c.Wait(t.valsReq)
+		}
+	}
+}
+
+func (t *colTransfer) decodeSizes(recv []mpi.Payload) {
+	t.sizes = make([][]int64, len(recv))
+	for p, pl := range recv {
+		if pl.Size == 0 {
+			t.sizes[p] = make([]int64, len(t.items))
+			continue
+		}
+		t.sizes[p] = pl.AsInt64s()
+		if len(t.sizes[p]) != len(t.items) {
+			panic(fmt.Sprintf("core: size vector from peer %d has %d entries, want %d",
+				p, len(t.sizes[p]), len(t.items)))
+		}
+	}
+}
+
+func (t *colTransfer) prepareTargets() {
+	if !t.v.isTarget() {
+		return
+	}
+	for _, it := range t.items {
+		lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
+		it.Prepare(lo, hi)
+	}
+}
+
+// installValues unpacks the concatenated per-peer payloads into the items,
+// using the plan for chunk boundaries and the size vectors as a
+// consistency check.
+func (t *colTransfer) installValues(recv []mpi.Payload) {
+	if !t.v.isTarget() {
+		return
+	}
+	for p, pl := range recv {
+		var off int64
+		for i, it := range t.items {
+			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
+				if ch.Src != p || t.v.selfChunk(ch.Src, ch.Dst) {
+					continue
+				}
+				n := it.WireBytes(ch.Lo, ch.Hi)
+				if t.sizes != nil && t.sizes[p][i] < n {
+					panic(fmt.Sprintf("core: peer %d announced %d bytes for %q, plan needs %d",
+						p, t.sizes[p][i], it.Name(), n))
+				}
+				it.Install(ch.Lo, ch.Hi, pl.Slice(off, off+n))
+				off += n
+			}
+		}
+		if off != pl.Size {
+			panic(fmt.Sprintf("core: decoded %d of %d bytes from peer %d", off, pl.Size, p))
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func expectPanic(t *testing.T, msg string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", msg)
+		}
+	}()
+	fn()
+}
+
+func TestReconfigAPIContracts(t *testing.T) {
+	w := testWorld(t)
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		st := NewStore()
+		it := NewDenseVirtual("v", 100, 8, true)
+		b := blockRange(100, 2, comm.Rank(c))
+		it.SetBlock(b[0], b[1])
+		st.Register(it)
+
+		if comm.Rank(c) == 0 {
+			expectPanic(t, "zero targets", func() {
+				StartReconfig(c, Config{Spawn: Merge, Comm: COL, Overlap: Sync},
+					comm, 0, st, func() *Store { return NewStore() }, nil)
+			})
+		}
+
+		// A proper reconfiguration: contract checks around its lifecycle.
+		r := StartReconfig(c, Config{Spawn: Merge, Comm: COL, Overlap: Sync},
+			comm, 1, st, func() *Store { return NewStore() }, nil)
+		expectPanic(t, "Test on sync", func() { r.Test(c) })
+		expectPanic(t, "Finish on sync", func() { r.Finish(c) })
+		expectPanic(t, "NewComm before Wait", func() { r.NewComm() })
+		r.Wait(c)
+		if comm.Rank(c) == 0 {
+			if !r.Continues() {
+				t.Error("rank 0 should survive a shrink to 1")
+			}
+			if r.NewComm().Size() != 1 {
+				t.Errorf("new comm size = %d", r.NewComm().Size())
+			}
+		} else {
+			if r.Continues() {
+				t.Error("rank 1 should finalize")
+			}
+			expectPanic(t, "NewComm on finalizing rank", func() { r.NewComm() })
+		}
+	})
+	if err := w.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncAPIContracts(t *testing.T) {
+	w := testWorld(t)
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		st := NewStore()
+		it := NewDenseVirtual("v", 100, 8, true)
+		b := blockRange(100, 2, comm.Rank(c))
+		it.SetBlock(b[0], b[1])
+		st.Register(it)
+		r := StartReconfig(c, Config{Spawn: Merge, Comm: COL, Overlap: NonBlocking},
+			comm, 1, st, func() *Store { return NewStore() }, nil)
+		expectPanic(t, "Wait on async", func() { r.Wait(c) })
+		for !r.Test(c) {
+			c.Compute(1e-4)
+		}
+		r.Finish(c)
+	})
+	if err := w.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemContracts(t *testing.T) {
+	expectPanic(t, "negative dense", func() { NewDenseVirtual("x", -1, 8, true) })
+	expectPanic(t, "zero elem size", func() { NewDenseVirtual("x", 1, 0, true) })
+	expectPanic(t, "block size mismatch", func() { NewDenseBytes("x", 10, 8, true, 0, 2, []byte{1}) })
+	expectPanic(t, "bad sparse", func() { NewSparseVirtual("m", nil, 12, 0, true) })
+
+	it := NewDenseFloat64("v", 10, true, 2, []float64{1, 2})
+	expectPanic(t, "extract out of block", func() { it.Extract(0, 1) })
+	expectPanic(t, "install out of block", func() { it.Install(9, 10, mpiBytesN(8)) })
+	expectPanic(t, "install wrong size", func() {
+		it.Prepare(0, 4)
+		it.Install(0, 2, mpiBytesN(8)) // want 16
+	})
+	expectPanic(t, "SetBlock on real item", func() { it.SetBlock(0, 5) })
+
+	v := NewDenseVirtual("w", 10, 8, true)
+	v.SetBlock(0, 5)
+	if got := v.Extract(1, 3); got.Size != 16 || !got.IsVirtual() {
+		t.Fatalf("virtual extract = %+v", got)
+	}
+}
+
+func mpiBytesN(n int) mpi.Payload {
+	return mpi.Bytes(make([]byte, n))
+}
+
+func TestSparseItemContracts(t *testing.T) {
+	s := NewSparseVirtual("m", []int64{0, 2, 5}, 12, 4, true)
+	s.SetBlock(0, 2)
+	if got := s.WireBytes(0, 2); got != 5*12+2*4 {
+		t.Fatalf("WireBytes = %d", got)
+	}
+	expectPanic(t, "extract outside block", func() {
+		s.SetBlock(0, 1)
+		s.Extract(0, 2)
+	})
+	expectPanic(t, "install size mismatch", func() {
+		s.Prepare(0, 2)
+		s.Install(0, 2, mpi.Virtual(1))
+	})
+}

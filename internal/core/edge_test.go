@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+)
+
+func TestSingleElementItemRedistributes(t *testing.T) {
+	// One element over many ranks: most blocks are empty.
+	for _, cfg := range []Config{
+		{Spawn: Merge, Comm: P2P, Overlap: Sync},
+		{Spawn: Merge, Comm: COL, Overlap: Sync},
+		{Spawn: Merge, Comm: RMA, Overlap: Sync},
+		{Spawn: Baseline, Comm: COL, Overlap: Sync},
+	} {
+		w := testWorld(t)
+		hits := 0
+		w.Launch(3, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+			rank := comm.Rank(c)
+			st := NewStore()
+			if rank == 0 {
+				st.Register(NewDenseFloat64("one", 1, true, 0, []float64{42}))
+			} else {
+				st.Register(NewDenseBytes("one", 1, 8, true, 1, 1, nil))
+			}
+			r := StartReconfig(c, cfg, comm, 5, st,
+				func() *Store {
+					s := NewStore()
+					s.Register(NewDenseBytes("one", 1, 8, true, 0, 0, nil))
+					return s
+				},
+				func(ctx *mpi.Ctx, newComm *mpi.Comm, s *Store) {
+					it := s.Item("one").(*DenseItem)
+					lo, hi := it.Block()
+					if lo == 0 && hi == 1 {
+						if got := it.Float64s()[0]; got != 42 {
+							t.Errorf("%s: element = %g, want 42", cfg, got)
+						}
+						hits++
+					}
+				})
+			r.Wait(c)
+			if r.Continues() {
+				s := r.Store().Item("one").(*DenseItem)
+				if lo, hi := s.Block(); lo == 0 && hi == 1 {
+					if got := s.Float64s()[0]; got != 42 {
+						t.Errorf("%s: surviving element = %g, want 42", cfg, got)
+					}
+					hits++
+				}
+			}
+		})
+		if err := w.Kernel().Run(); err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if hits != 1 {
+			t.Fatalf("%s: element verified on %d ranks, want exactly 1", cfg, hits)
+		}
+	}
+}
+
+func TestEmptyVariableSetUnderAsync(t *testing.T) {
+	// All items constant: the Finish phase has nothing to move.
+	cfg := Config{Spawn: Merge, Comm: COL, Overlap: NonBlocking}
+	w := testWorld(t)
+	done := 0
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		st := NewStore()
+		it := NewDenseVirtual("c", 1000, 8, true)
+		lo, hi := int64(comm.Rank(c))*500, int64(comm.Rank(c)+1)*500
+		it.SetBlock(lo, hi)
+		st.Register(it)
+		r := StartReconfig(c, cfg, comm, 4, st,
+			func() *Store {
+				s := NewStore()
+				s.Register(NewDenseVirtual("c", 1000, 8, true))
+				return s
+			},
+			func(ctx *mpi.Ctx, newComm *mpi.Comm, s *Store) { done++ })
+		for !r.Test(c) {
+			c.Compute(1e-4)
+		}
+		r.Finish(c)
+		if r.Continues() {
+			done++
+		}
+	})
+	if err := w.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 4 {
+		t.Fatalf("done = %d, want 4", done)
+	}
+}
+
+func TestAllVariableUnderAsync(t *testing.T) {
+	// No constant items: Test must become true immediately (nothing to
+	// overlap) and the variable phase carries everything.
+	cfg := Config{Spawn: Merge, Comm: P2P, Overlap: NonBlocking}
+	runScenarioVariant(t, cfg, 3, 5, false)
+}
+
+// runScenarioVariant is runScenario with the constant flag forced off when
+// allConstant is false (all items variable).
+func runScenarioVariant(t *testing.T, cfg Config, ns, nt int, _ bool) {
+	t.Helper()
+	const n = 500
+	w := testWorld(t)
+	verified := 0
+	w.Launch(ns, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		rank := comm.Rank(c)
+		st := NewStore()
+		d := blockRange(n, ns, rank)
+		vals := make([]float64, d[1]-d[0])
+		for i := range vals {
+			vals[i] = float64(d[0] + int64(i))
+		}
+		st.Register(NewDenseFloat64("v", n, false, d[0], vals))
+		r := StartReconfig(c, cfg, comm, nt, st,
+			func() *Store {
+				s := NewStore()
+				s.Register(NewDenseBytes("v", n, 8, false, 0, 0, nil))
+				return s
+			},
+			func(ctx *mpi.Ctx, newComm *mpi.Comm, s *Store) {
+				it := s.Item("v").(*DenseItem)
+				blo, _ := it.Block()
+				for i, v := range it.Float64s() {
+					if v != float64(blo+int64(i)) {
+						t.Errorf("element %d = %g", blo+int64(i), v)
+						return
+					}
+				}
+				verified++
+			})
+		for !r.Test(c) {
+			c.Compute(1e-4)
+		}
+		r.Finish(c)
+		if r.Continues() {
+			verified++
+		}
+	})
+	if err := w.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if verified != nt {
+		t.Fatalf("verified %d, want %d", verified, nt)
+	}
+}
+
+// Property: for random (ns, nt) and item sizes, a sync Merge COL
+// reconfiguration conserves the data exactly.
+func TestPropertyRedistributionConservation(t *testing.T) {
+	cfgs := []Config{
+		{Spawn: Merge, Comm: COL, Overlap: Sync},
+		{Spawn: Merge, Comm: P2P, Overlap: Sync},
+		{Spawn: Merge, Comm: RMA, Overlap: Sync},
+	}
+	f := func(nsRaw, ntRaw, nRaw uint8, cfgIdx uint8) bool {
+		ns := int(nsRaw%5) + 1
+		nt := int(ntRaw%5) + 1
+		n := int64(nRaw)%300 + 1
+		cfg := cfgs[int(cfgIdx)%len(cfgs)]
+		w := testWorld(t)
+		okAll := true
+		checked := 0
+		check := func(s *Store, newComm *mpi.Comm, ctx *mpi.Ctx) {
+			it := s.Item("v").(*DenseItem)
+			lo, _ := it.Block()
+			for i, v := range it.Float64s() {
+				if v != float64(lo+int64(i)) {
+					okAll = false
+				}
+			}
+			checked++
+		}
+		w.Launch(ns, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+			rank := comm.Rank(c)
+			st := NewStore()
+			d := blockRange(n, ns, rank)
+			vals := make([]float64, d[1]-d[0])
+			for i := range vals {
+				vals[i] = float64(d[0] + int64(i))
+			}
+			st.Register(NewDenseFloat64("v", n, true, d[0], vals))
+			r := StartReconfig(c, cfg, comm, nt, st,
+				func() *Store {
+					s := NewStore()
+					s.Register(NewDenseBytes("v", n, 8, true, 0, 0, nil))
+					return s
+				},
+				func(ctx *mpi.Ctx, newComm *mpi.Comm, s *Store) { check(s, newComm, ctx) })
+			r.Wait(c)
+			if r.Continues() {
+				check(r.Store(), r.NewComm(), c)
+			}
+		})
+		if err := w.Kernel().Run(); err != nil {
+			return false
+		}
+		return okAll && checked == nt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func blockRange(n int64, p, r int) [2]int64 {
+	q, rem := n/int64(p), n%int64(p)
+	lo := int64(r)*q + minI64(int64(r), rem)
+	hi := lo + q
+	if int64(r) < rem {
+		hi++
+	}
+	return [2]int64{lo, hi}
+}
+
+func TestConfigStringerCoversRMA(t *testing.T) {
+	cfg := Config{Spawn: Baseline, Comm: RMA, Overlap: Thread}
+	if got := cfg.String(); got != "Baseline RMAT" {
+		t.Fatalf("String = %q", got)
+	}
+	if fmt.Sprint(CommMethod(99)) == "" {
+		t.Fatal("unknown CommMethod prints empty")
+	}
+}

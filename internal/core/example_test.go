@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// A complete malleability step with the paper's best overall variant
+// (Merge, collective redistribution, non-blocking overlap): two ranks
+// expand to four, the constant vector redistributes while the sources keep
+// computing, and every target ends up with exactly its block.
+func ExampleStartReconfig() {
+	const n = 1 << 10
+	kernel := sim.NewKernel()
+	machine := cluster.New(kernel, cluster.Config{
+		Nodes: 2, CoresPerNode: 2,
+		Net:       netmodel.InfinibandEDR(),
+		SpawnBase: 1e-3, SpawnPerProc: 1e-4,
+		Seed: 1,
+	})
+	world := mpi.NewWorld(machine, mpi.DefaultOptions())
+	variant := core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.NonBlocking}
+
+	report := func(ctx *mpi.Ctx, comm *mpi.Comm, st *core.Store) {
+		item := st.Item("field").(*core.DenseItem)
+		lo, hi := item.Block()
+		ok := true
+		for i, v := range item.Float64s() {
+			if v != float64(lo+int64(i)) {
+				ok = false
+			}
+		}
+		fmt.Printf("rank %d/%d holds [%d, %d): data intact = %v\n",
+			comm.Rank(ctx), comm.Size(), lo, hi, ok)
+	}
+
+	world.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		dist := partition.NewBlockDist(n, comm.Size())
+		lo, hi := dist.Lo(comm.Rank(c)), dist.Hi(comm.Rank(c))
+		local := make([]float64, hi-lo)
+		for i := range local {
+			local[i] = float64(lo + int64(i))
+		}
+		store := core.NewStore()
+		store.Register(core.NewDenseFloat64("field", n, true, lo, local))
+
+		recon := core.StartReconfig(c, variant, comm, 4, store,
+			func() *core.Store {
+				s := core.NewStore()
+				s.Register(core.NewDenseBytes("field", n, 8, true, 0, 0, nil))
+				return s
+			}, report)
+		for !recon.Test(c) { // Algorithm 3: keep iterating while it runs
+			c.Compute(1e-4)
+		}
+		recon.Finish(c)
+		if recon.Continues() {
+			report(c, recon.NewComm(), store)
+		}
+	})
+	if err := kernel.Run(); err != nil {
+		fmt.Println("error:", err)
+	}
+	// Unordered output:
+	// rank 0/4 holds [0, 256): data intact = true
+	// rank 1/4 holds [256, 512): data intact = true
+	// rank 2/4 holds [512, 768): data intact = true
+	// rank 3/4 holds [768, 1024): data intact = true
+}
+
+// The twelve configurations of the paper, by name.
+func ExampleAllConfigs() {
+	for _, cfg := range core.AllConfigs() {
+		fmt.Println(cfg)
+	}
+	// Output:
+	// Baseline P2PS
+	// Baseline P2PA
+	// Baseline P2PT
+	// Baseline COLS
+	// Baseline COLA
+	// Baseline COLT
+	// Merge P2PS
+	// Merge P2PA
+	// Merge P2PT
+	// Merge COLS
+	// Merge COLA
+	// Merge COLT
+}

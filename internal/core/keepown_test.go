@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+// keepOwnItem builds a real dense item whose target distribution is the §5
+// keep-own remapping while sources stay block-distributed.
+func keepOwnItem(n int64, ns, nt, rank int) *DenseItem {
+	srcDist := partition.NewBlockDist(n, ns)
+	lo, hi := srcDist.Lo(rank), srcDist.Hi(rank)
+	vals := make([]float64, hi-lo)
+	for i := range vals {
+		vals[i] = float64(lo + int64(i))
+	}
+	it := NewDenseFloat64("v", n, true, lo, vals)
+	it.SetDistribution(func(parts int) partition.Dist {
+		if parts == nt && nt < ns {
+			return partition.KeepOwnShrinkDist(n, ns, nt)
+		}
+		if parts == nt && nt > ns {
+			return partition.KeepOwnExpandDist(n, ns, nt)
+		}
+		return partition.NewBlockDist(n, parts)
+	})
+	return it
+}
+
+func runKeepOwnScenario(t *testing.T, cfg Config, ns, nt int) (movedPerRank map[int]int64) {
+	t.Helper()
+	const n = 1200
+	w := testWorld(t)
+	verified := 0
+	var tgtDist partition.Dist
+	if nt < ns {
+		tgtDist = partition.KeepOwnShrinkDist(n, ns, nt)
+	} else {
+		tgtDist = partition.KeepOwnExpandDist(n, ns, nt)
+	}
+	check := func(label string, st *Store, tgt int) {
+		it := st.Item("v").(*DenseItem)
+		lo, hi := it.Block()
+		if lo != tgtDist.Lo(tgt) || hi != tgtDist.Hi(tgt) {
+			t.Errorf("%s: block [%d,%d), want [%d,%d)", label, lo, hi, tgtDist.Lo(tgt), tgtDist.Hi(tgt))
+			return
+		}
+		for i, v := range it.Float64s() {
+			if v != float64(lo+int64(i)) {
+				t.Errorf("%s: element %d = %g", label, lo+int64(i), v)
+				return
+			}
+		}
+		verified++
+	}
+	w.Launch(ns, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		rank := comm.Rank(c)
+		st := NewStore()
+		st.Register(keepOwnItem(n, ns, nt, rank))
+		r := StartReconfig(c, cfg, comm, nt, st,
+			func() *Store {
+				s := NewStore()
+				it := NewDenseBytes("v", n, 8, true, 0, 0, nil)
+				it.SetDistribution(func(parts int) partition.Dist {
+					if parts == nt {
+						return tgtDist
+					}
+					return partition.NewBlockDist(n, parts)
+				})
+				s.Register(it)
+				return s
+			},
+			func(ctx *mpi.Ctx, newComm *mpi.Comm, s *Store) {
+				check(fmt.Sprintf("spawned %d", newComm.Rank(ctx)), s, newComm.Rank(ctx))
+			})
+		r.Wait(c)
+		if r.Continues() {
+			check(fmt.Sprintf("survivor %d", r.NewComm().Rank(c)), st, r.NewComm().Rank(c))
+		}
+	})
+	if err := w.Kernel().Run(); err != nil {
+		t.Fatalf("%s %d->%d: %v", cfg, ns, nt, err)
+	}
+	if verified != nt {
+		t.Fatalf("%s %d->%d: verified %d targets, want %d", cfg, ns, nt, verified, nt)
+	}
+	return nil
+}
+
+func TestKeepOwnShrinkRedistributes(t *testing.T) {
+	for _, cfg := range []Config{
+		{Spawn: Merge, Comm: P2P, Overlap: Sync},
+		{Spawn: Merge, Comm: COL, Overlap: Sync},
+		{Spawn: Merge, Comm: RMA, Overlap: Sync},
+	} {
+		runKeepOwnScenario(t, cfg, 6, 3)
+	}
+}
+
+func TestKeepOwnExpandRedistributes(t *testing.T) {
+	cfg := Config{Spawn: Merge, Comm: COL, Overlap: Sync}
+	runKeepOwnScenario(t, cfg, 3, 6)
+}
+
+func TestKeepOwnMovesLessThanBlock(t *testing.T) {
+	// The point of the remapping: surviving ranks keep everything, so
+	// only the terminated ranks' data moves.
+	const n = int64(4096)
+	ns, nt := 8, 4
+	blockPlan := partition.NewPlan(n, ns, nt)
+	keepPlan := partition.PlanBetween(partition.NewBlockDist(n, ns), partition.KeepOwnShrinkDist(n, ns, nt))
+	if keepPlan.TotalMoved() >= blockPlan.TotalMoved() {
+		t.Fatalf("keep-own moved %d, block moved %d", keepPlan.TotalMoved(), blockPlan.TotalMoved())
+	}
+	// Exactly the terminated half moves.
+	if want := n / 2; keepPlan.TotalMoved() != want {
+		t.Fatalf("keep-own moved %d, want %d (the terminated ranks' share)", keepPlan.TotalMoved(), want)
+	}
+	// And the price: imbalance above 1.
+	if im := partition.Imbalance(partition.KeepOwnShrinkDist(n, ns, nt)); im <= 1 {
+		t.Fatalf("imbalance = %g, want > 1", im)
+	}
+	if im := partition.Imbalance(partition.NewBlockDist(n, nt)); im != 1 {
+		t.Fatalf("block imbalance = %g, want 1", im)
+	}
+}

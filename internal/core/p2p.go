@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// p2pTransfer is the state of one Algorithm 1 redistribution pass over a
+// set of items. It supports both blocking completion (run) and incremental
+// progress (progress), which is what Algorithm 3's Test_Redistribution
+// does.
+type p2pTransfer struct {
+	v      *view
+	items  []Item
+	tagIdx []int // store-wide index per item, fixing the tag pair
+
+	sendReqs []mpi.Request
+
+	// Receiver state (Algorithm 1's second half).
+	recvReqs []mpi.Request
+	recvMeta []p2pRecvMeta
+	numRcv   int // value messages still pending
+	prepared map[int]bool
+
+	started bool
+}
+
+type p2pRecvMeta struct {
+	item   int // index into items
+	src    int
+	lo, hi int64
+	isSize bool
+}
+
+// newP2PTransfer plans an Algorithm 1 pass on view v; tagIdx gives each
+// item's store-wide index so both sides derive the same tag pairs.
+func newP2PTransfer(v *view, items []Item, tagIdx []int) *p2pTransfer {
+	requireItems(items, "p2p")
+	if len(tagIdx) != len(items) {
+		panic("core: tagIdx/items length mismatch")
+	}
+	return &p2pTransfer{v: v, items: items, tagIdx: tagIdx, prepared: map[int]bool{}}
+}
+
+// start issues the source sends and posts the target size receives.
+func (t *p2pTransfer) start(c *mpi.Ctx) {
+	if t.started {
+		return
+	}
+	t.started = true
+	copyRate := c.World().Options().CopyRate
+
+	// Stage the source extractions first: a Merge rank that is both source
+	// and target must read its old block before Prepare replaces it. The
+	// extracted slices stay valid because Prepare allocates fresh storage.
+	type stagedSend struct {
+		dst, tag int
+		pl       mpi.Payload
+	}
+	var staged []stagedSend
+	if t.v.isSource() {
+		for i, it := range t.items {
+			sizeTag, valueTag := itemTags(t.tagIdx[i])
+			for _, ch := range planFor(it, t.v.ns, t.v.nt).SendChunks(t.v.srcRank) {
+				if t.v.selfChunk(ch.Src, ch.Dst) {
+					// memcpy path: Prepare preserves the local overlap; only
+					// the copy cost is charged here.
+					if copyRate > 0 {
+						c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
+					}
+					continue
+				}
+				pl := it.Extract(ch.Lo, ch.Hi)
+				staged = append(staged,
+					stagedSend{dst: ch.Dst, tag: sizeTag, pl: mpi.Int64s([]int64{pl.Size})},
+					stagedSend{dst: ch.Dst, tag: valueTag, pl: pl})
+			}
+		}
+	}
+
+	// Targets prepare their new blocks and post one size receive per
+	// incoming chunk (tag 77 family), before sends are issued so rendezvous
+	// values can stream immediately.
+	if t.v.isTarget() {
+		for i, it := range t.items {
+			lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
+			it.Prepare(lo, hi)
+			t.prepared[i] = true
+			sizeTag, _ := itemTags(t.tagIdx[i])
+			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
+				if t.v.selfChunk(ch.Src, ch.Dst) {
+					continue // local copy handled on the send side
+				}
+				t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, ch.Src, sizeTag))
+				t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: i, src: ch.Src, lo: ch.Lo, hi: ch.Hi, isSize: true})
+				t.numRcv++
+			}
+		}
+	}
+
+	// Issue the staged sends (a pair of MPI_Isend per chunk, Algorithm 1).
+	for _, s := range staged {
+		t.sendReqs = append(t.sendReqs, t.v.sendTo(c, s.dst, s.tag, s.pl))
+	}
+}
+
+// progress advances the receiver state machine without blocking and reports
+// whether the whole pass (sends and receives) has completed.
+func (t *p2pTransfer) progress(c *mpi.Ctx) bool {
+	if !t.started {
+		t.start(c)
+	}
+	for idx := range t.recvReqs {
+		rr, ok := t.recvReqs[idx].(*mpi.RecvReq)
+		if !ok || !rr.Done() || rr.Handled() {
+			continue
+		}
+		t.handleRecv(c, idx, rr)
+	}
+	return t.numRcv == 0 && c.Testall(t.sendReqs)
+}
+
+// run drives the pass to completion, blocking per Algorithm 1: a
+// Waitany-driven receive loop, then MPI_Waitall on the sends.
+func (t *p2pTransfer) run(c *mpi.Ctx) {
+	t.start(c)
+	for t.numRcv > 0 {
+		idx := c.Waitany(t.recvReqs)
+		if idx < 0 {
+			panic("core: p2p receive loop exhausted requests with messages pending")
+		}
+		rr := t.recvReqs[idx].(*mpi.RecvReq)
+		if rr.Handled() {
+			continue // already processed by an earlier progress call
+		}
+		t.handleRecv(c, idx, rr)
+	}
+	c.Waitall(t.sendReqs)
+}
+
+// handleRecv processes one completed receive: a size message posts the
+// matching values receive; a values message installs the chunk.
+func (t *p2pTransfer) handleRecv(c *mpi.Ctx, idx int, rr *mpi.RecvReq) {
+	meta := t.recvMeta[idx]
+	rr.MarkHandled()
+	it := t.items[meta.item]
+	if meta.isSize {
+		size := rr.Payload().AsInt64s()[0]
+		if want := it.WireBytes(meta.lo, meta.hi); size != want {
+			panic(fmt.Sprintf("core: %q size message %d from source %d, plan says %d",
+				it.Name(), size, meta.src, want))
+		}
+		_, valueTag := itemTags(t.tagIdx[meta.item])
+		t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, meta.src, valueTag))
+		t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: meta.item, src: meta.src, lo: meta.lo, hi: meta.hi})
+		return
+	}
+	it.Install(meta.lo, meta.hi, rr.Payload())
+	t.numRcv--
+}

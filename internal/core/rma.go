@@ -1,0 +1,178 @@
+package core
+
+import (
+	"repro/internal/mpi"
+)
+
+// rmaTransfer implements the paper's future-work redistribution method
+// (§5): one-sided RMA. Sources expose their blocks in windows; targets pull
+// exactly the chunks the plan assigns them with MPI_Get, with no source
+// CPU in the transfer path. No size messages are needed: both sides derive
+// chunk wire offsets from the plan (and, for sparse items, the globally
+// known row pointer).
+//
+// Window exposure snapshots the data (clone at WinCreate), so sources may
+// proceed once the access epoch is over; the blocking variant still closes
+// with a fence, matching MPI_Win_fence semantics.
+type rmaTransfer struct {
+	v     *view
+	items []Item
+
+	wins []*mpi.Win // one window per item (index parallel to items)
+	gets []*mpi.RMAReq
+	meta []rmaMeta
+
+	phase     int // 0 = not started, 1 = pulling, 2 = done
+	installed bool
+}
+
+type rmaMeta struct {
+	item   int
+	lo, hi int64
+}
+
+func newRMATransfer(v *view, items []Item) *rmaTransfer {
+	requireItems(items, "rma")
+	return &rmaTransfer{v: v, items: items}
+}
+
+// setup exposes source blocks and issues the target-side Gets.
+func (t *rmaTransfer) setup(c *mpi.Ctx) {
+	if t.phase != 0 {
+		return
+	}
+	copyRate := c.World().Options().CopyRate
+
+	// Extract exposures before Prepare replaces blocks (Merge ranks are
+	// both sides).
+	exposures := make([]mpi.Payload, len(t.items))
+	if t.v.isSource() {
+		for i, it := range t.items {
+			d := distFor(it, t.v.ns)
+			lo, hi := d.Lo(t.v.srcRank), d.Hi(t.v.srcRank)
+			exposures[i] = it.Extract(lo, hi)
+			// Account the local share of a Merge rank now, as P2P/COL do.
+			for _, ch := range planFor(it, t.v.ns, t.v.nt).SendChunks(t.v.srcRank) {
+				if t.v.selfChunk(ch.Src, ch.Dst) && copyRate > 0 {
+					c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
+				}
+			}
+		}
+	}
+
+	// Collective window creation per item (everyone participates; pure
+	// targets expose nothing).
+	t.wins = make([]*mpi.Win, len(t.items))
+	for i := range t.items {
+		t.wins[i] = c.WinCreate(t.v.comm, exposures[i])
+	}
+
+	// Targets prepare new blocks and pull their chunks.
+	if t.v.isTarget() {
+		for i, it := range t.items {
+			lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
+			it.Prepare(lo, hi)
+			srcDist := distFor(it, t.v.ns)
+			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
+				if t.v.selfChunk(ch.Src, ch.Dst) {
+					continue
+				}
+				sLo := srcDist.Lo(ch.Src)
+				off := it.WireBytes(sLo, ch.Lo)
+				n := it.WireBytes(ch.Lo, ch.Hi)
+				t.gets = append(t.gets, c.Get(t.wins[i], ch.Src, off, off+n))
+				t.meta = append(t.meta, rmaMeta{item: i, lo: ch.Lo, hi: ch.Hi})
+			}
+		}
+	}
+	t.phase = 1
+}
+
+// getsDone reports whether every issued Get completed.
+func (t *rmaTransfer) getsDone() bool {
+	for _, g := range t.gets {
+		if !g.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// install stores the fetched chunks once.
+func (t *rmaTransfer) install(c *mpi.Ctx) {
+	if t.installed {
+		return
+	}
+	t.installed = true
+	copyRate := c.World().Options().CopyRate
+	for i, g := range t.gets {
+		m := t.meta[i]
+		it := t.items[m.item]
+		it.Install(m.lo, m.hi, g.Payload())
+		if copyRate > 0 {
+			c.Compute(float64(g.Payload().Size) / copyRate)
+		}
+	}
+	t.phase = 2
+}
+
+// progress advances without blocking (beyond the one-time collective
+// window creation) and reports completion. Sources are passive: their data
+// is snapshotted in the window, so their side completes at setup.
+func (t *rmaTransfer) progress(c *mpi.Ctx) bool {
+	if t.phase == 0 {
+		t.setup(c)
+	}
+	if t.phase >= 2 {
+		return true
+	}
+	if !t.v.isTarget() {
+		t.phase = 2
+		return true
+	}
+	if t.getsDone() {
+		t.install(c)
+		return true
+	}
+	return false
+}
+
+// runBlockingAll performs the fenced epoch: expose, pull, fence.
+func (t *rmaTransfer) runBlockingAll(c *mpi.Ctx) {
+	t.setup(c)
+	if t.v.isTarget() {
+		c.Waitall(rmaRequests(t.gets))
+		t.install(c)
+	}
+	// Closing fence: sources leave only after every pull completed.
+	if len(t.wins) > 0 {
+		c.Fence(t.wins[len(t.wins)-1])
+	}
+	t.phase = 2
+}
+
+// drain completes the non-blocking variant from wherever progress left it.
+func (t *rmaTransfer) drain(c *mpi.Ctx) {
+	if t.phase == 0 {
+		t.setup(c)
+	}
+	if t.v.isTarget() && !t.installed {
+		c.Waitall(rmaRequests(t.gets))
+		t.install(c)
+	}
+	t.phase = 2
+}
+
+func rmaRequests(gets []*mpi.RMAReq) []mpi.Request {
+	out := make([]mpi.Request, len(gets))
+	for i, g := range gets {
+		out[i] = g
+	}
+	return out
+}
+
+// rmaXfer adapts rmaTransfer to the xfer interface.
+type rmaXfer struct{ *rmaTransfer }
+
+func (x rmaXfer) runBlockingAll(c *mpi.Ctx) { x.rmaTransfer.runBlockingAll(c) }
+func (x rmaXfer) drain(c *mpi.Ctx)          { x.rmaTransfer.drain(c) }

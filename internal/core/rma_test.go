@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRMAConfigsRedistributeCorrectly(t *testing.T) {
+	pairs := []struct{ ns, nt int }{
+		{2, 5}, {5, 2}, {4, 4}, {3, 7}, {7, 3},
+	}
+	for _, cfg := range RMAConfigs() {
+		for _, p := range pairs {
+			name := fmt.Sprintf("%s/%dto%d", cfg, p.ns, p.nt)
+			t.Run(name, func(t *testing.T) {
+				runScenario(t, cfg, p.ns, p.nt)
+			})
+		}
+	}
+}
+
+func TestRMAConfigList(t *testing.T) {
+	cfgs := RMAConfigs()
+	if len(cfgs) != 6 {
+		t.Fatalf("RMAConfigs has %d entries, want 6", len(cfgs))
+	}
+	for _, c := range cfgs {
+		if c.Comm != RMA {
+			t.Fatalf("config %s is not RMA", c)
+		}
+	}
+}
+
+func TestParseRMAConfigs(t *testing.T) {
+	for _, s := range []string{"merge rmas", "baseline rmaa", "merge-rma-t", "Merge RMAA"} {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", s, err)
+		}
+		if cfg.Comm != RMA {
+			t.Fatalf("ParseConfig(%q).Comm = %v", s, cfg.Comm)
+		}
+	}
+	for _, cfg := range RMAConfigs() {
+		round, err := ParseConfig(cfg.String())
+		if err != nil || round != cfg {
+			t.Fatalf("round trip of %q failed: %v %v", cfg, round, err)
+		}
+	}
+}

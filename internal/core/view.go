@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// view describes one rank's role in a reconfiguration from NS sources to NT
+// targets, and the communicator the redistribution runs over:
+//
+//   - Baseline: an inter-communicator; sources hold the parents' view,
+//     targets the children's view.
+//   - Merge: the joint intra-communicator covering sources ∪ targets, where
+//     sources are ranks [0, NS) and targets are ranks [0, NT).
+type view struct {
+	comm  *mpi.Comm
+	inter bool
+	ns    int
+	nt    int
+
+	srcRank int // rank among sources, or -1
+	tgtRank int // rank among targets, or -1
+}
+
+// newInterView builds the view of one side of a Baseline reconfiguration.
+func newInterView(c *mpi.Ctx, interComm *mpi.Comm, ns, nt int, isSource bool) *view {
+	v := &view{comm: interComm, inter: true, ns: ns, nt: nt, srcRank: -1, tgtRank: -1}
+	if isSource {
+		v.srcRank = interComm.Rank(c)
+	} else {
+		v.tgtRank = interComm.Rank(c)
+	}
+	return v
+}
+
+// newIntraView builds the Merge view on the joint intra-communicator.
+func newIntraView(c *mpi.Ctx, joint *mpi.Comm, ns, nt int) *view {
+	r := joint.Rank(c)
+	v := &view{comm: joint, ns: ns, nt: nt, srcRank: -1, tgtRank: -1}
+	if r < ns {
+		v.srcRank = r
+	}
+	if r < nt {
+		v.tgtRank = r
+	}
+	return v
+}
+
+func (v *view) isSource() bool { return v.srcRank >= 0 }
+func (v *view) isTarget() bool { return v.tgtRank >= 0 }
+
+// selfChunk reports whether a chunk src->dst is rank-local for this view
+// (only possible under Merge, where a process can be source and target).
+func (v *view) selfChunk(src, dst int) bool {
+	return !v.inter && v.srcRank == src && v.tgtRank == dst && src == dst
+}
+
+// sendTo posts a non-blocking send to target t.
+func (v *view) sendTo(c *mpi.Ctx, t, tag int, pl mpi.Payload) *mpi.SendReq {
+	return c.Isend(v.comm, t, tag, pl)
+}
+
+// recvFrom posts a non-blocking receive from source s.
+func (v *view) recvFrom(c *mpi.Ctx, s, tag int) *mpi.RecvReq {
+	return c.Irecv(v.comm, s, tag)
+}
+
+// peers returns the peer count of collective exchanges on the view's
+// communicator: the remote group size for Baseline, the joint size for
+// Merge.
+func (v *view) peers() int {
+	if v.inter {
+		return v.comm.RemoteSize()
+	}
+	return v.comm.Size()
+}
+
+// targetRange returns the block [lo, hi) target t owns for item it under
+// its nt-part distribution.
+func targetRange(it Item, nt, t int) (int64, int64) {
+	d := distFor(it, nt)
+	return d.Lo(t), d.Hi(t)
+}
+
+// itemTags returns the size/value tag pair of the item at index i in the
+// store. The paper's Algorithm 1 uses 77 and 88 for its single object; we
+// keep those for item 0 and stride by 2, which preserves parity so size and
+// value tags can never collide.
+func itemTags(i int) (sizeTag, valueTag int) {
+	return 77 + 2*i, 88 + 2*i
+}
+
+// requireMembers panics unless the store indexes match across phases.
+func requireItems(items []Item, phase string) {
+	if len(items) == 0 {
+		return
+	}
+	seen := map[string]bool{}
+	for _, it := range items {
+		if seen[it.Name()] {
+			panic(fmt.Sprintf("core: duplicate item %q in %s phase", it.Name(), phase))
+		}
+		seen[it.Name()] = true
+	}
+}

@@ -1,0 +1,447 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/synthapp"
+)
+
+// SyncConfigs are the four synchronous variants of Figures 2-3.
+func SyncConfigs() []core.Config {
+	var out []core.Config
+	for _, c := range core.AllConfigs() {
+		if c.Overlap == core.Sync {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AsyncConfigs are the eight asynchronous variants of Figures 4-5.
+func AsyncConfigs() []core.Config {
+	var out []core.Config
+	for _, c := range core.AllConfigs() {
+		if c.Overlap != core.Sync {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Series is one plotted line: a label and (x, y) points ordered by x.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one plotted value.
+type Point struct {
+	X int // the varying process count (NT when shrinking, NS when expanding)
+	Y float64
+}
+
+// SyncReconfigSeries builds Figure 2/3 content from measurements: the
+// median reconfiguration time of each synchronous configuration over the
+// shrink (NS=160) and expansion (NT=160) pair families.
+func SyncReconfigSeries(m Measurements, pairs []Pair) []Series {
+	var out []Series
+	for _, cfg := range SyncConfigs() {
+		s := Series{Label: cfg.String()}
+		for _, p := range pairs {
+			rs, ok := m[CellKey{Pair: p, Config: cfg}]
+			if !ok {
+				continue
+			}
+			s.Points = append(s.Points, Point{X: varying(p), Y: MedianReconfig(rs)})
+		}
+		sortPoints(s.Points)
+		out = append(out, s)
+	}
+	return out
+}
+
+// AlphaSeries builds Figure 4/5 content: for each asynchronous
+// configuration, α = median asynchronous reconfiguration time divided by
+// the median of its synchronous counterpart, per pair.
+func AlphaSeries(m Measurements, pairs []Pair) []Series {
+	var out []Series
+	for _, cfg := range AsyncConfigs() {
+		syncCfg := cfg
+		syncCfg.Overlap = core.Sync
+		s := Series{Label: cfg.String()}
+		for _, p := range pairs {
+			async, okA := m[CellKey{Pair: p, Config: cfg}]
+			syncRs, okS := m[CellKey{Pair: p, Config: syncCfg}]
+			if !okA || !okS {
+				continue
+			}
+			den := MedianReconfig(syncRs)
+			if den <= 0 {
+				continue
+			}
+			s.Points = append(s.Points, Point{X: varying(p), Y: MedianReconfig(async) / den})
+		}
+		sortPoints(s.Points)
+		out = append(out, s)
+	}
+	return out
+}
+
+// SpeedupSeries builds Figure 7/8 content: each configuration's speedup of
+// the median total application time against Baseline COLS, plus the
+// Baseline COLS reconfiguration-time reference series (the figures' right
+// axis).
+func SpeedupSeries(m Measurements, pairs []Pair) (speedups []Series, baselineReconfig Series) {
+	base := core.Config{Spawn: core.Baseline, Comm: core.COL, Overlap: core.Sync}
+	baselineReconfig = Series{Label: "Baseline COLS reconfig (s)"}
+	for _, p := range pairs {
+		if rs, ok := m[CellKey{Pair: p, Config: base}]; ok {
+			baselineReconfig.Points = append(baselineReconfig.Points,
+				Point{X: varying(p), Y: MedianReconfig(rs)})
+		}
+	}
+	sortPoints(baselineReconfig.Points)
+
+	for _, cfg := range core.AllConfigs() {
+		if cfg == base {
+			continue
+		}
+		s := Series{Label: cfg.String()}
+		for _, p := range pairs {
+			rs, ok := m[CellKey{Pair: p, Config: cfg}]
+			baseRs, okB := m[CellKey{Pair: p, Config: base}]
+			if !ok || !okB {
+				continue
+			}
+			if t := MedianTotal(rs); t > 0 {
+				s.Points = append(s.Points, Point{X: varying(p), Y: MedianTotal(baseRs) / t})
+			}
+		}
+		sortPoints(s.Points)
+		speedups = append(speedups, s)
+	}
+	return speedups, baselineReconfig
+}
+
+// MaxSpeedup scans speedup series for the best (value, config) — the
+// paper's headline 1.14x (Ethernet) and 1.21x (Infiniband).
+func MaxSpeedup(speedups []Series) (float64, string) {
+	best, label := 0.0, ""
+	for _, s := range speedups {
+		for _, pt := range s.Points {
+			if pt.Y > best {
+				best, label = pt.Y, s.Label
+			}
+		}
+	}
+	return best, label
+}
+
+// Metric selects what a best-method map optimizes.
+type Metric int
+
+const (
+	// ReconfigMetric scores cells by reconfiguration time (Figure 6).
+	ReconfigMetric Metric = iota
+	// TotalMetric scores cells by application execution time (Figure 9).
+	TotalMetric
+)
+
+func (mt Metric) value(r synthapp.Result) float64 {
+	if mt == ReconfigMetric {
+		return r.ReconfigTime()
+	}
+	return r.TotalTime
+}
+
+// BestMap is the Figure 6/9 matrix: for every (NS, NT) pair, the
+// configuration selected by the statistical pipeline.
+type BestMap struct {
+	Counts  []int
+	Configs []core.Config
+	// Winner[i][j] is the index into Configs for NS=Counts[i], NT=Counts[j];
+	// -1 on the diagonal and for missing cells.
+	Winner [][]int
+}
+
+// BestMethodMap applies §4.3's selection to every measured pair: the
+// fastest configuration by median wins; configurations statistically
+// indistinguishable from it (Kruskal-Wallis + Conover at alpha) tie, and
+// ties resolve to the configuration appearing most often across all other
+// cells' tie sets, exactly as the paper describes for Figures 6 and 9.
+func BestMethodMap(m Measurements, pairs []Pair, configs []core.Config, metric Metric, alpha float64) BestMap {
+	// Axes come from the pairs actually measured (the paper's counts for
+	// full sweeps, smaller sets for partial ones).
+	countSet := map[int]bool{}
+	for _, p := range pairs {
+		countSet[p.NS] = true
+		countSet[p.NT] = true
+	}
+	var counts []int
+	for c := range countSet {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+
+	bm := BestMap{Counts: counts, Configs: configs}
+	idxOf := map[int]int{}
+	for i, c := range counts {
+		idxOf[c] = i
+	}
+	bm.Winner = make([][]int, len(counts))
+	for i := range bm.Winner {
+		bm.Winner[i] = make([]int, len(counts))
+		for j := range bm.Winner[i] {
+			bm.Winner[i][j] = -1
+		}
+	}
+
+	// First pass: per-cell tie sets.
+	tieSets := map[Pair][]int{}
+	freq := make([]int, len(configs))
+	for _, p := range pairs {
+		samples := make([][]float64, 0, len(configs))
+		ok := true
+		for _, cfg := range configs {
+			rs, found := m[CellKey{Pair: p, Config: cfg}]
+			if !found || len(rs) == 0 {
+				ok = false
+				break
+			}
+			samples = append(samples, values(rs, metric.value))
+		}
+		if !ok {
+			continue
+		}
+		sel := stats.SelectFastest(samples, alpha)
+		tieSets[p] = sel.Tied
+		for _, t := range sel.Tied {
+			freq[t]++
+		}
+	}
+
+	// Second pass: resolve each cell's tie by global frequency, preferring
+	// the cell's own median winner on equal frequency.
+	for _, p := range pairs {
+		tied, ok := tieSets[p]
+		if !ok {
+			continue
+		}
+		best := tied[0]
+		for _, t := range tied[1:] {
+			if freq[t] > freq[best] {
+				best = t
+			}
+		}
+		bm.Winner[idxOf[p.NS]][idxOf[p.NT]] = best
+	}
+	return bm
+}
+
+// Render prints the matrix like the paper's color maps: rows are NS,
+// columns NT, cells hold the winning configuration's index into Configs.
+func (bm BestMap) Render(w io.Writer) {
+	fmt.Fprintf(w, "%6s", "NS\\NT")
+	for _, nt := range bm.Counts {
+		fmt.Fprintf(w, "%6d", nt)
+	}
+	fmt.Fprintln(w)
+	for i, ns := range bm.Counts {
+		fmt.Fprintf(w, "%6d", ns)
+		for j := range bm.Counts {
+			if bm.Winner[i][j] < 0 {
+				fmt.Fprintf(w, "%6s", "-")
+			} else {
+				fmt.Fprintf(w, "%6d", bm.Winner[i][j])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "legend:")
+	for i, cfg := range bm.Configs {
+		fmt.Fprintf(w, "  %2d = %s\n", i, cfg)
+	}
+}
+
+// WinnerCounts tallies how many cells each configuration wins.
+func (bm BestMap) WinnerCounts() map[string]int {
+	out := map[string]int{}
+	for i := range bm.Winner {
+		for j := range bm.Winner[i] {
+			if k := bm.Winner[i][j]; k >= 0 {
+				out[bm.Configs[k].String()]++
+			}
+		}
+	}
+	return out
+}
+
+// TopWinner returns the most frequent winner and its cell count.
+func (bm BestMap) TopWinner() (string, int) {
+	counts := bm.WinnerCounts()
+	var names []string
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	best, n := "", 0
+	for _, name := range names {
+		if counts[name] > n {
+			best, n = name, counts[name]
+		}
+	}
+	return best, n
+}
+
+// RenderSeries prints plotted series as aligned text tables.
+func RenderSeries(w io.Writer, title string, series []Series) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	if len(series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	// Header: union of x values.
+	xsSet := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+		}
+	}
+	var xs []int
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	fmt.Fprintf(w, "%-16s", "config")
+	for _, x := range xs {
+		fmt.Fprintf(w, "%9d", x)
+	}
+	fmt.Fprintln(w)
+	for _, s := range series {
+		fmt.Fprintf(w, "%-16s", s.Label)
+		byX := map[int]float64{}
+		for _, p := range s.Points {
+			byX[p.X] = p.Y
+		}
+		for _, x := range xs {
+			if y, ok := byX[x]; ok {
+				fmt.Fprintf(w, "%9.3f", y)
+			} else {
+				fmt.Fprintf(w, "%9s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func varying(p Pair) int {
+	if p.NS == 160 {
+		return p.NT
+	}
+	return p.NS
+}
+
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+}
+
+// ShapiroSummary runs the paper's normality screening: it applies
+// Shapiro-Wilk to every cell with enough repetitions and reports the
+// fraction rejecting normality at alpha (the paper's data rejected
+// everywhere, motivating the non-parametric pipeline).
+func ShapiroSummary(m Measurements, metric Metric, alpha float64) (rejected, tested int) {
+	keys := make([]CellKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		vals := values(m[k], metric.value)
+		if len(vals) < 3 || allEqual(vals) {
+			continue
+		}
+		tested++
+		if stats.ShapiroWilk(vals).P < alpha {
+			rejected++
+		}
+	}
+	return rejected, tested
+}
+
+func allEqual(xs []float64) bool {
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// CSVHeader is the column layout of Measurements CSV files.
+const CSVHeader = "ns,nt,spawn,comm,overlap,rep,reconfig,total,overlapped,iter_before,iter_during,iter_after"
+
+// WriteCSV serializes measurements, one row per repetition.
+func WriteCSV(w io.Writer, m Measurements) error {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	keys := make([]CellKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		for rep, r := range m[k] {
+			_, err := fmt.Fprintf(w, "%d,%d,%s,%s,%s,%d,%.9g,%.9g,%d,%.9g,%.9g,%.9g\n",
+				k.Pair.NS, k.Pair.NT, k.Config.Spawn, k.Config.Comm, k.Config.Overlap,
+				rep, r.ReconfigTime(), r.TotalTime, r.OverlappedIterations,
+				r.IterTimeBefore, r.IterTimeDuring, r.IterTimeAfter)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ParseCSV reads measurements written by WriteCSV.
+func ParseCSV(r io.Reader) (Measurements, error) {
+	m := Measurements{}
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, r); err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 || lines[0] != CSVHeader {
+		return nil, fmt.Errorf("harness: bad CSV header")
+	}
+	for _, line := range lines[1:] {
+		f := strings.Split(line, ",")
+		if len(f) != 12 {
+			return nil, fmt.Errorf("harness: bad CSV row %q", line)
+		}
+		var ns, nt, rep, overlapped int
+		var reconfig, total, ib, id, ia float64
+		if _, err := fmt.Sscanf(strings.Join([]string{f[0], f[1], f[5], f[6], f[7], f[8], f[9], f[10], f[11]}, " "),
+			"%d %d %d %g %g %d %g %g %g",
+			&ns, &nt, &rep, &reconfig, &total, &overlapped, &ib, &id, &ia); err != nil {
+			return nil, fmt.Errorf("harness: parsing %q: %w", line, err)
+		}
+		cfg, err := core.ParseConfig(f[2] + " " + f[3] + f[4])
+		if err != nil {
+			return nil, err
+		}
+		key := CellKey{Pair: Pair{NS: ns, NT: nt}, Config: cfg}
+		m[key] = append(m[key], synthapp.Result{
+			ReconfigStart: 0, ReconfigEnd: reconfig, TotalTime: total,
+			OverlappedIterations: overlapped,
+			IterTimeBefore:       ib, IterTimeDuring: id, IterTimeAfter: ia,
+		})
+	}
+	return m, nil
+}

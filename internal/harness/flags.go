@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+)
+
+// ParseNet resolves an interconnect name used by the command-line tools.
+func ParseNet(name string) (netmodel.Params, error) {
+	switch name {
+	case "ethernet", "eth":
+		return netmodel.Ethernet10G(), nil
+	case "infiniband", "ib":
+		return netmodel.InfinibandEDR(), nil
+	}
+	return netmodel.Params{}, fmt.Errorf("unknown network %q (want ethernet or infiniband)", name)
+}
+
+// ParsePairFamily resolves a pair-family name: plots (from/to 160, the
+// paper's line plots), all (the 42 cells of Figures 6/9), from160, to160.
+func ParsePairFamily(name string) ([]Pair, error) {
+	switch name {
+	case "plots":
+		return append(From160(), To160()...), nil
+	case "all":
+		return AllPairs(), nil
+	case "from160":
+		return From160(), nil
+	case "to160":
+		return To160(), nil
+	}
+	return nil, fmt.Errorf("unknown pair family %q (want plots, all, from160, to160)", name)
+}
+
+// ParseConfigFamily resolves a configuration-family name: all (the paper's
+// twelve), sync, async, rma (the §5 extension), extended (all + RMA + the
+// §2 checkpoint/restart baseline).
+func ParseConfigFamily(name string) ([]core.Config, error) {
+	switch name {
+	case "all":
+		return core.AllConfigs(), nil
+	case "sync":
+		return SyncConfigs(), nil
+	case "async":
+		return AsyncConfigs(), nil
+	case "rma":
+		return core.RMAConfigs(), nil
+	case "extended":
+		configs := append(core.AllConfigs(), core.RMAConfigs()...)
+		return append(configs,
+			core.Config{Spawn: core.Baseline, Comm: core.CR, Overlap: core.Sync},
+			core.Config{Spawn: core.Merge, Comm: core.CR, Overlap: core.Sync}), nil
+	}
+	return nil, fmt.Errorf("unknown configuration family %q (want all, sync, async, rma, extended)", name)
+}

@@ -1,0 +1,175 @@
+// Package harness drives the paper's evaluation: it sweeps the 42
+// (NS, NT) pairs over the twelve malleability configurations on both
+// networks, repeats each cell with distinct seeds, and regenerates every
+// figure of §4 — reconfiguration times (Figures 2-3), α ratios
+// (Figures 4-5), statistically selected best-method maps (Figures 6 and 9),
+// and application times with speedups (Figures 7-8).
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/synthapp"
+)
+
+// PaperCounts are the process counts of §4.3.
+var PaperCounts = []int{2, 10, 20, 40, 80, 120, 160}
+
+// Pair is one (sources, targets) reconfiguration.
+type Pair struct{ NS, NT int }
+
+// AllPairs returns the paper's 42 ordered pairs (every NS != NT).
+func AllPairs() []Pair {
+	var out []Pair
+	for _, ns := range PaperCounts {
+		for _, nt := range PaperCounts {
+			if ns != nt {
+				out = append(out, Pair{NS: ns, NT: nt})
+			}
+		}
+	}
+	return out
+}
+
+// From160 returns the shrink series the paper plots (NS = 160).
+func From160() []Pair {
+	var out []Pair
+	for _, nt := range PaperCounts {
+		if nt != 160 {
+			out = append(out, Pair{NS: 160, NT: nt})
+		}
+	}
+	return out
+}
+
+// To160 returns the expansion series the paper plots (NT = 160).
+func To160() []Pair {
+	var out []Pair
+	for _, ns := range PaperCounts {
+		if ns != 160 {
+			out = append(out, Pair{NS: ns, NT: 160})
+		}
+	}
+	return out
+}
+
+// Setup fixes the calibrated machine and application for one experiment
+// family.
+type Setup struct {
+	Net  netmodel.Params
+	Reps int
+	Cfg  *synthapp.Config
+
+	// Cluster and runtime calibration; see DESIGN.md §5.
+	Cluster cluster.Config
+	MPIOpts mpi.Options
+}
+
+// DefaultSetup returns the calibrated reproduction setup for the given
+// interconnect. The calibration targets the paper's qualitative shape:
+// Merge spawning saves >1 s at scale, pairwise inter-communicator
+// collectives pay oversubscription convoy penalties, and iteration times
+// put 10-80 overlapped iterations inside an Ethernet reconfiguration.
+func DefaultSetup(net netmodel.Params) Setup {
+	cl := cluster.Default(net)
+	cl.SpawnBase = 30e-3
+	cl.SpawnPerProc = 25e-3
+	cl.NoiseSigma = 0.03
+
+	opts := mpi.DefaultOptions()
+	opts.SchedQuantum = 30e-3
+
+	return Setup{
+		Net:     net,
+		Reps:    5,
+		Cfg:     synthapp.CGConfig(0.006, 160),
+		Cluster: cl,
+		MPIOpts: opts,
+	}
+}
+
+// NewWorld builds a fresh world for one run; rep seeds the noise stream.
+func (s Setup) NewWorld(rep int) *mpi.World {
+	cl := s.Cluster
+	cl.Seed = int64(rep + 1)
+	k := sim.NewKernel()
+	return mpi.NewWorld(cluster.New(k, cl), s.MPIOpts)
+}
+
+// RunCell executes one (pair, config, rep) run.
+func (s Setup) RunCell(p Pair, mal core.Config, rep int) (synthapp.Result, error) {
+	w := s.NewWorld(rep)
+	return synthapp.Run(w, synthapp.RunParams{
+		Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT,
+	})
+}
+
+// CellKey identifies one measured cell.
+type CellKey struct {
+	Pair   Pair
+	Config core.Config
+}
+
+func (k CellKey) String() string {
+	return fmt.Sprintf("%d->%d %s", k.Pair.NS, k.Pair.NT, k.Config)
+}
+
+// Measurements maps cells to their per-repetition results.
+type Measurements map[CellKey][]synthapp.Result
+
+// Sweep runs reps repetitions of every (pair, config) cell. progress, when
+// non-nil, receives one line per completed cell.
+func (s Setup) Sweep(pairs []Pair, configs []core.Config, progress func(string)) (Measurements, error) {
+	m := make(Measurements, len(pairs)*len(configs))
+	for _, p := range pairs {
+		for _, cfg := range configs {
+			key := CellKey{Pair: p, Config: cfg}
+			for rep := 0; rep < s.Reps; rep++ {
+				res, err := s.RunCell(p, cfg, rep)
+				if err != nil {
+					return nil, fmt.Errorf("harness: %s rep %d: %w", key, rep, err)
+				}
+				m[key] = append(m[key], res)
+			}
+			if progress != nil {
+				med := MedianReconfig(m[key])
+				progress(fmt.Sprintf("%-28s reconfig=%.3fs total=%.2fs",
+					key, med, MedianTotal(m[key])))
+			}
+		}
+	}
+	return m, nil
+}
+
+// MedianReconfig returns the median reconfiguration time of a cell.
+func MedianReconfig(rs []synthapp.Result) float64 {
+	return medianBy(rs, synthapp.Result.ReconfigTime)
+}
+
+// MedianTotal returns the median total application time of a cell.
+func MedianTotal(rs []synthapp.Result) float64 {
+	return medianBy(rs, func(r synthapp.Result) float64 { return r.TotalTime })
+}
+
+func medianBy(rs []synthapp.Result, f func(synthapp.Result) float64) float64 {
+	vals := make([]float64, len(rs))
+	for i, r := range rs {
+		vals[i] = f(r)
+	}
+	return stats.Median(vals)
+}
+
+// values extracts a metric across repetitions.
+func values(rs []synthapp.Result, f func(synthapp.Result) float64) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = f(r)
+	}
+	return out
+}

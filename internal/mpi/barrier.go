@@ -1,0 +1,41 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// fastBarrier is a reusable counter barrier in virtual time. It costs no
+// simulated communication: it is the emulation shortcut used where the
+// paper's synthetic application only needs ranks synchronized, and the
+// internal rendezvous for spawn/merge. For a cost-bearing barrier use
+// Ctx.Barrier, which runs the dissemination algorithm over real messages.
+type fastBarrier struct {
+	size  int
+	count int
+	gen   int
+	sig   *sim.Signal
+}
+
+func newNamedSignal(c *Comm, kind string) *sim.Signal {
+	return sim.NewSignal(fmt.Sprintf("mpi.%s.comm%d", kind, c.ctxID))
+}
+
+// arrive blocks until size contexts have arrived in the current generation.
+func (b *fastBarrier) arrive(ctx *Ctx) {
+	if b.size <= 1 {
+		return
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.sig.Broadcast()
+		return
+	}
+	for b.gen == gen {
+		ctx.sp.Wait(b.sig)
+	}
+}

@@ -1,0 +1,277 @@
+package mpi
+
+import "fmt"
+
+// collTagBase separates internal collective traffic from user tags. User
+// tags must stay below this value.
+const collTagBase = 1 << 20
+
+// maxUserTag is the largest tag user code may pass to Isend/Irecv.
+const maxUserTag = collTagBase - 1
+
+// collTag reserves a tag block for the next collective on comm, encoding a
+// per-process sequence number so that back-to-back collectives on the same
+// communicator cannot cross-match. Collectives are ordered per
+// communicator, so every member computes the same sequence.
+func (c *Ctx) collTag(comm *Comm) int {
+	if c.proc.collSeq == nil {
+		c.proc.collSeq = make(map[int]int)
+	}
+	seq := c.proc.collSeq[comm.ctxID]
+	c.proc.collSeq[comm.ctxID] = seq + 1
+	return collTagBase + (seq%1024)*64
+}
+
+// Barrier synchronizes the local group of an intra-communicator with the
+// dissemination algorithm: ⌈log2 p⌉ rounds of small messages.
+func (c *Ctx) Barrier(comm *Comm) {
+	if comm.IsInter() {
+		panic("mpi: Barrier on inter-communicator")
+	}
+	p := comm.Size()
+	if p == 1 {
+		return
+	}
+	r := comm.Rank(c)
+	tag := c.collTag(comm)
+	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
+		to := (r + k) % p
+		from := (r - k + p) % p
+		s := c.Isend(comm, to, tag+round, Virtual(1))
+		rr := c.Irecv(comm, from, tag+round)
+		c.Waitall([]Request{s, rr})
+	}
+}
+
+// Bcast distributes root's payload to every rank of an intra-communicator
+// over a binomial tree and returns the payload at every rank.
+func (c *Ctx) Bcast(comm *Comm, root int, payload Payload) Payload {
+	if comm.IsInter() {
+		panic("mpi: Bcast on inter-communicator")
+	}
+	p := comm.Size()
+	if p == 1 {
+		return payload
+	}
+	r := comm.Rank(c)
+	vr := (r - root + p) % p // rank relative to root
+	tag := c.collTag(comm)
+
+	// Find the highest power of two not above p.
+	pof2 := 1
+	for pof2<<1 <= p {
+		pof2 <<= 1
+	}
+
+	// Receive from parent (all ranks except root).
+	if vr != 0 {
+		mask := 1
+		for vr&mask == 0 {
+			mask <<= 1
+		}
+		parent := (vr - mask + root) % p
+		got, _ := c.Recv(comm, parent, tag)
+		payload = got
+	}
+	// Forward to children.
+	var reqs []Request
+	for mask := pof2; mask > 0; mask >>= 1 {
+		if vr&(mask-1) == 0 && vr&mask == 0 {
+			child := vr + mask
+			if child < p {
+				reqs = append(reqs, c.Isend(comm, (child+root)%p, tag, payload))
+			}
+		}
+	}
+	c.Waitall(reqs)
+	return payload
+}
+
+// Reduce combines every rank's payload with op down a binomial tree and
+// returns the result at root (other ranks get a zero Payload).
+func (c *Ctx) Reduce(comm *Comm, root int, payload Payload, op Op) Payload {
+	if comm.IsInter() {
+		panic("mpi: Reduce on inter-communicator")
+	}
+	p := comm.Size()
+	acc := clonePayload(payload)
+	if p == 1 {
+		return acc
+	}
+	r := comm.Rank(c)
+	vr := (r - root + p) % p
+	tag := c.collTag(comm)
+
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			parent := ((vr &^ mask) + root) % p
+			c.Send(comm, parent, tag, acc)
+			return Payload{}
+		}
+		childVr := vr | mask
+		if childVr < p {
+			got, _ := c.Recv(comm, (childVr+root)%p, tag)
+			combine(&acc, got, op)
+		}
+	}
+	return acc
+}
+
+// Allreduce combines every rank's payload with op and returns the result at
+// every rank. The implementation is reduce-to-zero plus broadcast
+// (2⌈log2 p⌉ rounds), the latency shape of MPICH's short-vector algorithm.
+func (c *Ctx) Allreduce(comm *Comm, payload Payload, op Op) Payload {
+	red := c.Reduce(comm, 0, payload, op)
+	return c.Bcast(comm, 0, red)
+}
+
+// Allgatherv gathers every rank's (variable-size) payload at every rank
+// using the ring algorithm: p-1 neighbor exchange steps. The result is
+// indexed by rank.
+func (c *Ctx) Allgatherv(comm *Comm, payload Payload) []Payload {
+	if comm.IsInter() {
+		panic("mpi: Allgatherv on inter-communicator")
+	}
+	p := comm.Size()
+	r := comm.Rank(c)
+	out := make([]Payload, p)
+	out[r] = payload
+	if p == 1 {
+		return out
+	}
+	tag := c.collTag(comm)
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	for s := 1; s < p; s++ {
+		sendIdx := (r - s + 1 + p) % p // block received in the previous step
+		recvIdx := (r - s + p) % p
+		got, _ := c.Sendrecv(comm, right, tag+0, out[sendIdx], left, tag+0)
+		out[recvIdx] = got
+	}
+	return out
+}
+
+// Allgather is Allgatherv with equal-size contributions.
+func (c *Ctx) Allgather(comm *Comm, payload Payload) []Payload {
+	return c.Allgatherv(comm, payload)
+}
+
+// Alltoallv sends send[i] to peer i and returns the payloads received from
+// every peer, blocking until the exchange completes.
+//
+// Algorithm selection follows MPICH, which is the crux of §4.4.2:
+//
+//   - On an intra-communicator the exchange posts scattered non-blocking
+//     sends and receives and waits for all of them.
+//   - On an inter-communicator (the Baseline method's communicator) the
+//     blocking exchange serializes pairwise steps; every lock-step
+//     synchronization pays the node's oversubscription rescheduling penalty,
+//     which is why Baseline COLS underperforms — and why its non-blocking
+//     variant can beat it (α < 1 in Figures 4-5).
+func (c *Ctx) Alltoallv(comm *Comm, send []Payload) []Payload {
+	if comm.IsInter() {
+		return c.alltoallvPairwise(comm, send)
+	}
+	req := c.Ialltoallv(comm, send)
+	c.Wait(req)
+	return req.Result()
+}
+
+// Alltoall is Alltoallv with one equal payload per peer.
+func (c *Ctx) Alltoall(comm *Comm, each Payload, peers int) []Payload {
+	send := make([]Payload, peers)
+	for i := range send {
+		send[i] = each
+	}
+	return c.Alltoallv(comm, send)
+}
+
+// alltoallvPairwise is the serialized pairwise exchange used for blocking
+// inter-communicator Alltoallv. Receives are pre-posted (so unequal group
+// sizes cannot deadlock) but sends proceed one at a time, each step
+// synchronizing with the peer and paying the rescheduling penalty on
+// oversubscribed nodes.
+func (c *Ctx) alltoallvPairwise(comm *Comm, send []Payload) []Payload {
+	npeers := len(comm.peerGroup())
+	if len(send) != npeers {
+		panic(fmt.Sprintf("mpi: Alltoallv with %d payloads for %d peers", len(send), npeers))
+	}
+	r := comm.Rank(c)
+	tag := c.collTag(comm)
+
+	recvs := make([]*RecvReq, npeers)
+	for i := 0; i < npeers; i++ {
+		recvs[i] = c.Irecv(comm, i, tag)
+	}
+	for s := 0; s < npeers; s++ {
+		dst := (r + s) % npeers
+		c.Wait(c.Isend(comm, dst, tag, send[dst]))
+		if pen := c.schedPenalty(); pen > 0 {
+			c.Sleep(pen)
+		}
+	}
+	out := make([]Payload, npeers)
+	for i, rr := range recvs {
+		c.Wait(rr)
+		c.chargeCopy(rr.payload.Size)
+		out[i] = rr.Payload()
+	}
+	return out
+}
+
+// AlltoallvReq is the pending handle of a non-blocking Alltoallv.
+type AlltoallvReq struct {
+	reqState
+	sends []*SendReq
+	recvs []*RecvReq
+}
+
+// Done reports whether every underlying transfer has completed.
+func (r *AlltoallvReq) Done() bool {
+	if r.done {
+		return true
+	}
+	for _, s := range r.sends {
+		if !s.Done() {
+			return false
+		}
+	}
+	for _, rr := range r.recvs {
+		if !rr.Done() {
+			return false
+		}
+	}
+	r.done = true
+	return true
+}
+
+// Result returns the received payloads indexed by peer rank. Valid once
+// Done.
+func (r *AlltoallvReq) Result() []Payload {
+	out := make([]Payload, len(r.recvs))
+	for i, rr := range r.recvs {
+		out[i] = rr.Payload()
+	}
+	return out
+}
+
+// Ialltoallv starts a non-blocking Alltoallv (scattered sends/receives on
+// both intra- and inter-communicators, like MPICH's MPI_Ialltoallv) and
+// returns a request to Test or Wait on.
+func (c *Ctx) Ialltoallv(comm *Comm, send []Payload) *AlltoallvReq {
+	npeers := len(comm.peerGroup())
+	if len(send) != npeers {
+		panic(fmt.Sprintf("mpi: Ialltoallv with %d payloads for %d peers", len(send), npeers))
+	}
+	tag := c.collTag(comm)
+	req := &AlltoallvReq{}
+	for i := 0; i < npeers; i++ {
+		req.recvs = append(req.recvs, c.Irecv(comm, i, tag))
+	}
+	r := comm.Rank(c)
+	for s := 0; s < npeers; s++ {
+		dst := (r + s) % npeers // stagger destinations to spread NIC load
+		req.sends = append(req.sends, c.Isend(comm, dst, tag, send[dst]))
+	}
+	return req
+}

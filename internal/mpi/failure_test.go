@@ -1,0 +1,67 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestKilledRankHangsCollective injects a failure mid-run: a rank dies
+// before entering an Allreduce, and the survivors' hang surfaces as a
+// deadlock report naming them — the observability a malleability runtime
+// needs when reconfigurations go wrong.
+func TestKilledRankHangsCollective(t *testing.T) {
+	w := testWorld(t, 2, 4, defaultTestOptions())
+	var victim *sim.Proc
+	comm := w.Launch(4, nil, func(c *Ctx, comm *Comm) {
+		if comm.Rank(c) == 3 {
+			victim = c.SimProc()
+			c.Sleep(10) // dies during this sleep
+		}
+		c.Allreduce(comm, Float64s([]float64{1}), OpSumFloat64)
+	})
+	_ = comm
+	// Bind the victim at fire time: ranks only run inside Run().
+	w.Kernel().At(1, func() { w.Kernel().Kill(victim) })
+	err := w.Kernel().Run()
+	de, ok := err.(*sim.DeadlockError)
+	if !ok {
+		t.Fatalf("Run() = %v, want deadlock", err)
+	}
+	if len(de.Blocked) != 3 {
+		t.Fatalf("blocked = %v, want the 3 survivors", de.Blocked)
+	}
+}
+
+// TestKilledSourceHangsRedistribution kills a source mid-transfer: the
+// receive side reports exactly which rendezvous it is stuck on.
+func TestKilledSourceHangsRedistribution(t *testing.T) {
+	w := testWorld(t, 2, 1, defaultTestOptions())
+	var victim *sim.Proc
+	w.Launch(2, func(r int) int { return r }, func(c *Ctx, comm *Comm) {
+		switch comm.Rank(c) {
+		case 0:
+			victim = c.SimProc()
+			c.Sleep(5) // killed before sending
+			c.Send(comm, 1, 7, Virtual(1<<20))
+		case 1:
+			c.Recv(comm, 0, 7)
+		}
+	})
+	w.Kernel().At(1, func() { w.Kernel().Kill(victim) })
+	err := w.Kernel().Run()
+	de, ok := err.(*sim.DeadlockError)
+	if !ok {
+		t.Fatalf("Run() = %v, want deadlock", err)
+	}
+	found := false
+	for _, b := range de.Blocked {
+		if strings.Contains(b, "rank1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Blocked = %v, want rank1 waiting on the dead source", de.Blocked)
+	}
+}

@@ -1,0 +1,53 @@
+package mpi
+
+// GenReq is the handle of a generic non-blocking collective. The runtime
+// progresses it on a software-progression thread — the same strategy MPI
+// implementations use for non-blocking collectives without hardware
+// offload, and the reason such operations still consume cycles.
+type GenReq struct {
+	reqState
+	result Payload
+}
+
+// Result returns the operation's output payload (the broadcast value, the
+// reduction result); valid once Done.
+func (r *GenReq) Result() Payload { return r.result }
+
+// startGeneric launches fn on a progression thread and completes req with
+// its result.
+func (c *Ctx) startGeneric(name string, fn func(t *Ctx) Payload) *GenReq {
+	req := &GenReq{}
+	proc := c.proc
+	c.NewThread(name, func(t *Ctx) {
+		req.result = fn(t)
+		req.done = true
+		proc.progress.Broadcast()
+	})
+	return req
+}
+
+// IBarrier starts a non-blocking barrier (MPI_Ibarrier): the request
+// completes once every member has entered it. Malleable codes use it for
+// consensus without stalling iterations.
+func (c *Ctx) IBarrier(comm *Comm) *GenReq {
+	// The collective tag must be reserved on the calling context, not the
+	// progression thread, so ordering with other collectives is preserved.
+	return c.startGeneric("ibarrier", func(t *Ctx) Payload {
+		t.Barrier(comm)
+		return Payload{}
+	})
+}
+
+// IBcast starts a non-blocking broadcast from root.
+func (c *Ctx) IBcast(comm *Comm, root int, payload Payload) *GenReq {
+	return c.startGeneric("ibcast", func(t *Ctx) Payload {
+		return t.Bcast(comm, root, payload)
+	})
+}
+
+// IAllreduce starts a non-blocking allreduce.
+func (c *Ctx) IAllreduce(comm *Comm, payload Payload, op Op) *GenReq {
+	return c.startGeneric("iallreduce", func(t *Ctx) Payload {
+		return t.Allreduce(comm, payload, op)
+	})
+}

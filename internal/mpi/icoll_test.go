@@ -1,0 +1,82 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIBarrierOverlapsCompute(t *testing.T) {
+	w := testWorld(t, 2, 8, defaultTestOptions())
+	p := 4
+	doneAt := make([]float64, p)
+	computeDone := make([]float64, p)
+	w.Launch(p, nil, func(c *Ctx, comm *Comm) {
+		r := comm.Rank(c)
+		if r == 0 {
+			c.Sleep(1) // straggler
+		}
+		req := c.IBarrier(comm)
+		c.Compute(0.2) // overlapped work
+		computeDone[r] = c.Now()
+		c.Wait(req)
+		doneAt[r] = c.Now()
+	})
+	runWorld(t, w)
+	for r := 0; r < p; r++ {
+		if doneAt[r] < 1 {
+			t.Fatalf("rank %d left the barrier at %g, before the straggler at 1", r, doneAt[r])
+		}
+	}
+	// Non-stragglers finished their compute before the barrier released.
+	for r := 1; r < p; r++ {
+		if computeDone[r] >= 1 {
+			t.Fatalf("rank %d compute at %g did not overlap the pending barrier", r, computeDone[r])
+		}
+	}
+}
+
+func TestIBcastDeliversValue(t *testing.T) {
+	w := testWorld(t, 2, 8, defaultTestOptions())
+	p := 5
+	got := make([]float64, p)
+	w.Launch(p, nil, func(c *Ctx, comm *Comm) {
+		r := comm.Rank(c)
+		in := Virtual(8)
+		if r == 2 {
+			in = Float64s([]float64{2.718})
+		}
+		req := c.IBcast(comm, 2, in)
+		c.Compute(0.01)
+		c.Wait(req)
+		got[r] = req.Result().AsFloat64s()[0]
+	})
+	runWorld(t, w)
+	for r, v := range got {
+		if v != 2.718 {
+			t.Fatalf("rank %d got %g", r, v)
+		}
+	}
+}
+
+func TestIAllreduceMatchesBlocking(t *testing.T) {
+	w := testWorld(t, 2, 8, defaultTestOptions())
+	p := 6
+	var async, sync float64
+	w.Launch(p, nil, func(c *Ctx, comm *Comm) {
+		r := comm.Rank(c)
+		req := c.IAllreduce(comm, Float64s([]float64{float64(r + 1)}), OpSumFloat64)
+		c.Wait(req)
+		if r == 0 {
+			async = req.Result().AsFloat64s()[0]
+		}
+		out := c.Allreduce(comm, Float64s([]float64{float64(r + 1)}), OpSumFloat64)
+		if r == 0 {
+			sync = out.AsFloat64s()[0]
+		}
+	})
+	runWorld(t, w)
+	want := float64(p * (p + 1) / 2)
+	if math.Abs(async-want) > 1e-12 || math.Abs(sync-want) > 1e-12 {
+		t.Fatalf("async %g sync %g, want %g", async, sync, want)
+	}
+}

@@ -1,0 +1,370 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/netmodel"
+)
+
+// Wildcards for receive matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int // sender's rank as seen by the receiver
+	Tag    int
+	Size   int64
+}
+
+// Request is the common handle for pending operations.
+type Request interface {
+	// Done reports whether the operation has completed.
+	Done() bool
+	// consumed marks/tests Waitany bookkeeping.
+	isConsumed() bool
+	setConsumed()
+}
+
+type reqState struct {
+	done     bool
+	consumed bool
+}
+
+func (r *reqState) Done() bool       { return r.done }
+func (r *reqState) isConsumed() bool { return r.consumed }
+func (r *reqState) setConsumed()     { r.consumed = true }
+
+// SendReq is a pending send. It completes when the payload has been
+// delivered into the destination mailbox.
+type SendReq struct {
+	reqState
+	env *envelope
+}
+
+// RecvReq is a pending receive.
+type RecvReq struct {
+	reqState
+	owner   *Process
+	comm    *Comm
+	src     int // wanted source rank or AnySource
+	tag     int // wanted tag or AnyTag
+	status  Status
+	payload Payload
+	handled bool
+}
+
+// Handled reports whether MarkHandled was called; a convenience flag for
+// caller state machines that poll request lists (Algorithm 3's
+// Test_Redistribution), with no MPI semantics.
+func (r *RecvReq) Handled() bool { return r.handled }
+
+// MarkHandled sets the Handled flag.
+func (r *RecvReq) MarkHandled() { r.handled = true }
+
+// Status returns the source/tag/size of the matched message. Valid once
+// Done.
+func (r *RecvReq) Status() Status { return r.status }
+
+// Payload returns the received payload. Valid once Done.
+func (r *RecvReq) Payload() Payload { return r.payload }
+
+// envelope is a message in flight or parked in a mailbox.
+type envelope struct {
+	comm    *Comm
+	sender  *Process
+	dst     *Process
+	srcRank int // as the receiver sees it
+	tag     int
+	payload Payload
+
+	eager     bool
+	dataReady bool
+	queued    bool
+	flow      *netmodel.Flow
+	sreq      *SendReq
+	rreq      *RecvReq
+}
+
+func (e *envelope) matches(r *RecvReq) bool {
+	if e.comm.ctxID != r.comm.ctxID {
+		return false
+	}
+	if r.src != AnySource && r.src != e.srcRank {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != e.tag {
+		return false
+	}
+	return true
+}
+
+// Isend posts a non-blocking send of payload to peer rank dst with the
+// given tag. On an inter-communicator dst indexes the remote group.
+// Messages up to the eager threshold start moving immediately; larger ones
+// wait for a matching receive (rendezvous).
+func (c *Ctx) Isend(comm *Comm, dst, tag int, payload Payload) *SendReq {
+	if comm.Rank(c) < 0 {
+		panic(fmt.Sprintf("mpi: Isend by non-member g%d", c.proc.gid))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: Isend with negative tag %d", tag))
+	}
+	w := c.proc.w
+	dstProc := comm.peerProc(dst)
+	c.chargeCopy(payload.Size) // pack
+
+	env := &envelope{
+		comm:    comm,
+		sender:  c.proc,
+		dst:     dstProc,
+		srcRank: comm.senderRank(c.proc),
+		tag:     tag,
+		payload: clonePayload(payload),
+		eager:   payload.Size <= w.opts.EagerThreshold,
+	}
+	sreq := &SendReq{env: env}
+	env.sreq = sreq
+
+	// Matching follows MPI's non-overtaking rule: the envelope becomes
+	// visible to the receiver immediately, in send order.
+	if r := dstProc.matchPosted(env); r != nil {
+		env.rreq = r
+	} else {
+		dstProc.inbox = append(dstProc.inbox, env)
+		// Wake receivers blocked in Probe (they poll the mailbox).
+		dstProc.progress.Broadcast()
+	}
+	if env.eager || env.rreq != nil {
+		env.startFlow()
+	}
+	return sreq
+}
+
+// startFlow launches the network transfer for the envelope's payload, or
+// queues it when the sender's pipeline is full.
+func (e *envelope) startFlow() {
+	if e.flow != nil || e.queued {
+		return
+	}
+	s := e.sender
+	if max := s.w.opts.MaxInFlight; max > 0 && s.flowsActive >= max {
+		e.queued = true
+		s.flowQueue = append(s.flowQueue, e)
+		return
+	}
+	e.launchFlow()
+}
+
+func (e *envelope) launchFlow() {
+	s := e.sender
+	s.flowsActive++
+	// Starting a transfer needs the sender's progress engine scheduled; on
+	// an oversubscribed node (Baseline reconfigurations, polling auxiliary
+	// threads) that costs a slice of the scheduler quantum. This is the
+	// mechanism behind the paper's iteration-cost inflation and the higher
+	// α of the thread-based strategies.
+	w := s.w
+	if q := w.opts.SchedQuantum; q > 0 {
+		cpu := w.machine.CPU(s.node)
+		over := float64(cpu.Load())/cpu.Capacity() - 1
+		if over > 0 {
+			delay := q * over * 0.5
+			w.k.After(delay, func() { e.launchFlowNow() })
+			return
+		}
+	}
+	e.launchFlowNow()
+}
+
+func (e *envelope) launchFlowNow() {
+	s := e.sender
+	f := e.comm.w.machine.Fabric()
+	e.flow = f.Transfer(s.node, e.dst.node, e.payload.Size, func() {
+		e.dataReady = true
+		s.flowsActive--
+		s.drainFlowQueue()
+		// An eager send completes locally once the data has left, whether or
+		// not a receive has matched; a rendezvous send completes with the
+		// delivery (it only started once matched).
+		if e.eager && !e.sreq.done {
+			e.sreq.done = true
+			e.sender.progress.Broadcast()
+		}
+		e.complete()
+	})
+}
+
+// drainFlowQueue starts queued sends while pipeline slots are free.
+func (p *Process) drainFlowQueue() {
+	max := p.w.opts.MaxInFlight
+	for len(p.flowQueue) > 0 && (max <= 0 || p.flowsActive < max) {
+		e := p.flowQueue[0]
+		p.flowQueue = p.flowQueue[1:]
+		e.queued = false
+		e.launchFlow()
+	}
+}
+
+// complete finishes the send/recv pair once data has arrived and a receive
+// is matched.
+func (e *envelope) complete() {
+	if !e.dataReady || e.rreq == nil {
+		return
+	}
+	r := e.rreq
+	r.payload = e.payload
+	r.status = Status{Source: e.srcRank, Tag: e.tag, Size: e.payload.Size}
+	r.done = true
+	r.owner.progress.Broadcast()
+	if !e.sreq.done {
+		e.sreq.done = true
+		e.sender.progress.Broadcast()
+	}
+}
+
+// matchPosted scans the process's posted receives for the first match, in
+// post order, removing and returning it.
+func (p *Process) matchPosted(env *envelope) *RecvReq {
+	for i, r := range p.posted {
+		if env.matches(r) {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// Irecv posts a non-blocking receive for a message on comm from source
+// rank src (or AnySource) with tag (or AnyTag).
+func (c *Ctx) Irecv(comm *Comm, src, tag int) *RecvReq {
+	if comm.Rank(c) < 0 {
+		panic(fmt.Sprintf("mpi: Irecv by non-member g%d (use your own view of the communicator)", c.proc.gid))
+	}
+	r := &RecvReq{owner: c.proc, comm: comm, src: src, tag: tag}
+	// Match the oldest compatible envelope already in the mailbox.
+	for i, env := range c.proc.inbox {
+		if env.matches(r) {
+			c.proc.inbox = append(c.proc.inbox[:i], c.proc.inbox[i+1:]...)
+			env.rreq = r
+			env.startFlow() // no-op if already streaming
+			env.complete()  // no-op unless data already arrived
+			return r
+		}
+	}
+	c.proc.posted = append(c.proc.posted, r)
+	return r
+}
+
+// Send is the blocking send: Isend followed by Wait. With the rendezvous
+// protocol a large Send does not return until the receiver posts a matching
+// receive — the deadlock hazard of §3.1.
+func (c *Ctx) Send(comm *Comm, dst, tag int, payload Payload) {
+	c.Wait(c.Isend(comm, dst, tag, payload))
+}
+
+// Recv is the blocking receive.
+func (c *Ctx) Recv(comm *Comm, src, tag int) (Payload, Status) {
+	r := c.Irecv(comm, src, tag)
+	c.Wait(r)
+	c.chargeCopy(r.payload.Size) // unpack
+	return r.payload, r.status
+}
+
+// Sendrecv performs a blocking simultaneous exchange, as MPI_Sendrecv: the
+// send and receive progress concurrently, so symmetric exchanges cannot
+// deadlock.
+func (c *Ctx) Sendrecv(comm *Comm, dst, sendTag int, payload Payload, src, recvTag int) (Payload, Status) {
+	s := c.Isend(comm, dst, sendTag, payload)
+	r := c.Irecv(comm, src, recvTag)
+	c.Waitall([]Request{s, r})
+	c.chargeCopy(r.payload.Size)
+	return r.payload, r.status
+}
+
+// Wait blocks until the request completes.
+func (c *Ctx) Wait(r Request) {
+	c.waitUntil(r.Done)
+}
+
+// Waitall blocks until every request completes.
+func (c *Ctx) Waitall(rs []Request) {
+	c.waitUntil(func() bool {
+		for _, r := range rs {
+			if !r.Done() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Waitany blocks until at least one not-yet-consumed request completes and
+// returns its index, marking it consumed (MPI_Waitany). If every request is
+// already consumed it returns -1 (MPI_UNDEFINED).
+func (c *Ctx) Waitany(rs []Request) int {
+	all := true
+	for _, r := range rs {
+		if !r.isConsumed() {
+			all = false
+			break
+		}
+	}
+	if all {
+		return -1
+	}
+	idx := -1
+	c.waitUntil(func() bool {
+		for i, r := range rs {
+			if r.Done() && !r.isConsumed() {
+				idx = i
+				return true
+			}
+		}
+		return false
+	})
+	rs[idx].setConsumed()
+	return idx
+}
+
+// Iprobe reports whether a message matching (src, tag) on comm is
+// available, returning its status without consuming it (MPI_Iprobe). The
+// manual redistribution style that cannot pre-derive its communication
+// pattern probes for size messages instead.
+func (c *Ctx) Iprobe(comm *Comm, src, tag int) (Status, bool) {
+	probe := &RecvReq{owner: c.proc, comm: comm, src: src, tag: tag}
+	for _, env := range c.proc.inbox {
+		if env.matches(probe) {
+			return Status{Source: env.srcRank, Tag: env.tag, Size: env.payload.Size}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Probe blocks until a matching message is available and returns its
+// status without consuming it (MPI_Probe).
+func (c *Ctx) Probe(comm *Comm, src, tag int) Status {
+	var st Status
+	c.waitUntil(func() bool {
+		s, ok := c.Iprobe(comm, src, tag)
+		st = s
+		return ok
+	})
+	return st
+}
+
+// Test reports whether the request has completed, without blocking.
+func (c *Ctx) Test(r Request) bool { return r.Done() }
+
+// Testall reports whether every request has completed, without blocking
+// (MPI_Testall). Each call charges a small progress-engine cost.
+func (c *Ctx) Testall(rs []Request) bool {
+	for _, r := range rs {
+		if !r.Done() {
+			return false
+		}
+	}
+	return true
+}

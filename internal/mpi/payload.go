@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Payload is a message body. Size is the number of bytes on the wire; Data
+// optionally carries real bytes (len(Data) == Size) for correctness-checked
+// runs. Emulation-scale runs use virtual payloads (Data == nil) so that
+// multi-gigabyte redistributions cost no host memory.
+type Payload struct {
+	Size int64
+	Data []byte
+}
+
+// Virtual returns a payload of size bytes with no materialized data.
+func Virtual(size int64) Payload {
+	if size < 0 {
+		panic(fmt.Sprintf("mpi: negative payload size %d", size))
+	}
+	return Payload{Size: size}
+}
+
+// Bytes returns a payload wrapping real data.
+func Bytes(data []byte) Payload {
+	return Payload{Size: int64(len(data)), Data: data}
+}
+
+// Float64s encodes a float64 slice as a real payload (8 bytes per element,
+// little endian).
+func Float64s(xs []float64) Payload {
+	data := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(data[8*i:], math.Float64bits(x))
+	}
+	return Payload{Size: int64(len(data)), Data: data}
+}
+
+// AsFloat64s decodes a real payload into float64s. It panics on virtual
+// payloads or sizes that are not multiples of 8.
+func (p Payload) AsFloat64s() []float64 {
+	if p.Data == nil && p.Size > 0 {
+		panic("mpi: AsFloat64s on virtual payload")
+	}
+	if len(p.Data)%8 != 0 {
+		panic(fmt.Sprintf("mpi: payload size %d not a multiple of 8", len(p.Data)))
+	}
+	xs := make([]float64, len(p.Data)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(p.Data[8*i:]))
+	}
+	return xs
+}
+
+// Int64s encodes an int64 slice as a real payload.
+func Int64s(xs []int64) Payload {
+	data := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(data[8*i:], uint64(x))
+	}
+	return Payload{Size: int64(len(data)), Data: data}
+}
+
+// AsInt64s decodes a real payload into int64s.
+func (p Payload) AsInt64s() []int64 {
+	if p.Data == nil && p.Size > 0 {
+		panic("mpi: AsInt64s on virtual payload")
+	}
+	if len(p.Data)%8 != 0 {
+		panic(fmt.Sprintf("mpi: payload size %d not a multiple of 8", len(p.Data)))
+	}
+	xs := make([]int64, len(p.Data)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(p.Data[8*i:]))
+	}
+	return xs
+}
+
+// IsVirtual reports whether the payload carries no real bytes.
+func (p Payload) IsVirtual() bool { return p.Data == nil }
+
+// Slice returns the sub-payload covering bytes [lo, hi). For virtual
+// payloads it simply shrinks the size.
+func (p Payload) Slice(lo, hi int64) Payload {
+	if lo < 0 || hi < lo || hi > p.Size {
+		panic(fmt.Sprintf("mpi: payload slice [%d,%d) of %d bytes", lo, hi, p.Size))
+	}
+	if p.Data == nil {
+		return Payload{Size: hi - lo}
+	}
+	return Payload{Size: hi - lo, Data: p.Data[lo:hi]}
+}
+
+// Op combines a received buffer into an accumulator for reductions. Both
+// slices have equal length; the result is written into dst.
+type Op func(dst, src []byte)
+
+// OpSumFloat64 adds float64 vectors elementwise.
+func OpSumFloat64(dst, src []byte) {
+	if len(dst) != len(src) || len(dst)%8 != 0 {
+		panic("mpi: OpSumFloat64 on mismatched buffers")
+	}
+	for i := 0; i < len(dst); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(a+b))
+	}
+}
+
+// OpMaxFloat64 keeps the elementwise maximum.
+func OpMaxFloat64(dst, src []byte) {
+	if len(dst) != len(src) || len(dst)%8 != 0 {
+		panic("mpi: OpMaxFloat64 on mismatched buffers")
+	}
+	for i := 0; i < len(dst); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+		if b > a {
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(b))
+		}
+	}
+}
+
+// OpSumInt64 adds int64 vectors elementwise.
+func OpSumInt64(dst, src []byte) {
+	if len(dst) != len(src) || len(dst)%8 != 0 {
+		panic("mpi: OpSumInt64 on mismatched buffers")
+	}
+	for i := 0; i < len(dst); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(dst[i:]))
+		b := int64(binary.LittleEndian.Uint64(src[i:]))
+		binary.LittleEndian.PutUint64(dst[i:], uint64(a+b))
+	}
+}
+
+// combine merges src into dst under op, handling virtual payloads (which
+// carry no data to combine).
+func combine(dst *Payload, src Payload, op Op) {
+	if dst.Size != src.Size {
+		panic(fmt.Sprintf("mpi: reduce size mismatch %d vs %d", dst.Size, src.Size))
+	}
+	if dst.Data == nil || src.Data == nil || op == nil {
+		return
+	}
+	op(dst.Data, src.Data)
+}
+
+// clonePayload deep-copies a payload so reductions cannot alias caller
+// buffers.
+func clonePayload(p Payload) Payload {
+	if p.Data == nil {
+		return p
+	}
+	d := make([]byte, len(p.Data))
+	copy(d, p.Data)
+	return Payload{Size: p.Size, Data: d}
+}

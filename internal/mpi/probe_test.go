@@ -1,0 +1,107 @@
+package mpi
+
+import "testing"
+
+func TestIprobeSeesPendingMessage(t *testing.T) {
+	w := testWorld(t, 2, 4, defaultTestOptions())
+	var before, after bool
+	var st Status
+	w.Launch(2, nil, func(c *Ctx, comm *Comm) {
+		switch comm.Rank(c) {
+		case 0:
+			_, before = c.Iprobe(comm, 1, 9)
+			c.Sleep(0.1)
+			st, after = c.Iprobe(comm, 1, 9)
+			// Consume so the run drains cleanly.
+			c.Recv(comm, 1, 9)
+		case 1:
+			c.Sleep(0.01)
+			c.Send(comm, 0, 9, Virtual(12345))
+		}
+	})
+	runWorld(t, w)
+	if before {
+		t.Fatal("Iprobe saw a message before any send")
+	}
+	if !after {
+		t.Fatal("Iprobe missed the pending message")
+	}
+	if st.Source != 1 || st.Tag != 9 || st.Size != 12345 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestProbeBlocksUntilMessage(t *testing.T) {
+	w := testWorld(t, 2, 4, defaultTestOptions())
+	var probed float64
+	w.Launch(2, nil, func(c *Ctx, comm *Comm) {
+		switch comm.Rank(c) {
+		case 0:
+			st := c.Probe(comm, AnySource, AnyTag)
+			probed = c.Now()
+			if st.Size != 777 {
+				t.Errorf("probed size = %d, want 777", st.Size)
+			}
+			pl, _ := c.Recv(comm, st.Source, st.Tag)
+			if pl.Size != 777 {
+				t.Errorf("received %d bytes, want 777", pl.Size)
+			}
+		case 1:
+			c.Sleep(0.5)
+			c.Send(comm, 0, 3, Virtual(777))
+		}
+	})
+	runWorld(t, w)
+	if probed < 0.5 {
+		t.Fatalf("Probe returned at %g, before the send at 0.5", probed)
+	}
+}
+
+func TestProbeDoesNotConsume(t *testing.T) {
+	w := testWorld(t, 2, 4, defaultTestOptions())
+	w.Launch(2, nil, func(c *Ctx, comm *Comm) {
+		switch comm.Rank(c) {
+		case 0:
+			c.Probe(comm, 1, 5)
+			c.Probe(comm, 1, 5) // still there
+			pl, _ := c.Recv(comm, 1, 5)
+			if pl.Size != 64 {
+				t.Errorf("size = %d", pl.Size)
+			}
+		case 1:
+			c.Send(comm, 0, 5, Virtual(64))
+		}
+	})
+	runWorld(t, w)
+}
+
+// TestProbeDrivenRedistribution exercises the Elastic-MPI-style manual
+// pattern: targets probe for whatever sources send, without a pre-derived
+// plan.
+func TestProbeDrivenRedistribution(t *testing.T) {
+	w := testWorld(t, 2, 8, defaultTestOptions())
+	ns, nt := 3, 2
+	var totals [2]int64
+	w.Launch(ns+nt, nil, func(c *Ctx, comm *Comm) {
+		r := comm.Rank(c)
+		if r < ns { // source: send one chunk to a target chosen by modulo
+			c.Send(comm, ns+r%nt, 7, Virtual(int64(100*(r+1))))
+		} else { // target: probe until its expected senders are drained
+			expect := 0
+			for q := 0; q < ns; q++ {
+				if ns+q%nt == r {
+					expect++
+				}
+			}
+			for i := 0; i < expect; i++ {
+				st := c.Probe(comm, AnySource, 7)
+				pl, _ := c.Recv(comm, st.Source, st.Tag)
+				totals[r-ns] += pl.Size
+			}
+		}
+	})
+	runWorld(t, w)
+	if totals[0] != 100+300 || totals[1] != 200 {
+		t.Fatalf("totals = %v, want [400 200]", totals)
+	}
+}

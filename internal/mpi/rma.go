@@ -1,0 +1,147 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Win is a one-sided communication window (MPI_Win): every member of the
+// communicator exposes a local payload region that peers read with Get,
+// without the exposing process participating in each transfer — the
+// defining property of RMA, and the reason the paper's future work (§5)
+// proposes it for data redistribution: the origin pulls data while the
+// target's CPU stays out of the path.
+type Win struct {
+	comm *Comm
+
+	exposed map[int]Payload // by process gid
+	nodeOf  map[int]int
+
+	// pending tracks outstanding Gets per exposing process, so exposers
+	// can learn when their data is no longer needed.
+	pending map[int]int
+	// drained signals pending reaching zero for an exposer.
+	drained map[int]*sim.Signal
+}
+
+// WinCreate collectively creates a window over comm, exposing this
+// process's local payload. Every member (both groups of an
+// inter-communicator) must call it; the call synchronizes, so once it
+// returns every exposure is visible.
+func (c *Ctx) WinCreate(comm *Comm, local Payload) *Win {
+	w := comm.w
+	key := derivedKey{ctxID: comm.ctxID, kind: "win", gen: comm.derivedGen(c, "win")}
+	if w.wins == nil {
+		w.wins = make(map[derivedKey]*Win)
+	}
+	win, ok := w.wins[key]
+	if !ok {
+		win = &Win{
+			comm:    comm,
+			exposed: make(map[int]Payload),
+			nodeOf:  make(map[int]int),
+			pending: make(map[int]int),
+			drained: make(map[int]*sim.Signal),
+		}
+		w.wins[key] = win
+	}
+	gid := c.proc.gid
+	win.exposed[gid] = clonePayload(local)
+	win.nodeOf[gid] = c.proc.node
+	// Exposure epoch: everyone registers before anyone accesses.
+	w.barrierFor(comm).arrive(c)
+	return win
+}
+
+// RMAReq is a pending one-sided operation.
+type RMAReq struct {
+	reqState
+	payload Payload
+}
+
+// Payload returns the fetched bytes of a completed Get.
+func (r *RMAReq) Payload() Payload { return r.payload }
+
+// Get starts a one-sided read of bytes [lo, hi) from the window region
+// exposed by peer rank target (the remote group on an inter-communicator).
+// The transfer streams from the target's node without any action by the
+// target process; completion is local to the origin.
+func (c *Ctx) Get(win *Win, target int, lo, hi int64) *RMAReq {
+	tp := win.comm.peerProcFor(c, target)
+	exp, ok := win.exposed[tp.gid]
+	if !ok {
+		panic(fmt.Sprintf("mpi: Get from rank %d which exposed nothing", target))
+	}
+	if lo < 0 || hi < lo || hi > exp.Size {
+		panic(fmt.Sprintf("mpi: Get [%d,%d) outside exposed %d bytes", lo, hi, exp.Size))
+	}
+	req := &RMAReq{}
+	origin := c.proc
+	w := origin.w
+	win.pending[tp.gid]++
+	// One extra control latency for the RDMA read request, then the data
+	// flows back. The RDMA engine bypasses the sender-side pipeline and
+	// pays no scheduling delay: no remote CPU is involved.
+	lat := w.machine.Fabric().Params().Latency
+	if tp.node == origin.node {
+		lat = w.machine.Fabric().Params().IntraLatency
+	}
+	w.k.After(lat, func() {
+		w.machine.Fabric().Transfer(tp.node, origin.node, hi-lo, func() {
+			req.payload = exp.Slice(lo, hi)
+			req.done = true
+			win.pending[tp.gid]--
+			if win.pending[tp.gid] == 0 {
+				if s := win.drained[tp.gid]; s != nil {
+					s.Broadcast()
+				}
+			}
+			origin.progress.Broadcast()
+		})
+	})
+	return req
+}
+
+// Drained reports whether no Gets are outstanding against this process's
+// exposure. It is meaningful only once the caller knows every origin has
+// issued its Gets (the redistribution strategies establish that with their
+// completion consensus); before any Get is posted it is trivially true.
+func (win *Win) Drained(c *Ctx) bool {
+	return win.pending[c.proc.gid] == 0
+}
+
+// WaitDrained blocks the exposer until its outstanding Gets complete. The
+// wait is passive (no CPU): the target side of RDMA does not poll.
+func (c *Ctx) WaitDrained(win *Win) {
+	gid := c.proc.gid
+	for !win.Drained(c) {
+		s := win.drained[gid]
+		if s == nil {
+			s = sim.NewSignal(fmt.Sprintf("mpi.win.drained.g%d", gid))
+			win.drained[gid] = s
+		}
+		c.sp.Wait(s)
+	}
+}
+
+// Fence synchronizes every window member (an access epoch boundary,
+// MPI_Win_fence). All members must call it.
+func (c *Ctx) Fence(win *Win) {
+	win.comm.w.barrierFor(win.comm).arrive(c)
+}
+
+// peerProcFor resolves peer rank r from the calling context's view of the
+// communicator. For a window created over an inter-communicator, callers
+// from either side address the other side.
+func (comm *Comm) peerProcFor(c *Ctx, r int) *Process {
+	// The window stores one comm handle; a caller from the remote group of
+	// that handle addresses the handle's local group.
+	if _, isLocal := comm.localRank[c.proc.gid]; isLocal || comm.remote == nil {
+		return comm.peerProc(r)
+	}
+	if r < 0 || r >= len(comm.local) {
+		panic(fmt.Sprintf("mpi: peer rank %d out of range [0,%d)", r, len(comm.local)))
+	}
+	return comm.local[r]
+}

@@ -1,0 +1,77 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// spawnSt is the rendezvous state for one collective Spawn on a comm.
+type spawnSt struct {
+	parentView *Comm
+	done       *fastBarrier
+	arrived    int
+}
+
+// Spawn launches n new MPI processes running fn, as MPI_Comm_spawn: it is
+// collective over comm (an intra-communicator), rank 0 pays the spawn cost
+// on the critical path, and it returns each caller's view of the
+// inter-communicator connecting the spawning group to the children. The
+// children's Parent() returns their view of the same inter-communicator,
+// and fn additionally receives the children's own world communicator
+// (their MPI_COMM_WORLD).
+//
+// nodeOf maps each child rank to a node; if nil, the machine's block
+// placement is used (which, as in the paper's Baseline method, lands the
+// children on the nodes the sources already occupy — oversubscription).
+func (c *Ctx) Spawn(comm *Comm, n int, nodeOf func(childRank int) int, fn func(child *Ctx, childWorld *Comm)) *Comm {
+	if comm.IsInter() {
+		panic("mpi: Spawn over inter-communicator")
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: Spawn(%d)", n))
+	}
+	me := comm.Rank(c)
+	if me < 0 {
+		panic("mpi: Spawn by non-member")
+	}
+	w := c.proc.w
+	if nodeOf == nil {
+		nodeOf = w.machine.NodeOf
+	}
+	if w.spawns == nil {
+		w.spawns = make(map[int]*spawnSt)
+	}
+	st, ok := w.spawns[comm.ctxID]
+	if !ok {
+		st = &spawnSt{
+			done: &fastBarrier{size: comm.Size(), sig: newNamedSignal(comm, "spawn")},
+		}
+		w.spawns[comm.ctxID] = st
+	}
+
+	if me == 0 {
+		// Runtime negotiation plus fork/exec/wire-up of n processes.
+		c.Sleep(w.machine.SpawnCost(n))
+		children := make([]*Process, n)
+		for i := range children {
+			children[i] = w.newProcess(nodeOf(i))
+		}
+		parentView, childView := w.newInterComm(comm.local, children)
+		st.parentView = parentView
+		childWorld := w.newComm(children, nil)
+		for i, p := range children {
+			p := p
+			p.parent = childView
+			w.k.Spawn(fmt.Sprintf("spawned.g%d.r%d", p.gid, i), func(sp *sim.Proc) {
+				fn(&Ctx{proc: p, sp: sp}, childWorld)
+			})
+		}
+	}
+	st.arrived++
+	if st.arrived == comm.Size() {
+		delete(w.spawns, comm.ctxID) // allow a later Spawn on the same comm
+	}
+	st.done.arrive(c)
+	return st.parentView
+}

@@ -1,0 +1,277 @@
+// Package mpi implements an MPI-like message-passing runtime on top of the
+// discrete-event simulator.
+//
+// The runtime reproduces the MPI semantics the paper's algorithms rely on:
+// intra- and inter-communicators, blocking and non-blocking point-to-point
+// operations with eager/rendezvous protocols and non-overtaking matching,
+// the Wait/Test family (with MPICH-style polling waits that burn a CPU
+// core), the collectives used by the redistribution strategies — including
+// the pairwise-exchange algorithm MPICH selects for blocking Alltoallv on
+// inter-communicators — plus MPI_Comm_spawn and MPI_Intercomm_merge.
+//
+// Ranks execute as simulated processes on a cluster.Machine, so message
+// timing, CPU packing costs, polling oversubscription, and network
+// contention all come out of the machine model rather than being asserted.
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/sim/ps"
+)
+
+// WaitMode selects how blocked MPI waits consume CPU.
+type WaitMode int
+
+const (
+	// PollingWait spins on the progress engine, occupying a core for the
+	// whole wait (MPICH's default behaviour, the one the paper discusses).
+	PollingWait WaitMode = iota
+	// BlockingWait sleeps without consuming CPU (the improvement the paper
+	// suggests for auxiliary-thread redistribution).
+	BlockingWait
+)
+
+func (m WaitMode) String() string {
+	if m == PollingWait {
+		return "polling"
+	}
+	return "blocking"
+}
+
+// Options tune the runtime's cost model.
+type Options struct {
+	// EagerThreshold is the message size, in bytes, up to which sends
+	// complete without waiting for a matching receive. Larger messages use
+	// the rendezvous protocol: the payload moves only once the receive is
+	// posted, so blocking sends of large messages can deadlock — exactly the
+	// hazard §3.1 of the paper describes for the Merge method.
+	EagerThreshold int64
+
+	// WaitMode selects polling or blocking waits.
+	WaitMode WaitMode
+
+	// CopyRate is the memory bandwidth, bytes/s, one core achieves when
+	// packing or unpacking a message buffer. Each send and receive charges
+	// size/CopyRate of CPU work, which dilates under oversubscription.
+	// Zero disables packing costs.
+	CopyRate float64
+
+	// SchedQuantum models the OS scheduler time slice. Lock-stepped
+	// synchronous collective steps (pairwise exchange) pay an expected
+	// rescheduling delay proportional to the node's oversubscription factor,
+	// the convoy effect behind Baseline COLS's poor showing in Figures 2-3.
+	SchedQuantum float64
+
+	// MaxInFlight caps a process's concurrent outgoing transfers; further
+	// sends queue FIFO and start as slots free, modeling the NIC send
+	// pipeline (MPI progress engines do not blast hundreds of rendezvous
+	// streams simultaneously). Zero means unlimited.
+	MaxInFlight int
+}
+
+// DefaultOptions returns the calibration used throughout the reproduction.
+func DefaultOptions() Options {
+	return Options{
+		EagerThreshold: 64 << 10,
+		WaitMode:       PollingWait,
+		CopyRate:       4e9,
+		SchedQuantum:   10e-3,
+		MaxInFlight:    4,
+	}
+}
+
+// World is an MPI universe bound to one simulated machine.
+type World struct {
+	machine *cluster.Machine
+	k       *sim.Kernel
+	opts    Options
+
+	nextCtxID int
+	nextGID   int
+
+	barriers map[int]*fastBarrier    // shared per matching context
+	merges   map[int]*mergeSt        // pending Intercomm_merge rendezvous
+	spawns   map[int]*spawnSt        // pending Comm_spawn rendezvous
+	derived  map[derivedKey]*Comm    // communicators created by Dup/Sub
+	wins     map[derivedKey]*Win     // one-sided windows by creation site
+	splits   map[derivedKey]*splitSt // pending Comm_split rendezvous
+}
+
+// NewWorld creates a world on machine m.
+func NewWorld(m *cluster.Machine, opts Options) *World {
+	if opts.EagerThreshold < 0 {
+		panic("mpi: negative eager threshold")
+	}
+	return &World{machine: m, k: m.Kernel(), opts: opts, nextCtxID: 1}
+}
+
+// Machine returns the underlying cluster.
+func (w *World) Machine() *cluster.Machine { return w.machine }
+
+// Kernel returns the simulation kernel.
+func (w *World) Kernel() *sim.Kernel { return w.k }
+
+// Options returns the runtime options.
+func (w *World) Options() Options { return w.opts }
+
+// Process is one MPI process: a rank's mailbox, placement, and identity.
+// Its code runs in one or more execution contexts (main thread plus any
+// auxiliary threads).
+type Process struct {
+	w    *World
+	gid  int // global id, unique in the world
+	node int
+
+	inbox    []*envelope
+	posted   []*RecvReq
+	progress *sim.Signal
+
+	parent *Comm // intercomm to the group that spawned this process
+
+	collSeq    map[int]int        // per matching context collective sequence numbers
+	derivedSeq map[derivedKey]int // per-kind Dup/Sub generation counters
+
+	flowsActive int         // outgoing transfers currently on the wire
+	flowQueue   []*envelope // sends waiting for a pipeline slot
+}
+
+// GID returns the process's world-unique id.
+func (p *Process) GID() int { return p.gid }
+
+// Node returns the node the process is placed on.
+func (p *Process) Node() int { return p.node }
+
+// World returns the owning world.
+func (p *Process) World() *World { return p.w }
+
+// Parent returns the inter-communicator connecting this process to the
+// group that spawned it, or nil for initially launched processes
+// (MPI_Comm_get_parent).
+func (p *Process) Parent() *Comm { return p.parent }
+
+func (w *World) newProcess(node int) *Process {
+	p := &Process{
+		w:        w,
+		gid:      w.nextGID,
+		node:     node,
+		progress: sim.NewSignal(fmt.Sprintf("mpi.progress.g%d", w.nextGID)),
+	}
+	w.nextGID++
+	return p
+}
+
+// Ctx is an execution context: a thread of an MPI process. All MPI
+// operations are methods on Ctx so auxiliary threads (Algorithm 4) can issue
+// communication on behalf of their rank.
+type Ctx struct {
+	proc *Process
+	sp   *sim.Proc
+}
+
+// Proc returns the MPI process this context belongs to.
+func (c *Ctx) Proc() *Process { return c.proc }
+
+// SimProc returns the underlying simulation process.
+func (c *Ctx) SimProc() *sim.Proc { return c.sp }
+
+// World returns the owning world.
+func (c *Ctx) World() *World { return c.proc.w }
+
+// Now reports the current virtual time.
+func (c *Ctx) Now() float64 { return c.sp.Now() }
+
+// cpu returns the CPU resource of the context's node.
+func (c *Ctx) cpu() *ps.Resource { return c.proc.w.machine.CPU(c.proc.node) }
+
+// Compute consumes seconds of single-core CPU work under processor sharing
+// (so it dilates when the node is oversubscribed).
+func (c *Ctx) Compute(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	c.cpu().Use(c.sp, seconds)
+}
+
+// Sleep advances virtual time without consuming CPU.
+func (c *Ctx) Sleep(seconds float64) { c.sp.Sleep(seconds) }
+
+// Oversubscription reports the node's current load factor above capacity:
+// 0 when runnable contexts fit the cores, (load/cores - 1) otherwise.
+func (c *Ctx) Oversubscription() float64 {
+	cpu := c.cpu()
+	f := float64(cpu.Load())/cpu.Capacity() - 1
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// schedPenalty returns the expected rescheduling delay for one lock-step
+// synchronization on an oversubscribed node.
+func (c *Ctx) schedPenalty() float64 {
+	return c.proc.w.opts.SchedQuantum * c.Oversubscription()
+}
+
+// chargeCopy accounts the CPU cost of packing/unpacking size bytes.
+func (c *Ctx) chargeCopy(size int64) {
+	rate := c.proc.w.opts.CopyRate
+	if rate <= 0 || size <= 0 {
+		return
+	}
+	c.Compute(float64(size) / rate)
+}
+
+// NewThread starts an auxiliary thread of the same MPI process: a new
+// execution context on the same node, sharing the rank's mailbox. It
+// returns immediately; fn runs concurrently in virtual time.
+func (c *Ctx) NewThread(name string, fn func(t *Ctx)) {
+	p := c.proc
+	p.w.k.Spawn(fmt.Sprintf("g%d.%s", p.gid, name), func(sp *sim.Proc) {
+		fn(&Ctx{proc: p, sp: sp})
+	})
+}
+
+// Launch starts n MPI processes running main and returns their world
+// communicator. nodeOf maps each rank to a node; if nil, the machine's
+// block placement is used. Launch may be called before kernel.Run or from
+// scheduler context.
+func (w *World) Launch(n int, nodeOf func(rank int) int, main func(c *Ctx, comm *Comm)) *Comm {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpi: Launch(%d)", n))
+	}
+	if nodeOf == nil {
+		nodeOf = w.machine.NodeOf
+	}
+	procs := make([]*Process, n)
+	for r := range procs {
+		procs[r] = w.newProcess(nodeOf(r))
+	}
+	comm := w.newComm(procs, nil)
+	for r, p := range procs {
+		p := p
+		r := r
+		w.k.Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
+			main(&Ctx{proc: p, sp: sp}, comm)
+		})
+	}
+	return comm
+}
+
+// waitUntil blocks the context until pred holds, waking on the process's
+// progress signal. In polling mode the wait occupies a core.
+func (c *Ctx) waitUntil(pred func() bool) {
+	if pred() {
+		return
+	}
+	var load *ps.Task
+	if c.proc.w.opts.WaitMode == PollingWait {
+		load = c.cpu().AddLoad()
+		defer load.Stop()
+	}
+	for !pred() {
+		c.sp.Wait(c.proc.progress)
+	}
+}

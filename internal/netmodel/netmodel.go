@@ -1,0 +1,276 @@
+// Package netmodel implements a fluid-flow interconnect model in virtual
+// time.
+//
+// Every message transfer is a flow: after a fixed one-way latency the
+// payload streams through the sender's transmit NIC and the receiver's
+// receive NIC. Each NIC direction is a shared resource; a flow's
+// instantaneous rate is the minimum of its fair share at each resource it
+// crosses. When flows start or finish, all rates are recomputed — the fluid
+// approximation of packet-level fair queueing.
+//
+// Two presets mirror the paper's testbed: 10 Gb/s Ethernet and 100 Gb/s EDR
+// Infiniband. Intra-node transfers bypass the NICs and share a per-node
+// memory engine instead.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Params describes an interconnect technology.
+type Params struct {
+	Name string
+
+	// Latency is the one-way message latency in seconds, paid once per
+	// message regardless of size.
+	Latency float64
+	// Bandwidth is the per-NIC bandwidth in bytes per second, shared by the
+	// flows crossing that NIC in one direction.
+	Bandwidth float64
+
+	// IntraLatency and IntraBandwidth describe node-local (shared-memory)
+	// transfers between ranks on the same node.
+	IntraLatency   float64
+	IntraBandwidth float64
+	// IntraPerFlow caps a single node-local flow (one memcpy stream).
+	IntraPerFlow float64
+}
+
+// Ethernet10G models the paper's 10 Gb/s Ethernet network
+// (MPICH CH3:Nemesis class latencies).
+func Ethernet10G() Params {
+	return Params{
+		Name:           "ethernet",
+		Latency:        25e-6,
+		Bandwidth:      1.25e9, // 10 Gb/s
+		IntraLatency:   0.4e-6,
+		IntraBandwidth: 16e9,
+		IntraPerFlow:   6e9,
+	}
+}
+
+// InfinibandEDR models the paper's 100 Gb/s EDR Infiniband network
+// (MPICH CH4:OFI class latencies).
+func InfinibandEDR() Params {
+	return Params{
+		Name:           "infiniband",
+		Latency:        2e-6,
+		Bandwidth:      12.5e9, // 100 Gb/s
+		IntraLatency:   0.4e-6,
+		IntraBandwidth: 16e9,
+		IntraPerFlow:   6e9,
+	}
+}
+
+// Fabric is the interconnect of a simulated cluster.
+type Fabric struct {
+	k      *sim.Kernel
+	params Params
+	nodes  int
+
+	flows      []*Flow
+	lastUpdate float64
+	timer      *sim.Timer
+	nextSeq    uint64
+
+	// scratch per-node flow counters, reused across recomputes.
+	txCount, rxCount, memCount []int
+}
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	f         *Fabric
+	seq       uint64
+	src, dst  int
+	remaining float64 // bytes
+	rate      float64 // current bytes/s, maintained by recompute
+	done      func()
+	started   bool // past the latency phase
+	finished  bool
+	latTimer  *sim.Timer
+	index     int // position in the fabric's flow list, -1 when detached
+}
+
+// NewFabric creates an interconnect joining nodes compute nodes.
+func NewFabric(k *sim.Kernel, params Params, nodes int) *Fabric {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("netmodel: fabric with %d nodes", nodes))
+	}
+	return &Fabric{
+		k:        k,
+		params:   params,
+		nodes:    nodes,
+		txCount:  make([]int, nodes),
+		rxCount:  make([]int, nodes),
+		memCount: make([]int, nodes),
+	}
+}
+
+// Params returns the interconnect parameters.
+func (f *Fabric) Params() Params { return f.params }
+
+// Nodes returns the number of compute nodes attached to the fabric.
+func (f *Fabric) Nodes() int { return f.nodes }
+
+// InFlight reports the number of flows currently streaming (past latency).
+func (f *Fabric) InFlight() int { return len(f.flows) }
+
+// Transfer starts moving size bytes from node src to node dst and calls
+// done when the last byte arrives. A zero-size transfer still pays latency.
+// The returned Flow may be canceled before completion.
+func (f *Fabric) Transfer(src, dst int, size int64, done func()) *Flow {
+	if src < 0 || src >= f.nodes || dst < 0 || dst >= f.nodes {
+		panic(fmt.Sprintf("netmodel: transfer %d->%d outside fabric of %d nodes", src, dst, f.nodes))
+	}
+	if size < 0 {
+		panic(fmt.Sprintf("netmodel: negative transfer size %d", size))
+	}
+	fl := &Flow{f: f, seq: f.nextSeq, src: src, dst: dst, remaining: float64(size), done: done}
+	f.nextSeq++
+	lat := f.params.Latency
+	if src == dst {
+		lat = f.params.IntraLatency
+	}
+	fl.latTimer = f.k.After(lat, func() {
+		fl.latTimer = nil
+		if fl.remaining <= 0 {
+			fl.finished = true
+			if fl.done != nil {
+				fl.done()
+			}
+			return
+		}
+		fl.started = true
+		f.advance()
+		fl.index = len(f.flows)
+		f.flows = append(f.flows, fl)
+		f.recompute()
+	})
+	return fl
+}
+
+// Cancel aborts the flow; done will not run. It reports whether the flow was
+// still pending.
+func (fl *Flow) Cancel() bool {
+	if fl.finished {
+		return false
+	}
+	fl.finished = true
+	if fl.latTimer != nil {
+		fl.latTimer.Cancel()
+		fl.latTimer = nil
+		return true
+	}
+	fl.f.advance()
+	fl.f.detach(fl)
+	fl.f.recompute()
+	return true
+}
+
+// detach removes a flow from the active list in O(1) by swapping in the
+// last element.
+func (f *Fabric) detach(fl *Flow) {
+	i := fl.index
+	last := len(f.flows) - 1
+	f.flows[i] = f.flows[last]
+	f.flows[i].index = i
+	f.flows[last] = nil
+	f.flows = f.flows[:last]
+	fl.index = -1
+}
+
+// Remaining reports the bytes not yet delivered (after the latency phase).
+func (fl *Flow) Remaining() float64 { return fl.remaining }
+
+// advance drains service received since lastUpdate into every active flow.
+func (f *Fabric) advance() {
+	now := f.k.Now()
+	elapsed := now - f.lastUpdate
+	f.lastUpdate = now
+	if elapsed <= 0 {
+		return
+	}
+	for _, fl := range f.flows {
+		fl.remaining -= fl.rate * elapsed
+		if fl.remaining < 0 {
+			fl.remaining = 0
+		}
+	}
+}
+
+// recompute reassigns flow rates (min of fair shares at each crossed
+// resource) and rearms the completion timer.
+func (f *Fabric) recompute() {
+	if f.timer != nil {
+		f.timer.Cancel()
+		f.timer = nil
+	}
+	if len(f.flows) == 0 {
+		return
+	}
+	// Count flows per resource. Resources: per-node tx NIC, per-node rx NIC,
+	// per-node memory engine (intra-node flows).
+	tx, rx, mem := f.txCount, f.rxCount, f.memCount
+	for i := range tx {
+		tx[i], rx[i], mem[i] = 0, 0, 0
+	}
+	for _, fl := range f.flows {
+		if fl.src == fl.dst {
+			mem[fl.src]++
+		} else {
+			tx[fl.src]++
+			rx[fl.dst]++
+		}
+	}
+	earliest := math.Inf(1)
+	for _, fl := range f.flows {
+		var rate float64
+		if fl.src == fl.dst {
+			rate = f.params.IntraBandwidth / float64(mem[fl.src])
+			if f.params.IntraPerFlow > 0 && rate > f.params.IntraPerFlow {
+				rate = f.params.IntraPerFlow
+			}
+		} else {
+			txShare := f.params.Bandwidth / float64(tx[fl.src])
+			rxShare := f.params.Bandwidth / float64(rx[fl.dst])
+			rate = math.Min(txShare, rxShare)
+		}
+		fl.rate = rate
+		if dt := fl.remaining / rate; dt < earliest {
+			earliest = dt
+		}
+	}
+	f.timer = f.k.After(earliest, f.onCompletion)
+}
+
+func (f *Fabric) onCompletion() {
+	f.timer = nil
+	f.advance()
+	const eps = 1e-9 // sub-byte residue
+	now := f.k.Now()
+	var finished []*Flow
+	for _, fl := range f.flows {
+		// A flow is done when its residue is sub-byte, or so small that its
+		// completion time rounds to the current instant — otherwise the
+		// completion event could re-fire at the same timestamp forever.
+		if fl.remaining <= eps || now+fl.remaining/fl.rate == now {
+			finished = append(finished, fl)
+		}
+	}
+	// Deterministic delivery order regardless of list order.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	for _, fl := range finished {
+		f.detach(fl)
+		fl.finished = true
+	}
+	f.recompute()
+	for _, fl := range finished {
+		if fl.done != nil {
+			fl.done()
+		}
+	}
+}

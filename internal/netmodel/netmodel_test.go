@@ -1,0 +1,268 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+const tol = 1e-9
+
+func near(a, b float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func testParams() Params {
+	return Params{
+		Name:           "test",
+		Latency:        1e-3,
+		Bandwidth:      1e6, // 1 MB/s: easy arithmetic
+		IntraLatency:   1e-6,
+		IntraBandwidth: 1e8,
+		IntraPerFlow:   1e7,
+	}
+}
+
+func TestSingleFlowLatencyPlusBandwidth(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 4)
+	var done float64 = -1
+	k.At(0, func() {
+		f.Transfer(0, 1, 1e6, func() { done = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 ms latency + 1 MB / 1 MB/s = 1.001 s
+	if !near(done, 1.001) {
+		t.Fatalf("done at %g, want 1.001", done)
+	}
+}
+
+func TestZeroByteTransferPaysLatencyOnly(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 2)
+	var done float64 = -1
+	k.At(0, func() {
+		f.Transfer(0, 1, 0, func() { done = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(done, 1e-3) {
+		t.Fatalf("done at %g, want 0.001", done)
+	}
+}
+
+func TestTwoFlowsShareSenderNIC(t *testing.T) {
+	// Same source, two destinations: tx NIC splits in half.
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 4)
+	var d1, d2 float64
+	k.At(0, func() {
+		f.Transfer(0, 1, 1e6, func() { d1 = k.Now() })
+		f.Transfer(0, 2, 1e6, func() { d2 = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-3 + 2.0 // each at 0.5 MB/s
+	if !near(d1, want) || !near(d2, want) {
+		t.Fatalf("done at %g, %g, want %g", d1, d2, want)
+	}
+}
+
+func TestTwoFlowsShareReceiverNIC(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 4)
+	var d1, d2 float64
+	k.At(0, func() {
+		f.Transfer(0, 2, 1e6, func() { d1 = k.Now() })
+		f.Transfer(1, 2, 1e6, func() { d2 = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-3 + 2.0
+	if !near(d1, want) || !near(d2, want) {
+		t.Fatalf("done at %g, %g, want %g", d1, d2, want)
+	}
+}
+
+func TestDisjointPairsDoNotContend(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 4)
+	var d1, d2 float64
+	k.At(0, func() {
+		f.Transfer(0, 1, 1e6, func() { d1 = k.Now() })
+		f.Transfer(2, 3, 1e6, func() { d2 = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1.001
+	if !near(d1, want) || !near(d2, want) {
+		t.Fatalf("done at %g, %g, want %g", d1, d2, want)
+	}
+}
+
+func TestRateIncreasesWhenCompetitorFinishes(t *testing.T) {
+	// Flow A: 2 MB, flow B: 1 MB, same tx NIC. Both at 0.5 MB/s until B
+	// finishes at lat+2s (1MB at 0.5); then A alone: remaining 1 MB at 1 MB/s
+	// → A at lat+3s.
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 4)
+	var da, db float64
+	k.At(0, func() {
+		f.Transfer(0, 1, 2e6, func() { da = k.Now() })
+		f.Transfer(0, 2, 1e6, func() { db = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(db, 1e-3+2) {
+		t.Fatalf("b done at %g, want %g", db, 1e-3+2)
+	}
+	if !near(da, 1e-3+3) {
+		t.Fatalf("a done at %g, want %g", da, 1e-3+3)
+	}
+}
+
+func TestIntraNodeUsesMemoryEngine(t *testing.T) {
+	k := sim.NewKernel()
+	p := testParams()
+	f := NewFabric(k, p, 2)
+	var done float64
+	k.At(0, func() {
+		f.Transfer(1, 1, 1e7, func() { done = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// intra latency 1µs + 10 MB at the 10 MB/s per-flow cap = 1 s
+	want := 1e-6 + 1.0
+	if !near(done, want) {
+		t.Fatalf("done at %g, want %g", done, want)
+	}
+}
+
+func TestIntraNodeFlowsDoNotTouchNIC(t *testing.T) {
+	// An intra-node copy on node 0 must not slow a 0→1 network flow.
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 2)
+	var dNet float64
+	k.At(0, func() {
+		f.Transfer(0, 0, 1e7, nil)
+		f.Transfer(0, 1, 1e6, func() { dNet = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(dNet, 1.001) {
+		t.Fatalf("network flow done at %g, want 1.001 (no NIC contention)", dNet)
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 2)
+	fired := false
+	var fl *Flow
+	k.At(0, func() {
+		fl = f.Transfer(0, 1, 1e6, func() { fired = true })
+	})
+	k.At(0.5, func() {
+		if !fl.Cancel() {
+			t.Error("Cancel returned false for in-flight flow")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("done fired after Cancel")
+	}
+	if f.InFlight() != 0 {
+		t.Fatalf("InFlight = %d after cancel, want 0", f.InFlight())
+	}
+}
+
+func TestCancelDuringLatencyPhase(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 2)
+	fired := false
+	k.At(0, func() {
+		fl := f.Transfer(0, 1, 1e6, func() { fired = true })
+		if !fl.Cancel() { // still in latency phase
+			t.Error("Cancel in latency phase returned false")
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("done fired after latency-phase cancel")
+	}
+}
+
+func TestTransferOutOfRangePanics(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Transfer did not panic")
+		}
+	}()
+	f.Transfer(0, 5, 10, nil)
+}
+
+func TestPresetsSane(t *testing.T) {
+	eth := Ethernet10G()
+	ib := InfinibandEDR()
+	if eth.Bandwidth >= ib.Bandwidth {
+		t.Fatal("Ethernet bandwidth should be below Infiniband")
+	}
+	if eth.Latency <= ib.Latency {
+		t.Fatal("Ethernet latency should be above Infiniband")
+	}
+	if eth.Bandwidth != 1.25e9 {
+		t.Fatalf("Ethernet bandwidth = %g, want 1.25e9 (10 Gb/s)", eth.Bandwidth)
+	}
+	if ib.Bandwidth != 12.5e9 {
+		t.Fatalf("Infiniband bandwidth = %g, want 12.5e9 (100 Gb/s)", ib.Bandwidth)
+	}
+}
+
+// Property: n equal flows from one sender to n distinct receivers all finish
+// at latency + n*size/bandwidth (tx NIC is the bottleneck).
+func TestPropertyFanOutSharesFairly(t *testing.T) {
+	f := func(nRaw uint8, sizeRaw uint16) bool {
+		n := int(nRaw%6) + 2
+		size := float64(sizeRaw%1000+1) * 1000
+		k := sim.NewKernel()
+		fab := NewFabric(k, testParams(), n+1)
+		finish := make([]float64, 0, n)
+		k.At(0, func() {
+			for i := 1; i <= n; i++ {
+				fab.Transfer(0, i, int64(size), func() {
+					finish = append(finish, k.Now())
+				})
+			}
+		})
+		if err := k.Run(); err != nil {
+			return false
+		}
+		want := 1e-3 + float64(n)*size/1e6
+		for _, d := range finish {
+			if !near(d, want) {
+				return false
+			}
+		}
+		return len(finish) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

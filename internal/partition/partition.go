@@ -1,0 +1,194 @@
+// Package partition computes static block data distributions and the
+// communication plans needed to move data between two such distributions —
+// the planning half of the paper's data-redistribution stage (§3.1).
+//
+// For dense data the dimension alone determines who sends what to whom: the
+// plan is the pairwise intersection of the source blocks with the target
+// blocks. For sparse matrices in CSR form the row pointer is additionally
+// needed to translate row ranges into non-zero counts, which is why the
+// paper has each source announce sizes before values.
+package partition
+
+import "fmt"
+
+// BlockDist is the standard block distribution of n elements over p parts:
+// the first n%p parts get ⌈n/p⌉ elements, the rest ⌊n/p⌋.
+type BlockDist struct {
+	N int64 // total elements
+	P int   // parts
+}
+
+// NewBlockDist validates and returns a block distribution.
+func NewBlockDist(n int64, p int) BlockDist {
+	if n < 0 || p <= 0 {
+		panic(fmt.Sprintf("partition: invalid distribution of %d elements over %d parts", n, p))
+	}
+	return BlockDist{N: n, P: p}
+}
+
+// Lo returns the first global index owned by part r.
+func (d BlockDist) Lo(r int) int64 {
+	d.check(r)
+	q, rem := d.N/int64(d.P), d.N%int64(d.P)
+	if int64(r) < rem {
+		return int64(r) * (q + 1)
+	}
+	return rem*(q+1) + (int64(r)-rem)*q
+}
+
+// Hi returns one past the last global index owned by part r.
+func (d BlockDist) Hi(r int) int64 {
+	d.check(r)
+	if r == d.P-1 {
+		return d.N
+	}
+	return d.Lo(r + 1)
+}
+
+// Count returns the number of elements owned by part r.
+func (d BlockDist) Count(r int) int64 { return d.Hi(r) - d.Lo(r) }
+
+// Owner returns the part owning global index i.
+func (d BlockDist) Owner(i int64) int {
+	if i < 0 || i >= d.N {
+		panic(fmt.Sprintf("partition: index %d outside [0,%d)", i, d.N))
+	}
+	q, rem := d.N/int64(d.P), d.N%int64(d.P)
+	cut := rem * (q + 1)
+	if i < cut {
+		return int(i / (q + 1))
+	}
+	if q == 0 {
+		return int(rem) // all remaining parts are empty; unreachable via bounds
+	}
+	return int(rem + (i-cut)/q)
+}
+
+func (d BlockDist) check(r int) {
+	if r < 0 || r >= d.P {
+		panic(fmt.Sprintf("partition: part %d outside [0,%d)", r, d.P))
+	}
+}
+
+// Chunk is a contiguous range of global element indexes [Lo, Hi) moving
+// from source part Src to target part Dst.
+type Chunk struct {
+	Src, Dst int
+	Lo, Hi   int64
+}
+
+// Count returns the chunk's element count.
+func (c Chunk) Count() int64 { return c.Hi - c.Lo }
+
+// Plan is the full redistribution plan between a source and a target block
+// distribution of the same element space.
+type Plan struct {
+	N      int64
+	NS, NT int
+	Chunks []Chunk // sorted by (Src, Lo)
+}
+
+// NewPlan computes the chunks moving n elements from ns source blocks to nt
+// target blocks: the pairwise non-empty intersections of the two
+// distributions. The plan is deterministic and sorted by source, then by
+// global range.
+func NewPlan(n int64, ns, nt int) Plan {
+	src := NewBlockDist(n, ns)
+	dst := NewBlockDist(n, nt)
+	p := Plan{N: n, NS: ns, NT: nt}
+	for s := 0; s < ns; s++ {
+		sLo, sHi := src.Lo(s), src.Hi(s)
+		if sLo == sHi {
+			continue
+		}
+		// Walk targets overlapping [sLo, sHi).
+		t := dst.Owner(sLo)
+		for t < nt {
+			tLo, tHi := dst.Lo(t), dst.Hi(t)
+			lo, hi := maxI64(sLo, tLo), minI64(sHi, tHi)
+			if lo < hi {
+				p.Chunks = append(p.Chunks, Chunk{Src: s, Dst: t, Lo: lo, Hi: hi})
+			}
+			if tHi >= sHi {
+				break
+			}
+			t++
+		}
+	}
+	return p
+}
+
+// SendChunks returns the chunks source part s must send, in ascending
+// target order.
+func (p Plan) SendChunks(s int) []Chunk {
+	var out []Chunk
+	for _, c := range p.Chunks {
+		if c.Src == s {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RecvChunks returns the chunks target part t will receive, in ascending
+// source order.
+func (p Plan) RecvChunks(t int) []Chunk {
+	var out []Chunk
+	for _, c := range p.Chunks {
+		if c.Dst == t {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Counts returns the ns×nt matrix of element counts, the input of
+// MPI_Alltoallv-style redistribution.
+func (p Plan) Counts() [][]int64 {
+	m := make([][]int64, p.NS)
+	for s := range m {
+		m[s] = make([]int64, p.NT)
+	}
+	for _, c := range p.Chunks {
+		m[c.Src][c.Dst] += c.Count()
+	}
+	return m
+}
+
+// LocalBytes returns the number of elements that stay on a part that is
+// both source s and target s (the Merge method's memcpy share).
+func (p Plan) LocalBytes(part int) int64 {
+	var n int64
+	for _, c := range p.Chunks {
+		if c.Src == part && c.Dst == part {
+			n += c.Count()
+		}
+	}
+	return n
+}
+
+// TotalMoved returns the number of elements crossing between distinct
+// parts (Src != Dst).
+func (p Plan) TotalMoved() int64 {
+	var n int64
+	for _, c := range p.Chunks {
+		if c.Src != c.Dst {
+			n += c.Count()
+		}
+	}
+	return n
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,52 @@
+package partition
+
+import "fmt"
+
+// SparsePlan extends a row-block redistribution plan with the non-zero
+// counts a CSR matrix moves per chunk. Targets cannot derive these counts
+// from the matrix dimension — each source must announce them, which is the
+// size message (tag 77) of the paper's Algorithm 1.
+type SparsePlan struct {
+	Rows Plan
+	// Nnz[i] is the number of non-zeros in the row range of Rows.Chunks[i].
+	Nnz []int64
+}
+
+// NewSparsePlan derives the sparse plan for a CSR matrix with the given row
+// pointer (len = rows+1) redistributed from ns to nt row blocks.
+func NewSparsePlan(rowPtr []int64, ns, nt int) SparsePlan {
+	if len(rowPtr) == 0 {
+		panic("partition: empty row pointer")
+	}
+	rows := int64(len(rowPtr) - 1)
+	p := NewPlan(rows, ns, nt)
+	sp := SparsePlan{Rows: p, Nnz: make([]int64, len(p.Chunks))}
+	for i, c := range p.Chunks {
+		sp.Nnz[i] = rowPtr[c.Hi] - rowPtr[c.Lo]
+		if sp.Nnz[i] < 0 {
+			panic(fmt.Sprintf("partition: row pointer not monotone at rows [%d,%d)", c.Lo, c.Hi))
+		}
+	}
+	return sp
+}
+
+// NnzCounts returns the ns×nt matrix of non-zero counts.
+func (sp SparsePlan) NnzCounts() [][]int64 {
+	m := make([][]int64, sp.Rows.NS)
+	for s := range m {
+		m[s] = make([]int64, sp.Rows.NT)
+	}
+	for i, c := range sp.Rows.Chunks {
+		m[c.Src][c.Dst] += sp.Nnz[i]
+	}
+	return m
+}
+
+// TotalNnz returns the total non-zeros covered by the plan.
+func (sp SparsePlan) TotalNnz() int64 {
+	var n int64
+	for _, v := range sp.Nnz {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,212 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dist abstracts a contiguous 1-D partition of [0, Elements()) into
+// NumParts() parts. BlockDist (equal counts) and WeightedDist (equal
+// weight, e.g. non-zeros) both satisfy it.
+type Dist interface {
+	Elements() int64
+	NumParts() int
+	Lo(r int) int64
+	Hi(r int) int64
+}
+
+// Elements implements Dist.
+func (d BlockDist) Elements() int64 { return d.N }
+
+// NumParts implements Dist.
+func (d BlockDist) NumParts() int { return d.P }
+
+// WeightedDist partitions [0, N) so every part carries approximately equal
+// total weight — the load-balanced row distribution a sparse solver wants
+// when rows have very different non-zero counts.
+type WeightedDist struct {
+	cuts []int64 // len parts+1; part r owns [cuts[r], cuts[r+1])
+}
+
+// NewWeightedDist builds a weighted partition from a monotone prefix-sum
+// array (len n+1, prefix[i] = total weight of elements [0, i); a CSR row
+// pointer is exactly this). Cut points are chosen where the prefix crosses
+// the equal-weight quantiles, so parts stay contiguous.
+func NewWeightedDist(prefix []int64, parts int) WeightedDist {
+	if len(prefix) == 0 || parts <= 0 {
+		panic(fmt.Sprintf("partition: weighted dist over %d prefix entries, %d parts", len(prefix), parts))
+	}
+	n := int64(len(prefix) - 1)
+	for i := 0; i < len(prefix)-1; i++ {
+		if prefix[i+1] < prefix[i] {
+			panic(fmt.Sprintf("partition: prefix not monotone at %d", i))
+		}
+	}
+	total := prefix[n]
+	cuts := make([]int64, parts+1)
+	cuts[parts] = n
+	for r := 1; r < parts; r++ {
+		target := prefix[0] + total*int64(r)/int64(parts)
+		// The element whose inclusion reaches the target closes the part.
+		idx := sort.Search(int(n), func(i int) bool { return prefix[i+1] >= target })
+		cut := int64(idx) + 1
+		if cut > n {
+			cut = n
+		}
+		if cut < cuts[r-1] {
+			cut = cuts[r-1] // keep cuts monotone for degenerate weights
+		}
+		cuts[r] = cut
+	}
+	return WeightedDist{cuts: cuts}
+}
+
+// Elements implements Dist.
+func (d WeightedDist) Elements() int64 { return d.cuts[len(d.cuts)-1] }
+
+// NumParts implements Dist.
+func (d WeightedDist) NumParts() int { return len(d.cuts) - 1 }
+
+// Lo implements Dist.
+func (d WeightedDist) Lo(r int) int64 {
+	d.check(r)
+	return d.cuts[r]
+}
+
+// Hi implements Dist.
+func (d WeightedDist) Hi(r int) int64 {
+	d.check(r)
+	return d.cuts[r+1]
+}
+
+// Count returns part r's element count.
+func (d WeightedDist) Count(r int) int64 { return d.Hi(r) - d.Lo(r) }
+
+// Owner returns the part owning element i.
+func (d WeightedDist) Owner(i int64) int {
+	if i < 0 || i >= d.Elements() {
+		panic(fmt.Sprintf("partition: index %d outside [0,%d)", i, d.Elements()))
+	}
+	// Last cut at or before i.
+	r := sort.Search(d.NumParts(), func(p int) bool { return d.cuts[p+1] > i })
+	return r
+}
+
+func (d WeightedDist) check(r int) {
+	if r < 0 || r >= d.NumParts() {
+		panic(fmt.Sprintf("partition: part %d outside [0,%d)", r, d.NumParts()))
+	}
+}
+
+// PlanBetween computes the redistribution chunks between two arbitrary
+// contiguous distributions of the same element space: the pairwise
+// non-empty intersections, sorted by source then range. NewPlan is the
+// block-to-block special case.
+func PlanBetween(src, dst Dist) Plan {
+	if src.Elements() != dst.Elements() {
+		panic(fmt.Sprintf("partition: distributions over %d vs %d elements",
+			src.Elements(), dst.Elements()))
+	}
+	p := Plan{N: src.Elements(), NS: src.NumParts(), NT: dst.NumParts()}
+	t := 0
+	for s := 0; s < src.NumParts(); s++ {
+		sLo, sHi := src.Lo(s), src.Hi(s)
+		if sLo == sHi {
+			continue
+		}
+		// Advance the target cursor to the first part overlapping sLo.
+		for t > 0 && dst.Lo(t) > sLo {
+			t--
+		}
+		for dst.Hi(t) <= sLo && t < dst.NumParts()-1 {
+			t++
+		}
+		for q := t; q < dst.NumParts(); q++ {
+			lo, hi := maxI64(sLo, dst.Lo(q)), minI64(sHi, dst.Hi(q))
+			if lo < hi {
+				p.Chunks = append(p.Chunks, Chunk{Src: s, Dst: q, Lo: lo, Hi: hi})
+			}
+			if dst.Hi(q) >= sHi {
+				break
+			}
+		}
+	}
+	return p
+}
+
+// WeightOf sums prefix weights over a part's range: the load metric the
+// balanced distribution equalizes.
+func WeightOf(prefix []int64, d Dist, r int) int64 {
+	return prefix[d.Hi(r)] - prefix[d.Lo(r)]
+}
+
+// NewCutsDist builds a distribution from explicit cut points
+// (len parts+1, monotone, cuts[0] = 0): part r owns [cuts[r], cuts[r+1]).
+func NewCutsDist(cuts []int64) WeightedDist {
+	if len(cuts) < 2 || cuts[0] != 0 {
+		panic(fmt.Sprintf("partition: invalid cuts %v", cuts))
+	}
+	for i := 0; i < len(cuts)-1; i++ {
+		if cuts[i+1] < cuts[i] {
+			panic(fmt.Sprintf("partition: cuts not monotone at %d", i))
+		}
+	}
+	return WeightedDist{cuts: append([]int64(nil), cuts...)}
+}
+
+// KeepOwnShrinkDist implements the paper's §5 future-work remapping for a
+// shrink from ns to nt parts: surviving part t's new range starts exactly
+// at its old block, so it keeps 100% of its data; the last survivor
+// absorbs the tail owned by the terminated parts. The price is load
+// imbalance — Imbalance quantifies it.
+func KeepOwnShrinkDist(n int64, ns, nt int) WeightedDist {
+	if nt > ns {
+		panic(fmt.Sprintf("partition: KeepOwnShrinkDist with nt=%d > ns=%d", nt, ns))
+	}
+	b := NewBlockDist(n, ns)
+	cuts := make([]int64, nt+1)
+	for t := 0; t < nt; t++ {
+		cuts[t] = b.Lo(t)
+	}
+	cuts[nt] = n
+	return WeightedDist{cuts: cuts}
+}
+
+// KeepOwnExpandDist is the expansion dual: every persisting source keeps
+// its whole block except the last, whose block the new parts split.
+func KeepOwnExpandDist(n int64, ns, nt int) WeightedDist {
+	if nt < ns {
+		panic(fmt.Sprintf("partition: KeepOwnExpandDist with nt=%d < ns=%d", nt, ns))
+	}
+	b := NewBlockDist(n, ns)
+	cuts := make([]int64, nt+1)
+	for r := 0; r < ns; r++ {
+		cuts[r] = b.Lo(r)
+	}
+	// Split the last source's block among itself and the newcomers.
+	tail := n - b.Lo(ns-1)
+	extra := int64(nt - ns + 1)
+	for j := int64(0); j < extra; j++ {
+		cuts[int64(ns-1)+j] = b.Lo(ns-1) + tail*j/extra
+	}
+	cuts[nt] = n
+	return WeightedDist{cuts: cuts}
+}
+
+// Imbalance reports max part size over the balanced size — 1.0 means
+// perfectly even; KeepOwn distributions trade this for zero moved bytes on
+// survivors.
+func Imbalance(d Dist) float64 {
+	parts := d.NumParts()
+	var maxC int64
+	for r := 0; r < parts; r++ {
+		if c := d.Hi(r) - d.Lo(r); c > maxC {
+			maxC = c
+		}
+	}
+	ideal := float64(d.Elements()) / float64(parts)
+	if ideal == 0 {
+		return 1
+	}
+	return float64(maxC) / ideal
+}

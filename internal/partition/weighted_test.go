@@ -1,0 +1,182 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// prefixOf builds a prefix-sum array from per-element weights.
+func prefixOf(weights []int64) []int64 {
+	p := make([]int64, len(weights)+1)
+	for i, w := range weights {
+		p[i+1] = p[i] + w
+	}
+	return p
+}
+
+func TestWeightedDistEqualWeightsMatchesBlock(t *testing.T) {
+	weights := make([]int64, 12)
+	for i := range weights {
+		weights[i] = 5
+	}
+	d := NewWeightedDist(prefixOf(weights), 4)
+	b := NewBlockDist(12, 4)
+	for r := 0; r < 4; r++ {
+		if d.Lo(r) != b.Lo(r) || d.Hi(r) != b.Hi(r) {
+			t.Fatalf("part %d = [%d,%d), block would be [%d,%d)", r, d.Lo(r), d.Hi(r), b.Lo(r), b.Hi(r))
+		}
+	}
+}
+
+func TestWeightedDistBalancesSkewedWeights(t *testing.T) {
+	// First element carries half the total weight: it should be alone.
+	weights := []int64{100, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10} // total 210... first ≈ half
+	prefix := prefixOf(weights)
+	d := NewWeightedDist(prefix, 2)
+	w0 := WeightOf(prefix, d, 0)
+	w1 := WeightOf(prefix, d, 1)
+	// Balanced within one element's weight of each other.
+	if w0 < 90 || w0 > 120 || w1 < 90 || w1 > 120 {
+		t.Fatalf("weights = %d, %d, want ≈ 105 each", w0, w1)
+	}
+	if d.Count(0) >= d.Count(1) {
+		t.Fatalf("heavy part has %d elements vs %d; expected fewer", d.Count(0), d.Count(1))
+	}
+}
+
+func TestWeightedDistPartitionInvariants(t *testing.T) {
+	f := func(seed int64, partsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		parts := int(partsRaw%16) + 1
+		weights := make([]int64, n)
+		for i := range weights {
+			weights[i] = int64(rng.Intn(50)) // zeros allowed
+		}
+		prefix := prefixOf(weights)
+		d := NewWeightedDist(prefix, parts)
+		if d.Elements() != int64(n) || d.NumParts() != parts {
+			return false
+		}
+		// Contiguous, complete, monotone.
+		var prev int64
+		for r := 0; r < parts; r++ {
+			if d.Lo(r) != prev || d.Hi(r) < d.Lo(r) {
+				return false
+			}
+			prev = d.Hi(r)
+		}
+		if prev != int64(n) {
+			return false
+		}
+		// Owner agrees with ranges.
+		for i := int64(0); i < int64(n); i++ {
+			r := d.Owner(i)
+			if i < d.Lo(r) || i >= d.Hi(r) {
+				return false
+			}
+		}
+		// Balance: every part's weight within total/parts + max element.
+		var maxW int64
+		for _, w := range weights {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		bound := prefix[n]/int64(parts) + maxW
+		for r := 0; r < parts; r++ {
+			if WeightOf(prefix, d, r) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanBetweenWeightedAndBlock(t *testing.T) {
+	weights := make([]int64, 40)
+	for i := range weights {
+		weights[i] = int64(1 + i%7)
+	}
+	prefix := prefixOf(weights)
+	src := NewWeightedDist(prefix, 3)
+	dst := NewBlockDist(40, 5)
+	p := PlanBetween(src, dst)
+	if p.NS != 3 || p.NT != 5 {
+		t.Fatalf("plan dims %dx%d", p.NS, p.NT)
+	}
+	// Conservation: recv chunks tile each target block.
+	for r := 0; r < 5; r++ {
+		var got int64
+		prev := dst.Lo(r)
+		for _, ch := range p.RecvChunks(r) {
+			if ch.Lo != prev {
+				t.Fatalf("target %d gap at %d", r, ch.Lo)
+			}
+			prev = ch.Hi
+			got += ch.Count()
+		}
+		if prev != dst.Hi(r) || got != dst.Count(r) {
+			t.Fatalf("target %d covered %d of %d", r, got, dst.Count(r))
+		}
+	}
+}
+
+func TestPlanBetweenMatchesNewPlan(t *testing.T) {
+	f := func(nRaw uint16, nsRaw, ntRaw uint8) bool {
+		n := int64(nRaw%500) + 1
+		ns := int(nsRaw%12) + 1
+		nt := int(ntRaw%12) + 1
+		a := NewPlan(n, ns, nt)
+		b := PlanBetween(NewBlockDist(n, ns), NewBlockDist(n, nt))
+		if len(a.Chunks) != len(b.Chunks) {
+			return false
+		}
+		for i := range a.Chunks {
+			if a.Chunks[i] != b.Chunks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedDistDegenerate(t *testing.T) {
+	// All weight in the last element; more parts than elements with weight.
+	prefix := prefixOf([]int64{0, 0, 0, 100})
+	d := NewWeightedDist(prefix, 3)
+	total := int64(0)
+	for r := 0; r < 3; r++ {
+		total += d.Count(r)
+	}
+	if total != 4 {
+		t.Fatalf("counts sum to %d, want 4", total)
+	}
+}
+
+func TestWeightedDistPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewWeightedDist(nil, 2) },
+		func() { NewWeightedDist([]int64{0, 5, 3}, 2) },
+		func() { NewWeightedDist([]int64{0, 1}, 0) },
+		func() { NewWeightedDist([]int64{0, 1}, 1).Lo(1) },
+		func() { NewWeightedDist([]int64{0, 1}, 1).Owner(5) },
+		func() { PlanBetween(NewBlockDist(5, 2), NewBlockDist(6, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

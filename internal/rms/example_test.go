@@ -1,0 +1,27 @@
+package rms_test
+
+import (
+	"fmt"
+
+	"repro/internal/rms"
+)
+
+// Two jobs on a 20-core cluster: the malleable one expands into the idle
+// cores, shrinks when the rigid job arrives, and expands back afterwards.
+func ExampleSim() {
+	s := rms.New(20, nil) // nil cost model: free reconfigurations
+	s.Add(
+		rms.Job{ID: 0, Arrival: 0, Work: 200, Procs: 10, MaxProcs: 20, Malleable: true},
+		rms.Job{ID: 1, Arrival: 5, Work: 50, Procs: 10},
+	)
+	res := s.Run()
+	for _, j := range res.Jobs {
+		fmt.Printf("job %d: start %.1f end %.1f (%d reconfigurations)\n",
+			j.ID, j.Start, j.End, j.Reconfigs)
+	}
+	fmt.Printf("makespan %.1f s, utilization %.0f%%\n", res.Makespan, 100*res.Utilization(20))
+	// Output:
+	// job 0: start 0.0 end 12.5 (2 reconfigurations)
+	// job 1: start 5.0 end 10.0 (0 reconfigurations)
+	// makespan 12.5 s, utilization 100%
+}

@@ -1,0 +1,80 @@
+package rms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for arbitrary job mixes, the simulation conserves work
+// (UsedCoreSeconds equals the submitted total), utilization never exceeds
+// 1, and every job starts at or after its arrival and ends after it
+// starts.
+func TestPropertySimulationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cores := 32 + rng.Intn(128)
+		s := New(cores, PaperCostModel(10e-3, 5e-3, 1e9, 20))
+		n := 1 + rng.Intn(8)
+		var totalWork float64
+		for i := 0; i < n; i++ {
+			procs := 1 + rng.Intn(cores)
+			work := 10 + rng.Float64()*500
+			totalWork += work
+			s.Add(Job{
+				ID:        i,
+				Arrival:   rng.Float64() * 50,
+				Work:      work,
+				Procs:     procs,
+				MaxProcs:  procs + rng.Intn(cores),
+				Malleable: rng.Intn(2) == 0,
+				DataBytes: int64(rng.Intn(1 << 30)),
+			})
+		}
+		res := s.Run()
+		if res.Utilization(cores) > 1+1e-9 {
+			return false
+		}
+		// Work conservation within float tolerance.
+		if d := res.UsedCoreSeconds - totalWork; d < -1e-6*totalWork || d > 1e-6*totalWork {
+			return false
+		}
+		for _, j := range res.Jobs {
+			if j.End < j.Start || j.Start < 0 {
+				return false
+			}
+			if j.End > res.Makespan+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding work never shortens the makespan.
+func TestPropertyMakespanMonotoneInWork(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		build := func(extra float64) Result {
+			s := New(64, nil)
+			for i := 0; i < 4; i++ {
+				s.Add(Job{
+					ID: i, Arrival: float64(i) * 3,
+					Work:  100 + extra,
+					Procs: 16, MaxProcs: 64,
+					Malleable: i%2 == 0,
+				})
+			}
+			return s.Run()
+		}
+		base := build(0)
+		more := build(50 + rng.Float64()*100)
+		return more.Makespan >= base.Makespan-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

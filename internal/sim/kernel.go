@@ -1,0 +1,215 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// with cooperative processes running in virtual time.
+//
+// The kernel owns a virtual clock and a priority queue of events. Simulated
+// processes are goroutines that run one at a time: the scheduler hands
+// control to a process, and the process hands control back when it blocks on
+// a timer, a Signal, or process exit. Because exactly one goroutine executes
+// at any instant and ties are broken by sequence number, a simulation with a
+// fixed set of inputs always produces the same trace.
+//
+// All kernel methods must be called from scheduler context: either from
+// inside a running process or from an event callback. The kernel is not safe
+// for concurrent use from arbitrary goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+
+	current *Proc
+	yield   chan yieldMsg
+
+	live    map[*Proc]struct{}
+	nextPID int
+
+	running bool
+	dead    bool
+	failure error
+}
+
+type yieldMsg struct {
+	proc *Proc
+	done bool
+	err  error
+}
+
+type resumeMsg struct {
+	kill bool
+}
+
+// event is a scheduled callback. Events compare by (time, seq) so that
+// simultaneous events fire in scheduling order, which keeps runs
+// deterministic.
+type event struct {
+	at       float64
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// NewKernel returns a kernel with the clock at zero and no events.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan yieldMsg),
+		live:  make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Timer is a handle to a scheduled event. Cancel prevents a pending event
+// from firing.
+type Timer struct {
+	k  *Kernel
+	ev *event
+}
+
+// Cancel stops the timer. It reports whether the event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	pending := t.ev.index >= 0
+	t.ev.canceled = true
+	return pending
+}
+
+// When reports the virtual time the timer fires at.
+func (t *Timer) When() float64 { return t.ev.at }
+
+// At schedules fn to run at virtual time at. Scheduling in the past is an
+// error and panics: it would break causality.
+func (k *Kernel) At(at float64, fn func()) *Timer {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", at, k.now))
+	}
+	e := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return &Timer{k: k, ev: e}
+}
+
+// After schedules fn to run d seconds of virtual time from now.
+func (k *Kernel) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// DeadlockError is returned by Run when live processes remain but no event
+// can ever wake them.
+type DeadlockError struct {
+	Time    float64
+	Blocked []string // "name: reason" for every live blocked process
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%.6f with %d blocked processes: %v",
+		e.Time, len(e.Blocked), e.Blocked)
+}
+
+// Run executes events until none remain. It returns nil on a clean drain,
+// a *DeadlockError if processes remain blocked with an empty event queue,
+// or the panic value of the first process that panicked.
+func (k *Kernel) Run() error {
+	if k.running || k.dead {
+		panic("sim: Run called twice")
+	}
+	k.running = true
+	for k.events.Len() > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if e.canceled {
+			continue
+		}
+		k.now = e.at
+		e.fn()
+		if k.failure != nil {
+			k.shutdown()
+			return k.failure
+		}
+	}
+	k.running = false
+	if len(k.live) > 0 {
+		var blocked []string
+		for p := range k.live {
+			blocked = append(blocked, p.name+": "+p.blockReason)
+		}
+		sort.Strings(blocked)
+		err := &DeadlockError{Time: k.now, Blocked: blocked}
+		k.failure = err
+		k.shutdown()
+		return err
+	}
+	k.dead = true
+	return nil
+}
+
+// shutdown kills every live process goroutine so that Run leaks nothing.
+func (k *Kernel) shutdown() {
+	k.dead = true
+	for len(k.live) > 0 {
+		var p *Proc
+		for q := range k.live {
+			p = q
+			break
+		}
+		k.resumeProc(p, resumeMsg{kill: true})
+	}
+}
+
+// resumeProc hands control to p and waits for it to yield back.
+func (k *Kernel) resumeProc(p *Proc, msg resumeMsg) {
+	prev := k.current
+	k.current = p
+	p.resume <- msg
+	y := <-k.yield
+	k.current = prev
+	if y.done {
+		delete(k.live, y.proc)
+	}
+	if y.err != nil && k.failure == nil {
+		k.failure = y.err
+	}
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKillUnwindsDeferred(t *testing.T) {
+	k := NewKernel()
+	cleaned := false
+	victim := k.Spawn("victim", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Sleep(100)
+	})
+	k.At(1, func() { k.Kill(victim) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cleaned {
+		t.Fatal("deferred cleanup did not run on Kill")
+	}
+}
+
+func TestKillAtStopsExecution(t *testing.T) {
+	k := NewKernel()
+	steps := 0
+	victim := k.Spawn("victim", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(1)
+			steps++
+		}
+	})
+	k.KillAt(5.5, victim)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 {
+		t.Fatalf("victim took %d steps, want 5 before the kill at 5.5", steps)
+	}
+}
+
+func TestKillFinishedProcessIsNoOp(t *testing.T) {
+	k := NewKernel()
+	victim := k.Spawn("victim", func(p *Proc) {})
+	k.At(1, func() { k.Kill(victim) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillLeavesPeersDeadlocked(t *testing.T) {
+	// A peer waiting on the victim's signal must surface in the deadlock
+	// report — failure injection makes hangs observable.
+	k := NewKernel()
+	s := NewSignal("handoff")
+	victim := k.Spawn("victim", func(p *Proc) {
+		p.Sleep(10)
+		s.Broadcast() // never happens
+	})
+	k.Spawn("peer", func(p *Proc) { p.Wait(s) })
+	k.KillAt(1, victim)
+	err := k.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("Run() = %v, want deadlock after the kill", err)
+	}
+	if len(de.Blocked) != 1 || !strings.Contains(de.Blocked[0], "peer") {
+		t.Fatalf("Blocked = %v, want the surviving peer", de.Blocked)
+	}
+}
+
+func TestSelfKillPanics(t *testing.T) {
+	k := NewKernel()
+	var captured error
+	k.Spawn("suicidal", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("self-Kill did not panic")
+			}
+		}()
+		k.Kill(p)
+	})
+	if err := k.Run(); err != nil {
+		captured = err
+	}
+	_ = captured
+}

@@ -1,0 +1,231 @@
+// Package ps implements processor-sharing resources in virtual time.
+//
+// A Resource has a total service capacity (for a CPU: number of cores; each
+// unit of capacity serves one unit of work per second) shared equally among
+// the tasks currently attached to it, with an optional per-task rate cap
+// (a single-threaded task cannot use more than one core). When tasks join or
+// leave, every remaining task's service rate changes instantly — the fluid
+// approximation of a time-sliced scheduler.
+//
+// This is the mechanism that reproduces oversubscription: 40 runnable
+// contexts on a 20-core node each progress at half speed, exactly the effect
+// the paper attributes to Baseline reconfigurations and polling waits.
+package ps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Resource is a processor-sharing server. Create with NewResource; the zero
+// value is not usable. All methods must be called from scheduler context.
+type Resource struct {
+	k        *sim.Kernel
+	name     string
+	capacity float64 // total service rate (e.g. cores)
+	perTask  float64 // max rate of one task (e.g. 1.0 core); 0 means no cap
+
+	tasks      map[*Task]struct{}
+	lastUpdate float64
+	timer      *sim.Timer
+	nextSeq    uint64
+}
+
+// Task is a unit of demand attached to a Resource. Finite tasks complete
+// after their work is served; load tasks (see AddLoad) only consume capacity.
+type Task struct {
+	r         *Resource
+	seq       uint64
+	remaining float64
+	infinite  bool
+	done      func()
+	stopped   bool
+}
+
+// NewResource creates a processor-sharing resource. capacity is the total
+// service rate; perTask caps the rate a single task may receive (0 = no cap).
+func NewResource(k *sim.Kernel, name string, capacity, perTask float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ps: resource %q with non-positive capacity %g", name, capacity))
+	}
+	return &Resource{
+		k:        k,
+		name:     name,
+		capacity: capacity,
+		perTask:  perTask,
+		tasks:    make(map[*Task]struct{}),
+	}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total service rate.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Load reports the number of attached tasks (finite and load tasks).
+func (r *Resource) Load() int { return len(r.tasks) }
+
+// Rate reports the current service rate of each task.
+func (r *Resource) Rate() float64 { return r.rate(len(r.tasks)) }
+
+func (r *Resource) rate(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	rate := r.capacity / float64(n)
+	if r.perTask > 0 && rate > r.perTask {
+		rate = r.perTask
+	}
+	return rate
+}
+
+// advance applies the service received since lastUpdate to all finite tasks.
+func (r *Resource) advance() {
+	now := r.k.Now()
+	elapsed := now - r.lastUpdate
+	r.lastUpdate = now
+	if elapsed <= 0 || len(r.tasks) == 0 {
+		return
+	}
+	served := r.Rate() * elapsed
+	for t := range r.tasks {
+		if t.infinite {
+			continue
+		}
+		t.remaining -= served
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+}
+
+// reschedule arms the completion timer for the earliest finishing task.
+func (r *Resource) reschedule() {
+	if r.timer != nil {
+		r.timer.Cancel()
+		r.timer = nil
+	}
+	rate := r.Rate()
+	if rate <= 0 {
+		return
+	}
+	earliest := math.Inf(1)
+	any := false
+	for t := range r.tasks {
+		if t.infinite {
+			continue
+		}
+		any = true
+		if dt := t.remaining / rate; dt < earliest {
+			earliest = dt
+		}
+	}
+	if !any {
+		return
+	}
+	r.timer = r.k.After(earliest, r.onCompletion)
+}
+
+func (r *Resource) onCompletion() {
+	r.timer = nil
+	r.advance()
+	// Collect completions first: done callbacks may attach new tasks.
+	var finished []*Task
+	const eps = 1e-12
+	now := r.k.Now()
+	rate := r.Rate()
+	for t := range r.tasks {
+		if t.infinite {
+			continue
+		}
+		// Done when the residue is negligible or when serving it cannot
+		// advance the clock (the completion event would re-fire at the same
+		// timestamp forever).
+		if t.remaining <= eps || (rate > 0 && now+t.remaining/rate == now) {
+			finished = append(finished, t)
+		}
+	}
+	// Map iteration order is random; completion callbacks must fire in a
+	// deterministic order for reproducible simulations.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	for _, t := range finished {
+		delete(r.tasks, t)
+		t.stopped = true
+	}
+	r.reschedule()
+	for _, t := range finished {
+		if t.done != nil {
+			t.done()
+		}
+	}
+}
+
+// Start attaches a finite task demanding work units of service; done runs
+// when the task completes. It returns a handle that can cancel the task.
+func (r *Resource) Start(work float64, done func()) *Task {
+	if work < 0 {
+		panic(fmt.Sprintf("ps: negative work %g on %q", work, r.name))
+	}
+	r.advance()
+	t := &Task{r: r, seq: r.nextSeq, remaining: work, done: done}
+	r.nextSeq++
+	r.tasks[t] = struct{}{}
+	r.reschedule()
+	if work == 0 {
+		// Zero work still goes through the queue-change cycle so a burst of
+		// zero-cost tasks is deterministic, but completes immediately.
+		r.k.After(0, func() {
+			if !t.stopped {
+				delete(r.tasks, t)
+				t.stopped = true
+				r.advance()
+				r.reschedule()
+				if t.done != nil {
+					t.done()
+				}
+			}
+		})
+	}
+	return t
+}
+
+// AddLoad attaches a pure-load task: it consumes a fair share of the
+// resource indefinitely (diluting everyone else) but never completes. This
+// models a polling wait loop burning a core. Remove it with Stop.
+func (r *Resource) AddLoad() *Task {
+	r.advance()
+	t := &Task{r: r, seq: r.nextSeq, infinite: true}
+	r.nextSeq++
+	r.tasks[t] = struct{}{}
+	r.reschedule()
+	return t
+}
+
+// Stop detaches the task. It reports whether the task was still attached.
+// The done callback of a finite task does not run on Stop.
+func (t *Task) Stop() bool {
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	t.r.advance()
+	delete(t.r.tasks, t)
+	t.r.reschedule()
+	return true
+}
+
+// Remaining reports the unserved work of a finite task.
+func (t *Task) Remaining() float64 { return t.remaining }
+
+// Use blocks the calling process until work units of service have been
+// delivered under processor sharing. It is the standard way for a simulated
+// computation to consume CPU.
+func (r *Resource) Use(p *sim.Proc, work float64) {
+	done := sim.NewSignal(fmt.Sprintf("ps:%s", r.name))
+	r.Start(work, done.Broadcast)
+	p.Wait(done)
+}

@@ -1,0 +1,150 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket serializes the matrix in MatrixMarket coordinate format
+// (the format Queen_4147 is distributed in): a header line, a size line,
+// and one "row col value" triplet per stored entry, 1-based.
+func (m *CSR) WriteMatrixMarket(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.Nnz()); err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.ColIdx[k]+1, m.Vals[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file into CSR form.
+// Supported qualifiers: real/integer/pattern values, general or symmetric
+// storage (symmetric entries are mirrored). Comments (%) are skipped.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	valueKind := header[3]
+	symmetric := false
+	if len(header) >= 5 {
+		switch header[4] {
+		case "general":
+		case "symmetric":
+			symmetric = true
+		default:
+			return nil, fmt.Errorf("sparse: unsupported symmetry %q", header[4])
+		}
+	}
+	switch valueKind {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("sparse: unsupported value type %q", valueKind)
+	}
+
+	// Size line (after comments).
+	var rows, cols int
+	var nnz int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: bad dimensions %dx%d", rows, cols)
+	}
+
+	type triplet struct {
+		r, c int32
+		v    float64
+	}
+	entries := make([]triplet, 0, nnz)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("sparse: bad entry %q", line)
+		}
+		ri, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row in %q: %w", line, err)
+		}
+		ci, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad column in %q: %w", line, err)
+		}
+		v := 1.0
+		if valueKind != "pattern" {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in %q", line)
+			}
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value in %q: %w", line, err)
+			}
+		}
+		if ri < 1 || ri > rows || ci < 1 || ci > cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", ri, ci, rows, cols)
+		}
+		entries = append(entries, triplet{r: int32(ri - 1), c: int32(ci - 1), v: v})
+		if symmetric && ri != ci {
+			entries = append(entries, triplet{r: int32(ci - 1), c: int32(ri - 1), v: v})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].r != entries[j].r {
+			return entries[i].r < entries[j].r
+		}
+		return entries[i].c < entries[j].c
+	})
+	m := &CSR{
+		Rows:   rows,
+		Cols:   cols,
+		RowPtr: make([]int64, rows+1),
+		ColIdx: make([]int32, 0, len(entries)),
+		Vals:   make([]float64, 0, len(entries)),
+	}
+	for _, e := range entries {
+		m.ColIdx = append(m.ColIdx, e.c)
+		m.Vals = append(m.Vals, e.v)
+		m.RowPtr[e.r+1]++
+	}
+	for i := 0; i < rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,114 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := QueenLike(50, 4)
+	var buf bytes.Buffer
+	if err := m.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols || back.Nnz() != m.Nnz() {
+		t.Fatalf("shape changed: %dx%d/%d vs %dx%d/%d",
+			back.Rows, back.Cols, back.Nnz(), m.Rows, m.Cols, m.Nnz())
+	}
+	if !reflect.DeepEqual(back.RowPtr, m.RowPtr) || !reflect.DeepEqual(back.ColIdx, m.ColIdx) {
+		t.Fatal("structure changed across round trip")
+	}
+	for i := range m.Vals {
+		if back.Vals[i] != m.Vals[i] {
+			t.Fatalf("value %d changed: %g vs %g", i, back.Vals[i], m.Vals[i])
+		}
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 1.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal (2,1) mirrors to (1,2): 5 stored entries.
+	if m.Nnz() != 5 {
+		t.Fatalf("Nnz = %d, want 5", m.Nnz())
+	}
+	x := []float64{1, 1, 1}
+	y := make([]float64, 3)
+	m.MulVec(x, y)
+	want := []float64{1, 1, 1.5}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 1
+2 2
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Vals[0] != 1 || m.Vals[1] != 1 {
+		t.Fatalf("pattern values = %v, want ones", m.Vals)
+	}
+}
+
+func TestMatrixMarketUnsortedInputSorted(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 3
+2 2 4.0
+1 2 2.0
+1 1 1.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ColIdx[0] != 0 || m.ColIdx[1] != 1 {
+		t.Fatalf("row 0 columns = %v, want sorted", m.ColIdx[:2])
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d parsed unexpectedly", i)
+		}
+	}
+}

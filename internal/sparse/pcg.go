@@ -1,0 +1,134 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Diagonal extracts the matrix diagonal; entries absent from the sparsity
+// pattern are zero.
+func (m *CSR) Diagonal() []float64 {
+	d := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.ColIdx[k]) == i {
+				d[i] = m.Vals[k]
+			}
+		}
+	}
+	return d
+}
+
+// PCG solves A x = b with the Jacobi-preconditioned Conjugate Gradient:
+// M = diag(A). For badly scaled SPD systems it converges in far fewer
+// iterations than plain CG at the cost of one extra elementwise product
+// per iteration.
+func PCG(a *CSR, b []float64, tol float64, maxIter int) CGResult {
+	n := a.Rows
+	if len(b) != n || a.Cols != n {
+		panic(fmt.Sprintf("sparse: PCG with |b|=%d for %dx%d", len(b), a.Rows, a.Cols))
+	}
+	inv := make([]float64, n)
+	for i, d := range a.Diagonal() {
+		if d == 0 {
+			panic(fmt.Sprintf("sparse: PCG with zero diagonal at row %d", i))
+		}
+		inv[i] = 1 / d
+	}
+
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = inv[i] * r[i]
+	}
+	p := append([]float64(nil), z...)
+	q := make([]float64, n)
+
+	rz := Dot(r, z)
+	res := CGResult{X: x}
+	for res.Iterations = 0; res.Iterations < maxIter; res.Iterations++ {
+		if Norm2(r) <= tol {
+			res.Converged = true
+			break
+		}
+		a.MulVec(p, q)
+		alpha := rz / Dot(p, q)
+		Axpy(alpha, p, x)
+		Axpy(-alpha, q, r)
+		for i := range z {
+			z[i] = inv[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+		rz = rzNew
+	}
+	res.Residual = Norm2(r)
+	res.Converged = res.Residual <= tol
+	return res
+}
+
+// ScaleRowsCols returns D A D for diagonal scaling d: the standard way to
+// manufacture an ill-conditioned SPD test system from a well-behaved one.
+func (m *CSR) ScaleRowsCols(d []float64) *CSR {
+	if len(d) != m.Rows || m.Rows != m.Cols {
+		panic("sparse: ScaleRowsCols dimension mismatch")
+	}
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int64(nil), m.RowPtr...),
+		ColIdx: append([]int32(nil), m.ColIdx...),
+		Vals:   make([]float64, len(m.Vals)),
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out.Vals[k] = d[i] * m.Vals[k] * d[m.ColIdx[k]]
+		}
+	}
+	return out
+}
+
+// ConditionEstimate returns a crude spectral-range estimate via a few
+// power iterations on A and on the Jacobi-scaled A, used by tests to
+// confirm a system is genuinely ill-conditioned.
+func (m *CSR) ConditionEstimate(iters int) float64 {
+	n := m.Rows
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n))
+	}
+	w := make([]float64, n)
+	var lambdaMax float64
+	for it := 0; it < iters; it++ {
+		m.MulVec(v, w)
+		lambdaMax = Norm2(w)
+		for i := range v {
+			v[i] = w[i] / lambdaMax
+		}
+	}
+	// Lower bound on the smallest eigenvalue via the diagonal (valid for
+	// the diagonally dominant generators used here).
+	min := math.Inf(1)
+	for i := 0; i < n; i++ {
+		var off float64
+		var diag float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.ColIdx[k]) == i {
+				diag = m.Vals[k]
+			} else {
+				off += math.Abs(m.Vals[k])
+			}
+		}
+		if g := diag - off; g < min {
+			min = g
+		}
+	}
+	if min <= 0 {
+		min = 1e-12
+	}
+	return lambdaMax / min
+}

@@ -1,0 +1,125 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// illConditioned builds D A D with exponentially spread diagonal scaling.
+func illConditioned(n int) *CSR {
+	a := QueenLike(n, 5)
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = math.Pow(10, 2*float64(i)/float64(n)) // spread 1..100
+	}
+	return a.ScaleRowsCols(d)
+}
+
+func TestDiagonal(t *testing.T) {
+	m := Laplacian1D(4)
+	d := m.Diagonal()
+	for i, v := range d {
+		if v != 2 {
+			t.Fatalf("diag[%d] = %g, want 2", i, v)
+		}
+	}
+}
+
+func TestScaleRowsColsSymmetric(t *testing.T) {
+	a := QueenLike(30, 4)
+	d := make([]float64, 30)
+	for i := range d {
+		d[i] = float64(i%5 + 1)
+	}
+	s := a.ScaleRowsCols(d)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Scaled matrix stays symmetric: check via dense reconstruction.
+	get := func(m *CSR, i, j int) float64 {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.ColIdx[k]) == j {
+				return m.Vals[k]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < 30; i += 3 {
+		for j := 0; j < 30; j += 7 {
+			if math.Abs(get(s, i, j)-get(s, j, i)) > 1e-12 {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPCGSolvesIllConditionedSystem(t *testing.T) {
+	n := 240
+	a := illConditioned(n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(float64(i) * 0.3)
+	}
+	res := PCG(a, b, 1e-8, 2000)
+	if !res.Converged {
+		t.Fatalf("PCG did not converge: residual %g", res.Residual)
+	}
+	y := make([]float64, n)
+	a.MulVec(res.X, y)
+	for i := range y {
+		if math.Abs(y[i]-b[i]) > 1e-5 {
+			t.Fatalf("Ax[%d] off by %g", i, math.Abs(y[i]-b[i]))
+		}
+	}
+}
+
+func TestPCGBeatsCGOnIllConditionedSystem(t *testing.T) {
+	n := 240
+	a := illConditioned(n)
+	if a.ConditionEstimate(30) < 100 {
+		t.Fatal("test system unexpectedly well conditioned")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	cg := CG(a, b, 1e-8, 5000)
+	pcg := PCG(a, b, 1e-8, 5000)
+	if !pcg.Converged {
+		t.Fatalf("PCG did not converge (residual %g)", pcg.Residual)
+	}
+	// Jacobi preconditioning must cut the iteration count substantially on
+	// a badly scaled system.
+	if !cg.Converged || pcg.Iterations*2 < cg.Iterations {
+		return // PCG at least 2x fewer iterations, or CG failed outright
+	}
+	t.Fatalf("PCG took %d iterations vs CG's %d; expected a clear win", pcg.Iterations, cg.Iterations)
+}
+
+func TestPCGMatchesCGOnWellConditionedSystem(t *testing.T) {
+	a := QueenLike(150, 6)
+	b := make([]float64, 150)
+	for i := range b {
+		b[i] = float64(i % 3)
+	}
+	cg := CG(a, b, 1e-9, 1000)
+	pcg := PCG(a, b, 1e-9, 1000)
+	if !cg.Converged || !pcg.Converged {
+		t.Fatal("solvers did not converge")
+	}
+	for i := range cg.X {
+		if math.Abs(cg.X[i]-pcg.X[i]) > 1e-6 {
+			t.Fatalf("solutions differ at %d: %g vs %g", i, cg.X[i], pcg.X[i])
+		}
+	}
+}
+
+func TestPCGZeroDiagonalPanics(t *testing.T) {
+	m := &CSR{Rows: 2, Cols: 2, RowPtr: []int64{0, 1, 2}, ColIdx: []int32{1, 0}, Vals: []float64{1, 1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero diagonal did not panic")
+		}
+	}()
+	PCG(m, []float64{1, 1}, 1e-9, 10)
+}

@@ -1,0 +1,47 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// The paper's selection procedure for one (NS, NT) cell: the fastest
+// configuration by median wins, and Kruskal-Wallis plus the Conover
+// post-hoc decide which others are statistically tied with it.
+func ExampleSelectFastest() {
+	mergeCOLS := []float64{0.82, 0.83, 0.81, 0.84, 0.83}
+	mergeP2PS := []float64{0.83, 0.82, 0.82, 0.84, 0.82} // indistinguishable
+	baseCOLS := []float64{5.9, 6.1, 5.8, 6.0, 6.2}       // clearly slower
+
+	sel := stats.SelectFastest([][]float64{mergeCOLS, mergeP2PS, baseCOLS}, 0.05)
+	fmt.Printf("fastest: group %d\n", sel.Best)
+	fmt.Printf("statistically tied: %v\n", sel.Tied)
+	// Output:
+	// fastest: group 1
+	// statistically tied: [0 1]
+}
+
+// Kruskal-Wallis on clearly separated groups rejects the hypothesis that
+// they share a distribution.
+func ExampleKruskalWallis() {
+	res := stats.KruskalWallis(
+		[]float64{1, 2, 3, 4, 5},
+		[]float64{11, 12, 13, 14, 15},
+		[]float64{21, 22, 23, 24, 25},
+	)
+	fmt.Printf("H = %.2f with %d degrees of freedom, p < 0.01: %v\n",
+		res.H, res.DF, res.P < 0.01)
+	// Output:
+	// H = 12.50 with 2 degrees of freedom, p < 0.01: true
+}
+
+// Shapiro-Wilk flags a strongly skewed sample as non-normal, which is what
+// pushes the paper to medians and non-parametric tests.
+func ExampleShapiroWilk() {
+	skewed := []float64{148, 154, 158, 160, 161, 162, 166, 170, 182, 195, 236}
+	res := stats.ShapiroWilk(skewed)
+	fmt.Printf("rejects normality at 5%%: %v\n", res.P < 0.05)
+	// Output:
+	// rejects normality at 5%: true
+}

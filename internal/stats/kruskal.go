@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// KruskalWallisResult reports the tie-corrected H statistic and the
+// chi-square p-value of the one-way analysis of variance by ranks.
+type KruskalWallisResult struct {
+	H  float64
+	DF int
+	P  float64
+}
+
+// KruskalWallis tests the null hypothesis that all groups share the same
+// distribution (the paper applies it to the twelve configurations'
+// execution times before selecting a winner).
+func KruskalWallis(groups ...[]float64) KruskalWallisResult {
+	k := len(groups)
+	if k < 2 {
+		panic(fmt.Sprintf("stats: Kruskal-Wallis needs >= 2 groups, got %d", k))
+	}
+	var pooled []float64
+	for _, g := range groups {
+		if len(g) == 0 {
+			panic("stats: Kruskal-Wallis with empty group")
+		}
+		pooled = append(pooled, g...)
+	}
+	n := len(pooled)
+	ranks, tieTerm := Ranks(pooled)
+
+	var h float64
+	off := 0
+	for _, g := range groups {
+		var rsum float64
+		for range g {
+			rsum += ranks[off]
+			off++
+		}
+		h += rsum * rsum / float64(len(g))
+	}
+	fn := float64(n)
+	h = 12/(fn*(fn+1))*h - 3*(fn+1)
+
+	// Tie correction.
+	c := 1 - tieTerm/(fn*fn*fn-fn)
+	if c > 0 {
+		h /= c
+	}
+	df := k - 1
+	return KruskalWallisResult{H: h, DF: df, P: ChiSquareSF(h, df)}
+}
+
+// ConoverResult holds the pairwise two-sided p-values of the Conover-Iman
+// post-hoc test, indexed by group pair.
+type ConoverResult struct {
+	P [][]float64 // P[i][j], symmetric, 1 on the diagonal
+}
+
+// Conover performs the Conover-Iman post-hoc comparison after a
+// Kruskal-Wallis test: pairwise t statistics on the rank sums, with the
+// pooled rank variance and the 1979 correction factor (N-1-H)/(N-k).
+func Conover(groups ...[]float64) ConoverResult {
+	k := len(groups)
+	if k < 2 {
+		panic("stats: Conover needs >= 2 groups")
+	}
+	var pooled []float64
+	sizes := make([]int, k)
+	for i, g := range groups {
+		if len(g) == 0 {
+			panic("stats: Conover with empty group")
+		}
+		sizes[i] = len(g)
+		pooled = append(pooled, g...)
+	}
+	n := len(pooled)
+	fn := float64(n)
+	ranks, _ := Ranks(pooled)
+	h := KruskalWallis(groups...).H
+
+	// Mean ranks per group and the pooled rank variance S².
+	meanRank := make([]float64, k)
+	off := 0
+	var sumSq float64
+	for i, g := range groups {
+		var rsum float64
+		for range g {
+			r := ranks[off]
+			rsum += r
+			sumSq += r * r
+			off++
+		}
+		meanRank[i] = rsum / float64(len(g))
+	}
+	s2 := (sumSq - fn*(fn+1)*(fn+1)/4) / (fn - 1)
+
+	df := fn - float64(k)
+	if df <= 0 {
+		panic("stats: Conover with no residual degrees of freedom")
+	}
+	factor := s2 * (fn - 1 - h) / df
+	if factor <= 0 {
+		// All variance explained (complete separation): treat as maximal
+		// significance for distinct mean ranks.
+		factor = 1e-300
+	}
+
+	res := ConoverResult{P: make([][]float64, k)}
+	for i := range res.P {
+		res.P[i] = make([]float64, k)
+		res.P[i][i] = 1
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			se := math.Sqrt(factor * (1/float64(sizes[i]) + 1/float64(sizes[j])))
+			var p float64
+			if se == 0 {
+				if meanRank[i] == meanRank[j] {
+					p = 1
+				}
+			} else {
+				t := (meanRank[i] - meanRank[j]) / se
+				p = StudentTSF2(t, df)
+			}
+			res.P[i][j], res.P[j][i] = p, p
+		}
+	}
+	return res
+}

@@ -1,0 +1,32 @@
+package stats
+
+import "sort"
+
+// Ranks assigns 1-based ranks to the pooled values, averaging ties
+// (mid-ranks). It returns the ranks aligned with the input order and the
+// tie-correction term Σ(t³ - t) over tie groups.
+func Ranks(xs []float64) (ranks []float64, tieTerm float64) {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks = make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Values idx[i..j] tie: average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		if t := float64(j - i + 1); t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j + 1
+	}
+	return ranks, tieTerm
+}

@@ -1,0 +1,50 @@
+package stats
+
+// Selection is the outcome of the paper's winner-picking procedure for one
+// (NS, NT) cell of Figures 6 and 9.
+type Selection struct {
+	// Best is the index of the group with the smallest median.
+	Best int
+	// Tied lists every group (including Best) whose distribution is not
+	// significantly different from Best's, i.e. candidates for the cell.
+	Tied []int
+	// KWp is the Kruskal-Wallis p-value over all groups.
+	KWp float64
+}
+
+// SelectFastest applies §4.3's procedure to one cell: medians identify the
+// fastest configuration; Kruskal-Wallis checks whether the configurations
+// differ at all; and the Conover-Iman post-hoc marks which configurations
+// are statistically indistinguishable from the fastest (the paper breaks
+// those ties by each method's frequency in the remaining cells, which the
+// harness does with the returned Tied set). alpha is the significance
+// level (the paper's 0.05).
+func SelectFastest(samples [][]float64, alpha float64) Selection {
+	if len(samples) < 2 {
+		panic("stats: SelectFastest needs >= 2 groups")
+	}
+	best := 0
+	bestMed := Median(samples[0])
+	for i := 1; i < len(samples); i++ {
+		if m := Median(samples[i]); m < bestMed {
+			best, bestMed = i, m
+		}
+	}
+	sel := Selection{Best: best}
+	kw := KruskalWallis(samples...)
+	sel.KWp = kw.P
+	if kw.P >= alpha {
+		// No significant difference anywhere: every group ties.
+		for i := range samples {
+			sel.Tied = append(sel.Tied, i)
+		}
+		return sel
+	}
+	post := Conover(samples...)
+	for i := range samples {
+		if i == best || post.P[best][i] >= alpha {
+			sel.Tied = append(sel.Tied, i)
+		}
+	}
+	return sel
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ShapiroWilkResult reports the W statistic and p-value of the normality
+// test.
+type ShapiroWilkResult struct {
+	W float64
+	P float64
+}
+
+// ShapiroWilk tests the null hypothesis that the sample comes from a
+// normal distribution, following Royston's AS R94 (1995) approximation,
+// valid for 3 ≤ n ≤ 5000. Identical values make the test degenerate; the
+// caller should guard against zero variance.
+func ShapiroWilk(sample []float64) ShapiroWilkResult {
+	n := len(sample)
+	if n < 3 {
+		panic(fmt.Sprintf("stats: Shapiro-Wilk needs n >= 3, got %d", n))
+	}
+	if n > 5000 {
+		panic(fmt.Sprintf("stats: Shapiro-Wilk approximation invalid for n = %d > 5000", n))
+	}
+	x := append([]float64(nil), sample...)
+	sort.Float64s(x)
+	if x[0] == x[n-1] {
+		panic("stats: Shapiro-Wilk on constant sample")
+	}
+
+	// Expected normal order statistics (Blom approximation).
+	m := make([]float64, n)
+	var ssq float64
+	for i := 0; i < n; i++ {
+		m[i] = NormalQuantile((float64(i+1) - 0.375) / (float64(n) + 0.25))
+		ssq += m[i] * m[i]
+	}
+
+	// Weights: Royston's polynomial corrections to the normalized m.
+	a := make([]float64, n)
+	rsn := 1 / math.Sqrt(float64(n))
+	if n == 3 {
+		a[0] = -math.Sqrt(0.5)
+		a[2] = math.Sqrt(0.5)
+	} else {
+		c := math.Sqrt(ssq)
+		an := poly([]float64{-2.706056, 4.434685, -2.071190, -0.147981, 0.221157, 0}, rsn) + m[n-1]/c
+		var phi float64
+		if n > 5 {
+			an1 := poly([]float64{-3.582633, 5.682633, -1.752461, -0.293762, 0.042981, 0}, rsn) + m[n-2]/c
+			phi = (ssq - 2*m[n-1]*m[n-1] - 2*m[n-2]*m[n-2]) /
+				(1 - 2*an*an - 2*an1*an1)
+			a[n-1], a[0] = an, -an
+			a[n-2], a[1] = an1, -an1
+			for i := 2; i < n-2; i++ {
+				a[i] = m[i] / math.Sqrt(phi)
+			}
+		} else {
+			phi = (ssq - 2*m[n-1]*m[n-1]) / (1 - 2*an*an)
+			a[n-1], a[0] = an, -an
+			for i := 1; i < n-1; i++ {
+				a[i] = m[i] / math.Sqrt(phi)
+			}
+		}
+	}
+
+	// W statistic.
+	mean := Mean(x)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		num += a[i] * x[i]
+		den += (x[i] - mean) * (x[i] - mean)
+	}
+	w := num * num / den
+	if w > 1 {
+		w = 1
+	}
+
+	// P-value transformations.
+	var p float64
+	switch {
+	case n == 3:
+		p = 6 / math.Pi * (math.Asin(math.Sqrt(w)) - math.Asin(math.Sqrt(0.75)))
+		p = math.Max(0, math.Min(1, p))
+	case n <= 11:
+		fn := float64(n)
+		gamma := -2.273 + 0.459*fn
+		lw := -math.Log(gamma - math.Log(1-w))
+		mu := 0.5440 - 0.39978*fn + 0.025054*fn*fn - 0.0006714*fn*fn*fn
+		sigma := math.Exp(1.3822 - 0.77857*fn + 0.062767*fn*fn - 0.0020322*fn*fn*fn)
+		p = NormalSF((lw - mu) / sigma)
+	default:
+		u := math.Log(float64(n))
+		lw := math.Log(1 - w)
+		mu := -1.5861 - 0.31082*u - 0.083751*u*u + 0.0038915*u*u*u
+		sigma := math.Exp(-0.4803 - 0.082676*u + 0.0030302*u*u)
+		p = NormalSF((lw - mu) / sigma)
+	}
+	return ShapiroWilkResult{W: w, P: p}
+}
+
+// poly evaluates c[0]*x^5 + c[1]*x^4 + ... + c[5] (Royston's ordering).
+func poly(c []float64, x float64) float64 {
+	var v float64
+	for _, ci := range c {
+		v = v*x + ci
+	}
+	return v
+}

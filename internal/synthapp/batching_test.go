@@ -1,0 +1,60 @@
+package synthapp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+)
+
+// TestBatchingMatchesExactExecution validates the steady-state fast-forward
+// (DESIGN: runPhase samples a few iterations and sleeps the rest): a
+// batched run's timings must match the per-iteration run within a small
+// relative error, or Figures 7/8 could not be trusted.
+func TestBatchingMatchesExactExecution(t *testing.T) {
+	base := &Config{
+		Name:              "batching",
+		TotalIterations:   80,
+		ReconfigIteration: 30,
+		Stages: []Stage{
+			{Type: StageCompute, Work: 0.05},
+			{Type: StageAllgatherv, Bytes: 4 << 20},
+			{Type: StageAllreduce, Bytes: 8},
+		},
+		Data: []DataSpec{
+			{Name: "A", Kind: SparseData, Elements: 50000, ElemSize: 12, Constant: true, NnzPerRow: 40},
+			{Name: "x", Kind: DenseData, Elements: 50000, ElemSize: 8},
+		},
+		CheckpointCost: 50e-6,
+	}
+	for _, mal := range []core.Config{
+		{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync},
+		{Spawn: core.Merge, Comm: core.COL, Overlap: core.NonBlocking},
+		{Spawn: core.Baseline, Comm: core.P2P, Overlap: core.Sync},
+	} {
+		run := func(sample int) Result {
+			cfg := *base
+			cfg.SampleIterations = sample
+			w := paperWorld(netmodel.Ethernet10G(), 1)
+			res, err := Run(w, RunParams{Cfg: &cfg, Malleability: mal, NS: 6, NT: 12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		exact := run(0) // every iteration executed
+		batched := run(3)
+		relTotal := math.Abs(batched.TotalTime-exact.TotalTime) / exact.TotalTime
+		if relTotal > 0.02 {
+			t.Errorf("%s: batched total %.4f vs exact %.4f (%.1f%% off)",
+				mal, batched.TotalTime, exact.TotalTime, 100*relTotal)
+		}
+		relReconfig := math.Abs(batched.ReconfigTime()-exact.ReconfigTime()) /
+			math.Max(exact.ReconfigTime(), 1e-9)
+		if relReconfig > 0.1 {
+			t.Errorf("%s: batched reconfig %.4f vs exact %.4f (%.1f%% off)",
+				mal, batched.ReconfigTime(), exact.ReconfigTime(), 100*relReconfig)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package synthapp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+)
+
+// hierarchyConfig runs three process-group levels: expand, then shrink.
+func hierarchyConfig() *Config {
+	cfg := smallConfig()
+	cfg.TotalIterations = 60
+	cfg.ReconfigIteration = -1
+	cfg.Reconfigs = []ReconfigStage{
+		{AtIteration: 15, Procs: 8},
+		{AtIteration: 35, Procs: 2},
+	}
+	return cfg
+}
+
+func TestMultiStageHierarchy(t *testing.T) {
+	for _, mal := range []core.Config{
+		{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync},
+		{Spawn: core.Merge, Comm: core.P2P, Overlap: core.NonBlocking},
+		{Spawn: core.Baseline, Comm: core.COL, Overlap: core.Sync},
+		{Spawn: core.Baseline, Comm: core.P2P, Overlap: core.Thread},
+		{Spawn: core.Merge, Comm: core.RMA, Overlap: core.Sync},
+	} {
+		t.Run(mal.String(), func(t *testing.T) {
+			w := paperWorld(netmodel.Ethernet10G(), 1)
+			res, err := Run(w, RunParams{Cfg: hierarchyConfig(), Malleability: mal, NS: 4, NT: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Stages) != 2 {
+				t.Fatalf("Stages = %d, want 2", len(res.Stages))
+			}
+			if res.Stages[0].NT != 8 || res.Stages[1].NT != 2 {
+				t.Fatalf("stage targets = %d, %d, want 8, 2", res.Stages[0].NT, res.Stages[1].NT)
+			}
+			for i, st := range res.Stages {
+				if st.End <= st.Start {
+					t.Fatalf("stage %d window [%g, %g] empty", i, st.Start, st.End)
+				}
+			}
+			if res.Stages[1].Start < res.Stages[0].End {
+				t.Fatalf("stage 1 started at %g before stage 0 ended at %g",
+					res.Stages[1].Start, res.Stages[0].End)
+			}
+			// Legacy fields mirror stage 0.
+			if res.ReconfigStart != res.Stages[0].Start || res.ReconfigEnd != res.Stages[0].End {
+				t.Fatal("legacy fields do not mirror the first stage")
+			}
+			if res.TotalTime < res.Stages[1].End {
+				t.Fatalf("TotalTime %g before final stage end %g", res.TotalTime, res.Stages[1].End)
+			}
+		})
+	}
+}
+
+func TestHierarchyNTParamIgnoredWithExplicitStages(t *testing.T) {
+	// RunParams.NT = 0 must be accepted when stages are explicit... the
+	// validation requires NT > 0, so pass a dummy and check it is unused.
+	w := paperWorld(netmodel.Ethernet10G(), 1)
+	mal := core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync}
+	res, err := Run(w, RunParams{Cfg: hierarchyConfig(), Malleability: mal, NS: 4, NT: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages[0].NT != 8 {
+		t.Fatalf("explicit stage NT = %d, want 8 (RunParams.NT must be ignored)", res.Stages[0].NT)
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	bad := hierarchyConfig()
+	bad.Reconfigs = []ReconfigStage{{AtIteration: 30, Procs: 4}, {AtIteration: 20, Procs: 2}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-increasing stages validated")
+	}
+	bad2 := hierarchyConfig()
+	bad2.Reconfigs = []ReconfigStage{{AtIteration: 10, Procs: 0}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero-proc stage validated")
+	}
+	if err := hierarchyConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyDeterministic(t *testing.T) {
+	mal := core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.NonBlocking}
+	run := func() string {
+		w := paperWorld(netmodel.Ethernet10G(), 3)
+		res, err := Run(w, RunParams{Cfg: hierarchyConfig(), Malleability: mal, NS: 6, NT: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%+v", res)
+	}
+	if run() != run() {
+		t.Fatal("multi-stage runs not deterministic")
+	}
+}

@@ -1,0 +1,80 @@
+package synthapp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+func TestMonitoringCollectsSpans(t *testing.T) {
+	mon := trace.NewMonitor()
+	w := paperWorld(netmodel.Ethernet10G(), 1)
+	mal := core.Config{Spawn: core.Baseline, Comm: core.COL, Overlap: core.Sync}
+	if _, err := Run(w, RunParams{
+		Cfg: smallConfig(), Malleability: mal, NS: 4, NT: 8, Monitor: mon,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	logs := mon.Ranks()
+	// 4 sources + 8 Baseline targets = 12 distinct process logs.
+	if len(logs) != 12 {
+		t.Fatalf("rank logs = %d, want 12", len(logs))
+	}
+	var reconfigs, phases, finalizes int
+	var iterations float64
+	for _, rl := range logs {
+		for _, sp := range rl.Spans {
+			switch {
+			case strings.HasPrefix(sp.Name, "reconfig-"):
+				reconfigs++
+				if sp.Duration() <= 0 {
+					t.Fatalf("reconfig span %+v has no duration", sp)
+				}
+			case strings.HasPrefix(sp.Name, "phase-"):
+				phases++
+			case sp.Name == "finalize":
+				finalizes++
+			}
+		}
+		iterations += rl.Counters["iterations"]
+	}
+	if reconfigs != 4 {
+		t.Fatalf("reconfig spans = %d, want one per source", reconfigs)
+	}
+	if finalizes != 4 {
+		t.Fatalf("finalize spans = %d, want one per Baseline source", finalizes)
+	}
+	if phases == 0 {
+		t.Fatal("no application phases recorded")
+	}
+	// Sample iterations only (batching skips the rest): more than zero,
+	// fewer than every rank running every iteration individually.
+	if iterations <= 0 || iterations >= 60*12 {
+		t.Fatalf("iteration counter = %g, implausible", iterations)
+	}
+
+	var csv bytes.Buffer
+	if err := mon.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "malleability,reconfig-0") {
+		t.Fatal("CSV missing the malleability span")
+	}
+}
+
+func TestMonitoringOffIsFree(t *testing.T) {
+	w := paperWorld(netmodel.Ethernet10G(), 1)
+	mal := core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.NonBlocking}
+	res, err := Run(w, RunParams{Cfg: smallConfig(), Malleability: mal, NS: 4, NT: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("run without monitor failed")
+	}
+}
