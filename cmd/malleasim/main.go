@@ -29,7 +29,9 @@ func main() {
 	configPath := flag.String("config", "", "synthetic application configuration (JSON); default: built-in CG emulation")
 	seed := flag.Int("seed", 1, "noise seed")
 	reps := flag.Int("reps", 1, "repetitions (distinct seeds starting at -seed)")
-	tracePath := flag.String("trace", "", "write per-rank monitoring spans (CSV) of the last repetition")
+	traceOn := flag.Bool("trace", false, "record message-level events of the last repetition and export a Chrome trace plus metrics")
+	traceOut := flag.String("trace-out", "malleasim_trace", "output prefix for -trace: <prefix>.json (Chrome trace, open in Perfetto), <prefix>.metrics.{csv,json}")
+	spansPath := flag.String("spans", "", "write per-rank monitoring spans (CSV) of the last repetition")
 	flag.Parse()
 
 	cfg, err := core.ParseConfig(*mal)
@@ -51,13 +53,19 @@ func main() {
 
 	fmt.Printf("# %s on %s: %d -> %d processes, app %q\n", cfg, net.Name, *ns, *nt, setup.Cfg.Name)
 	for rep := 0; rep < *reps; rep++ {
+		last := rep == *reps-1
 		var mon *trace.Monitor
-		if *tracePath != "" && rep == *reps-1 {
+		if *spansPath != "" && last {
 			mon = trace.NewMonitor()
+		}
+		var rec *trace.Recorder
+		if *traceOn && last {
+			rec = trace.NewRecorder()
 		}
 		w := setup.NewWorld(*seed - 1 + rep)
 		res, err := synthapp.Run(w, synthapp.RunParams{
-			Cfg: setup.Cfg, Malleability: cfg, NS: *ns, NT: *nt, Monitor: mon,
+			Cfg: setup.Cfg, Malleability: cfg, NS: *ns, NT: *nt,
+			Monitor: mon, Recorder: rec,
 		})
 		if err != nil {
 			fail(err)
@@ -66,7 +74,7 @@ func main() {
 			rep, res.ReconfigTime(), res.TotalTime, res.OverlappedIterations,
 			res.IterTimeBefore, res.IterTimeDuring, res.IterTimeAfter)
 		if mon != nil {
-			f, err := os.Create(*tracePath)
+			f, err := os.Create(*spansPath)
 			if err != nil {
 				fail(err)
 			}
@@ -76,7 +84,18 @@ func main() {
 			if err := f.Close(); err != nil {
 				fail(err)
 			}
-			fmt.Printf("monitoring spans written to %s\n", *tracePath)
+			fmt.Printf("monitoring spans written to %s\n", *spansPath)
+		}
+		if rec != nil {
+			if err := harness.WriteTraceFiles(rec, *traceOut); err != nil {
+				fail(err)
+			}
+			m := rec.Metrics()
+			fmt.Printf("trace: %d events -> %s.json (Chrome trace), %s.metrics.{csv,json}\n",
+				rec.Len(), *traceOut, *traceOut)
+			fmt.Printf("trace: bytes const/var=%d/%d msgs=%d/%d overlap-efficiency=%.2f t_spawn=%.4fs t_redist_const=%.4fs t_redist_var=%.4fs t_halt=%.4fs\n",
+				m.BytesConst, m.BytesVar, m.MsgsConst, m.MsgsVar, m.OverlapEfficiency,
+				m.TSpawn, m.TRedistConst, m.TRedistVar, m.THalt)
 		}
 	}
 }

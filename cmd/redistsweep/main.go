@@ -26,6 +26,8 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per cell")
 	out := flag.String("out", "", "CSV output path (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	traceOn := flag.Bool("trace", false, "additionally run one traced repetition per cell and write redistribution metrics")
+	traceOut := flag.String("trace-out", "trace_metrics.csv", "per-cell metrics CSV path for -trace")
 	flag.Parse()
 
 	net, err := harness.ParseNet(*netName)
@@ -68,6 +70,24 @@ func main() {
 	}
 	if err := harness.WriteCSV(w, m); err != nil {
 		fail(err)
+	}
+
+	if *traceOn {
+		cells, err := setup.SweepMetrics(pairs, configs, 0, progress)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := harness.WriteMetricsCSV(f, cells); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "# trace metrics for %d cells written to %s\n", len(cells), *traceOut)
 	}
 }
 

@@ -188,17 +188,35 @@ func (t *colTransfer) installValues(recv []mpi.Payload) {
 		return
 	}
 	for p, pl := range recv {
-		var off int64
+		// A peer's size vector announces its total bytes per item; the plan
+		// may split that total over several chunks, so the check must
+		// accumulate per (peer, item) and demand exact totals. Comparing each
+		// chunk against the announced total would let an over-announcing peer
+		// slip through. Verify before touching any item.
+		want := make([]int64, len(t.items))
 		for i, it := range t.items {
 			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
 				if ch.Src != p || t.v.selfChunk(ch.Src, ch.Dst) {
 					continue
 				}
-				n := it.WireBytes(ch.Lo, ch.Hi)
-				if t.sizes != nil && t.sizes[p][i] < n {
+				want[i] += it.WireBytes(ch.Lo, ch.Hi)
+			}
+		}
+		if t.sizes != nil {
+			for i, it := range t.items {
+				if t.sizes[p][i] != want[i] {
 					panic(fmt.Sprintf("core: peer %d announced %d bytes for %q, plan needs %d",
-						p, t.sizes[p][i], it.Name(), n))
+						p, t.sizes[p][i], it.Name(), want[i]))
 				}
+			}
+		}
+		var off int64
+		for _, it := range t.items {
+			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
+				if ch.Src != p || t.v.selfChunk(ch.Src, ch.Dst) {
+					continue
+				}
+				n := it.WireBytes(ch.Lo, ch.Hi)
 				it.Install(ch.Lo, ch.Hi, pl.Slice(off, off+n))
 				off += n
 			}

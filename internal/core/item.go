@@ -283,6 +283,18 @@ func (st *Store) Register(it Item) {
 	st.items = append(st.items, it)
 }
 
+// IndexOf returns the registration index of it. The lookup goes through the
+// name index and then verifies identity, so a foreign item that merely
+// shares a name with a registered one is reported as absent rather than
+// aliased to it.
+func (st *Store) IndexOf(it Item) (int, bool) {
+	i, ok := st.index[it.Name()]
+	if !ok || st.items[i] != it {
+		return 0, false
+	}
+	return i, true
+}
+
 // Item returns the registered item by name, or nil.
 func (st *Store) Item(name string) Item {
 	if i, ok := st.index[name]; ok {

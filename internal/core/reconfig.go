@@ -5,7 +5,45 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
+
+// withPhase tags ctx with the given reconfiguration phase while fn runs and
+// records one EvPhase span covering it (when tracing is on). The previous
+// tag is restored, so phase regions nest.
+func withPhase(c *mpi.Ctx, phase string, fn func()) {
+	prev := c.Phase()
+	c.SetPhase(phase)
+	start := c.Now()
+	fn()
+	recordPhaseSpan(c, phase, start)
+	c.SetPhase(prev)
+}
+
+// tagPhase tags ctx with the phase while fn runs, without recording a span.
+// Spawned targets use it: their phases are dominated by waiting for the
+// sources, so they attribute their traffic but leave the stage timers to
+// the source-side spans.
+func tagPhase(c *mpi.Ctx, phase string, fn func()) {
+	prev := c.Phase()
+	c.SetPhase(phase)
+	fn()
+	c.SetPhase(prev)
+}
+
+// recordPhaseSpan emits an EvPhase span [start, now) for this rank. Stage
+// timers (T_spawn, T_redist_const, …) derive from these spans: the metrics
+// layer takes the earliest start and latest end across ranks per phase.
+func recordPhaseSpan(c *mpi.Ctx, phase string, start float64) {
+	rec := c.World().Recorder()
+	if rec == nil {
+		return
+	}
+	rec.Record(trace.Event{
+		Kind: trace.EvPhase, Rank: c.Proc().GID(), Start: start, End: c.Now(),
+		Peer: -1, Tag: -1, Comm: -1, Op: phase, Phase: phase,
+	})
+}
 
 // TargetFunc is the continuation freshly spawned processes run once the
 // redistribution has delivered their data: Baseline targets and Merge
@@ -65,14 +103,18 @@ func itemPhases(cfg Config, st *Store) (async, final []Item, asyncIdx, finalIdx 
 	return async, final, indicesOf(st, async), indicesOf(st, final)
 }
 
+// indicesOf maps items to their registration indices in st. Item indices
+// feed the P2P tag pairing (itemTags), so an unregistered item must fail
+// loudly: silently defaulting its index would cross tag pairs between
+// items and corrupt the redistribution.
 func indicesOf(st *Store, items []Item) []int {
 	idx := make([]int, len(items))
 	for i, it := range items {
-		for j, all := range st.Items() {
-			if all == it {
-				idx[i] = j
-			}
+		j, ok := st.IndexOf(it)
+		if !ok {
+			panic(fmt.Sprintf("core: item %q is not registered in the store", it.Name()))
 		}
+		idx[i] = j
 	}
 	return idx
 }
@@ -96,8 +138,9 @@ type Reconfig struct {
 	threadDone bool
 	state      *sim.Signal // broadcast on spawn-thread milestones
 
-	constXfer xfer
-	asyncDone bool
+	constXfer  xfer
+	constStart float64 // virtual time the non-blocking constant pass began
+	asyncDone  bool
 
 	newComm  *mpi.Comm
 	finished bool
@@ -138,19 +181,25 @@ func StartReconfig(c *mpi.Ctx, cfg Config, appComm *mpi.Comm, nt int,
 		// the Thread strategy the same thread then performs the blocking
 		// redistribution of constant data (Algorithm 4).
 		c.NewThread("reconfig", func(t *mpi.Ctx) {
-			r.stage2(t, makeStore, target)
+			withPhase(t, trace.PhaseSpawn, func() {
+				r.stage2(t, makeStore, target)
+			})
 			r.viewReady = true
 			r.state.Broadcast()
 			if cfg.Overlap == Thread {
-				items, _, idx, _ := itemPhases(cfg, store)
-				x := newXfer(cfg.Comm, r.v, items, idx)
-				x.runBlockingAll(t)
+				withPhase(t, trace.PhaseRedistConst, func() {
+					items, _, idx, _ := itemPhases(cfg, store)
+					x := newXfer(cfg.Comm, r.v, items, idx)
+					x.runBlockingAll(t)
+				})
 				r.threadDone = true
 				r.state.Broadcast()
 			}
 		})
 	} else {
-		r.stage2(c, makeStore, target)
+		withPhase(c, trace.PhaseSpawn, func() {
+			r.stage2(c, makeStore, target)
+		})
 		r.viewReady = true
 	}
 	return r
@@ -207,20 +256,24 @@ func (r *Reconfig) stage2(c *mpi.Ctx, makeStore func() *Store, target TargetFunc
 func runTargetSide(c *mpi.Ctx, cfg Config, v *view, st *Store) {
 	async, final, asyncIdx, finalIdx := itemPhases(cfg, st)
 	if len(async) > 0 {
-		x := newXfer(cfg.Comm, v, async, asyncIdx)
-		if cfg.Overlap == NonBlocking {
-			x.drain(c)
-		} else {
-			x.runBlockingAll(c)
-		}
+		tagPhase(c, trace.PhaseRedistConst, func() {
+			x := newXfer(cfg.Comm, v, async, asyncIdx)
+			if cfg.Overlap == NonBlocking {
+				x.drain(c)
+			} else {
+				x.runBlockingAll(c)
+			}
+		})
 	}
 	if len(final) > 0 {
-		x := newXfer(cfg.Comm, v, final, finalIdx)
-		if cfg.Overlap == NonBlocking {
-			x.drain(c)
-		} else {
-			x.runBlockingAll(c)
-		}
+		tagPhase(c, trace.PhaseRedistVar, func() {
+			x := newXfer(cfg.Comm, v, final, finalIdx)
+			if cfg.Overlap == NonBlocking {
+				x.drain(c)
+			} else {
+				x.runBlockingAll(c)
+			}
+		})
 	}
 }
 
@@ -248,9 +301,19 @@ func (r *Reconfig) Test(c *mpi.Ctx) bool {
 				r.asyncDone = true
 				return true
 			}
+			r.constStart = c.Now()
 			r.constXfer = newXfer(r.cfg.Comm, r.v, items, idx)
 		}
+		// Tag the progress call so any traffic it posts is attributed to the
+		// constant pass; the span for the whole pass is recorded once, when
+		// it completes, to avoid one EvPhase sliver per Test call.
+		prev := c.Phase()
+		c.SetPhase(trace.PhaseRedistConst)
 		r.asyncDone = r.constXfer.progress(c)
+		c.SetPhase(prev)
+		if r.asyncDone {
+			recordPhaseSpan(c, trace.PhaseRedistConst, r.constStart)
+		}
 		return r.asyncDone
 	}
 	return false
@@ -263,9 +326,16 @@ func (r *Reconfig) Wait(c *mpi.Ctx) {
 	if r.cfg.Asynchronous() {
 		panic("core: Wait on an asynchronous reconfiguration; use Test/Finish")
 	}
+	haltStart := c.Now()
+	prev := c.Phase()
+	c.SetPhase(trace.PhaseHalt)
 	_, final, _, finalIdx := itemPhases(r.cfg, r.store)
-	newXfer(r.cfg.Comm, r.v, final, finalIdx).runBlockingAll(c)
+	withPhase(c, trace.PhaseRedistVar, func() {
+		newXfer(r.cfg.Comm, r.v, final, finalIdx).runBlockingAll(c)
+	})
 	r.handover(c)
+	recordPhaseSpan(c, trace.PhaseHalt, haltStart)
+	c.SetPhase(prev)
 }
 
 // Finish completes an asynchronous reconfiguration after Test has reported
@@ -275,6 +345,9 @@ func (r *Reconfig) Finish(c *mpi.Ctx) {
 	if !r.cfg.Asynchronous() {
 		panic("core: Finish on a synchronous reconfiguration; use Wait")
 	}
+	haltStart := c.Now()
+	prev := c.Phase()
+	c.SetPhase(trace.PhaseHalt)
 	// Block until the background stage 2 / thread is done (the normal path
 	// has Test already true, so this is a no-op).
 	for !r.viewReady {
@@ -290,25 +363,36 @@ func (r *Reconfig) Finish(c *mpi.Ctx) {
 			if r.constXfer == nil {
 				items, _, idx, _ := itemPhases(r.cfg, r.store)
 				if len(items) > 0 {
+					r.constStart = c.Now()
 					r.constXfer = newXfer(r.cfg.Comm, r.v, items, idx)
 				}
 			}
 			if r.constXfer != nil {
+				// Residual constant-data traffic keeps its phase tag even
+				// though it drains inside the halt.
+				cPrev := c.Phase()
+				c.SetPhase(trace.PhaseRedistConst)
 				r.constXfer.drain(c)
+				c.SetPhase(cPrev)
+				recordPhaseSpan(c, trace.PhaseRedistConst, r.constStart)
 			}
 			r.asyncDone = true
 		}
 	}
 	_, final, _, finalIdx := itemPhases(r.cfg, r.store)
 	if len(final) > 0 {
-		x := newXfer(r.cfg.Comm, r.v, final, finalIdx)
-		if r.cfg.Overlap == NonBlocking {
-			x.drain(c)
-		} else {
-			x.runBlockingAll(c)
-		}
+		withPhase(c, trace.PhaseRedistVar, func() {
+			x := newXfer(r.cfg.Comm, r.v, final, finalIdx)
+			if r.cfg.Overlap == NonBlocking {
+				x.drain(c)
+			} else {
+				x.runBlockingAll(c)
+			}
+		})
 	}
 	r.handover(c)
+	recordPhaseSpan(c, trace.PhaseHalt, haltStart)
+	c.SetPhase(prev)
 }
 
 // handover finishes stage 3: surviving ranks obtain the new application

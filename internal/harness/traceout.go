@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/synthapp"
+	"repro/internal/trace"
+)
+
+// RunCellTraced executes one (pair, config, rep) run with event tracing on
+// and returns the recorder alongside the result. Tracing reads only the
+// virtual clock, so the result is identical to RunCell's.
+func (s Setup) RunCellTraced(p Pair, mal core.Config, rep int) (synthapp.Result, *trace.Recorder, error) {
+	w := s.NewWorld(rep)
+	rec := trace.NewRecorder()
+	res, err := synthapp.Run(w, synthapp.RunParams{
+		Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT, Recorder: rec,
+	})
+	return res, rec, err
+}
+
+// WriteTraceFiles exports one recorded run: <prefix>.json holds the Chrome
+// trace-event file (open it at https://ui.perfetto.dev or chrome://tracing),
+// <prefix>.metrics.json and <prefix>.metrics.csv the derived counters.
+func WriteTraceFiles(rec *trace.Recorder, prefix string) error {
+	if err := writeTo(prefix+".json", rec.WriteChromeTrace); err != nil {
+		return err
+	}
+	m := rec.Metrics()
+	if err := writeTo(prefix+".metrics.json", m.WriteJSON); err != nil {
+		return err
+	}
+	return writeTo(prefix+".metrics.csv", m.WriteCSV)
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// CellMetrics pairs one sweep cell with the metrics derived from a traced
+// repetition.
+type CellMetrics struct {
+	Key CellKey
+	M   trace.RunMetrics
+}
+
+// SweepMetrics runs one traced repetition (seed index rep) of every
+// (pair, config) cell and returns the derived per-cell metrics. progress,
+// when non-nil, receives one line per completed cell.
+func (s Setup) SweepMetrics(pairs []Pair, configs []core.Config, rep int, progress func(string)) ([]CellMetrics, error) {
+	var out []CellMetrics
+	for _, p := range pairs {
+		for _, cfg := range configs {
+			key := CellKey{Pair: p, Config: cfg}
+			_, rec, err := s.RunCellTraced(p, cfg, rep)
+			if err != nil {
+				return nil, fmt.Errorf("harness: traced %s rep %d: %w", key, rep, err)
+			}
+			m := rec.Metrics()
+			out = append(out, CellMetrics{Key: key, M: m})
+			if progress != nil {
+				progress(fmt.Sprintf("%-28s bytes(const/var)=%d/%d msgs=%d/%d overlap=%.2f",
+					key, m.BytesConst, m.BytesVar, m.MsgsConst, m.MsgsVar, m.OverlapEfficiency))
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteMetricsCSV writes one row of redistribution metrics per traced cell.
+func WriteMetricsCSV(w io.Writer, cells []CellMetrics) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"ns", "nt", "config",
+		"bytes_const", "bytes_var", "msgs_const", "msgs_var", "overlap_efficiency",
+		"t_spawn", "t_redist_const", "t_redist_var", "t_halt",
+	}); err != nil {
+		return err
+	}
+	g := func(x float64) string { return fmt.Sprintf("%.9g", x) }
+	for _, c := range cells {
+		if err := cw.Write([]string{
+			fmt.Sprint(c.Key.Pair.NS), fmt.Sprint(c.Key.Pair.NT), c.Key.Config.String(),
+			fmt.Sprint(c.M.BytesConst), fmt.Sprint(c.M.BytesVar),
+			fmt.Sprint(c.M.MsgsConst), fmt.Sprint(c.M.MsgsVar),
+			g(c.M.OverlapEfficiency),
+			g(c.M.TSpawn), g(c.M.TRedistConst), g(c.M.TRedistVar), g(c.M.THalt),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,6 +1,20 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// payloadBytes sums the wire sizes of a payload vector, for collective
+// trace events.
+func payloadBytes(pls []Payload) int64 {
+	var n int64
+	for _, p := range pls {
+		n += p.Size
+	}
+	return n
+}
 
 // collTagBase separates internal collective traffic from user tags. User
 // tags must stay below this value.
@@ -32,6 +46,7 @@ func (c *Ctx) Barrier(comm *Comm) {
 	if p == 1 {
 		return
 	}
+	defer c.span(trace.EvBarrier, comm.ctxID, "Barrier", 0)()
 	r := comm.Rank(c)
 	tag := c.collTag(comm)
 	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
@@ -53,6 +68,7 @@ func (c *Ctx) Bcast(comm *Comm, root int, payload Payload) Payload {
 	if p == 1 {
 		return payload
 	}
+	defer c.span(trace.EvColl, comm.ctxID, "Bcast", payload.Size)()
 	r := comm.Rank(c)
 	vr := (r - root + p) % p // rank relative to root
 	tag := c.collTag(comm)
@@ -98,6 +114,7 @@ func (c *Ctx) Reduce(comm *Comm, root int, payload Payload, op Op) Payload {
 	if p == 1 {
 		return acc
 	}
+	defer c.span(trace.EvColl, comm.ctxID, "Reduce", payload.Size)()
 	r := comm.Rank(c)
 	vr := (r - root + p) % p
 	tag := c.collTag(comm)
@@ -139,6 +156,7 @@ func (c *Ctx) Allgatherv(comm *Comm, payload Payload) []Payload {
 	if p == 1 {
 		return out
 	}
+	defer c.span(trace.EvColl, comm.ctxID, "Allgatherv", payload.Size)()
 	tag := c.collTag(comm)
 	right := (r + 1) % p
 	left := (r - 1 + p) % p
@@ -169,12 +187,17 @@ func (c *Ctx) Allgather(comm *Comm, payload Payload) []Payload {
 //     which is why Baseline COLS underperforms — and why its non-blocking
 //     variant can beat it (α < 1 in Figures 4-5).
 func (c *Ctx) Alltoallv(comm *Comm, send []Payload) []Payload {
+	end := c.span(trace.EvColl, comm.ctxID, "Alltoallv", payloadBytes(send))
+	var out []Payload
 	if comm.IsInter() {
-		return c.alltoallvPairwise(comm, send)
+		out = c.alltoallvPairwise(comm, send)
+	} else {
+		req := c.Ialltoallv(comm, send)
+		c.Wait(req)
+		out = req.Result()
 	}
-	req := c.Ialltoallv(comm, send)
-	c.Wait(req)
-	return req.Result()
+	end()
+	return out
 }
 
 // Alltoall is Alltoallv with one equal payload per peer.
@@ -262,6 +285,14 @@ func (c *Ctx) Ialltoallv(comm *Comm, send []Payload) *AlltoallvReq {
 	npeers := len(comm.peerGroup())
 	if len(send) != npeers {
 		panic(fmt.Sprintf("mpi: Ialltoallv with %d payloads for %d peers", len(send), npeers))
+	}
+	if rec := c.proc.w.rec; rec != nil {
+		now := c.sp.Now()
+		rec.Record(trace.Event{
+			Kind: trace.EvColl, Rank: c.proc.gid, Start: now, End: now,
+			Peer: -1, Tag: -1, Comm: comm.ctxID,
+			Bytes: payloadBytes(send), Op: "Ialltoallv", Phase: c.phase,
+		})
 	}
 	tag := c.collTag(comm)
 	req := &AlltoallvReq{}

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/trace"
 )
 
 // Gatherv collects every rank's (variable-size) payload at root, indexed by
@@ -13,6 +15,7 @@ func (c *Ctx) Gatherv(comm *Comm, root int, payload Payload) []Payload {
 	}
 	p := comm.Size()
 	r := comm.Rank(c)
+	defer c.span(trace.EvColl, comm.ctxID, "Gatherv", payload.Size)()
 	tag := c.collTag(comm)
 	if r != root {
 		c.Send(comm, root, tag, payload)
@@ -45,6 +48,7 @@ func (c *Ctx) Scatterv(comm *Comm, root int, send []Payload) Payload {
 	}
 	p := comm.Size()
 	r := comm.Rank(c)
+	defer c.span(trace.EvColl, comm.ctxID, "Scatterv", payloadBytes(send))()
 	tag := c.collTag(comm)
 	if r != root {
 		pl, _ := c.Recv(comm, root, tag)

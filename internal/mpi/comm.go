@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
 
 // Comm is a communicator handle: an ordered local process group plus a
 // private matching context. An inter-communicator additionally has a remote
@@ -204,6 +208,7 @@ func (w *World) barrierFor(c *Comm) *fastBarrier {
 // stages where the synthetic application only needs ranks aligned; use
 // Barrier for a cost-bearing synchronization.
 func (c *Comm) FastBarrier(ctx *Ctx) {
+	defer ctx.span(trace.EvBarrier, c.ctxID, "FastBarrier", 0)()
 	c.w.barrierFor(c).arrive(ctx)
 }
 

@@ -1,5 +1,7 @@
 package mpi
 
+import "repro/internal/trace"
+
 // GenReq is the handle of a generic non-blocking collective. The runtime
 // progresses it on a software-progression thread — the same strategy MPI
 // implementations use for non-blocking collectives without hardware
@@ -14,11 +16,21 @@ type GenReq struct {
 func (r *GenReq) Result() Payload { return r.result }
 
 // startGeneric launches fn on a progression thread and completes req with
-// its result.
+// its result. The progression thread inherits the issuing context's phase
+// tag, so collective traffic it generates stays attributed correctly.
 func (c *Ctx) startGeneric(name string, fn func(t *Ctx) Payload) *GenReq {
 	req := &GenReq{}
 	proc := c.proc
+	phase := c.phase
+	if rec := proc.w.rec; rec != nil {
+		now := c.sp.Now()
+		rec.Record(trace.Event{
+			Kind: trace.EvColl, Rank: proc.gid, Start: now, End: now,
+			Peer: -1, Tag: -1, Comm: -1, Op: "I" + name, Phase: phase,
+		})
+	}
 	c.NewThread(name, func(t *Ctx) {
+		t.phase = phase
 		req.result = fn(t)
 		req.done = true
 		proc.progress.Broadcast()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/netmodel"
+	"repro/internal/trace"
 )
 
 // Wildcards for receive matching.
@@ -54,6 +55,7 @@ type RecvReq struct {
 	status  Status
 	payload Payload
 	handled bool
+	phase   string // posting context's phase tag, for the delivery event
 }
 
 // Handled reports whether MarkHandled was called; a convenience flag for
@@ -115,6 +117,15 @@ func (c *Ctx) Isend(comm *Comm, dst, tag int, payload Payload) *SendReq {
 	w := c.proc.w
 	dstProc := comm.peerProc(dst)
 	c.chargeCopy(payload.Size) // pack
+
+	if rec := w.rec; rec != nil {
+		now := c.sp.Now()
+		rec.Record(trace.Event{
+			Kind: trace.EvSend, Rank: c.proc.gid, Start: now, End: now,
+			Peer: dstProc.gid, Tag: tag, Comm: comm.ctxID,
+			Bytes: payload.Size, Op: "Isend", Phase: c.phase,
+		})
+	}
 
 	env := &envelope{
 		comm:    comm,
@@ -218,6 +229,14 @@ func (e *envelope) complete() {
 	r.payload = e.payload
 	r.status = Status{Source: e.srcRank, Tag: e.tag, Size: e.payload.Size}
 	r.done = true
+	if rec := e.comm.w.rec; rec != nil {
+		now := e.comm.w.k.Now()
+		rec.Record(trace.Event{
+			Kind: trace.EvRecv, Rank: r.owner.gid, Start: now, End: now,
+			Peer: e.sender.gid, Tag: e.tag, Comm: e.comm.ctxID,
+			Bytes: e.payload.Size, Op: "recv", Phase: r.phase,
+		})
+	}
 	r.owner.progress.Broadcast()
 	if !e.sreq.done {
 		e.sreq.done = true
@@ -243,7 +262,7 @@ func (c *Ctx) Irecv(comm *Comm, src, tag int) *RecvReq {
 	if comm.Rank(c) < 0 {
 		panic(fmt.Sprintf("mpi: Irecv by non-member g%d (use your own view of the communicator)", c.proc.gid))
 	}
-	r := &RecvReq{owner: c.proc, comm: comm, src: src, tag: tag}
+	r := &RecvReq{owner: c.proc, comm: comm, src: src, tag: tag, phase: c.phase}
 	// Match the oldest compatible envelope already in the mailbox.
 	for i, env := range c.proc.inbox {
 		if env.matches(r) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Win is a one-sided communication window (MPI_Win): every member of the
@@ -79,6 +80,7 @@ func (c *Ctx) Get(win *Win, target int, lo, hi int64) *RMAReq {
 	req := &RMAReq{}
 	origin := c.proc
 	w := origin.w
+	phase := c.phase // Get completes in a kernel callback; keep the issuer's tag
 	win.pending[tp.gid]++
 	// One extra control latency for the RDMA read request, then the data
 	// flows back. The RDMA engine bypasses the sender-side pipeline and
@@ -91,6 +93,14 @@ func (c *Ctx) Get(win *Win, target int, lo, hi int64) *RMAReq {
 		w.machine.Fabric().Transfer(tp.node, origin.node, hi-lo, func() {
 			req.payload = exp.Slice(lo, hi)
 			req.done = true
+			if rec := w.rec; rec != nil {
+				now := w.k.Now()
+				rec.Record(trace.Event{
+					Kind: trace.EvRecv, Rank: origin.gid, Start: now, End: now,
+					Peer: tp.gid, Tag: -1, Comm: win.comm.ctxID,
+					Bytes: hi - lo, Op: "Get", Phase: phase,
+				})
+			}
 			win.pending[tp.gid]--
 			if win.pending[tp.gid] == 0 {
 				if s := win.drained[tp.gid]; s != nil {
@@ -128,6 +138,7 @@ func (c *Ctx) WaitDrained(win *Win) {
 // Fence synchronizes every window member (an access epoch boundary,
 // MPI_Win_fence). All members must call it.
 func (c *Ctx) Fence(win *Win) {
+	defer c.span(trace.EvBarrier, win.comm.ctxID, "Fence", 0)()
 	win.comm.w.barrierFor(win.comm).arrive(c)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // spawnSt is the rendezvous state for one collective Spawn on a comm.
@@ -52,7 +53,9 @@ func (c *Ctx) Spawn(comm *Comm, n int, nodeOf func(childRank int) int, fn func(c
 
 	if me == 0 {
 		// Runtime negotiation plus fork/exec/wire-up of n processes.
+		end := c.span(trace.EvSpawn, comm.ctxID, "Comm_spawn", 0)
 		c.Sleep(w.machine.SpawnCost(n))
+		end()
 		children := make([]*Process, n)
 		for i := range children {
 			children[i] = w.newProcess(nodeOf(i))

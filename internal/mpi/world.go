@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/sim"
 	"repro/internal/sim/ps"
+	"repro/internal/trace"
 )
 
 // WaitMode selects how blocked MPI waits consume CPU.
@@ -98,6 +99,8 @@ type World struct {
 	derived  map[derivedKey]*Comm    // communicators created by Dup/Sub
 	wins     map[derivedKey]*Win     // one-sided windows by creation site
 	splits   map[derivedKey]*splitSt // pending Comm_split rendezvous
+
+	rec *trace.Recorder // nil when event tracing is off
 }
 
 // NewWorld creates a world on machine m.
@@ -116,6 +119,16 @@ func (w *World) Kernel() *sim.Kernel { return w.k }
 
 // Options returns the runtime options.
 func (w *World) Options() Options { return w.opts }
+
+// SetRecorder attaches (or, with nil, detaches) an event recorder. Every
+// instrumentation site nil-checks the recorder before building an event,
+// so the disabled path costs one pointer load and no allocation. Recording
+// only reads the virtual clock, so enabling it cannot change simulation
+// results.
+func (w *World) SetRecorder(r *trace.Recorder) { w.rec = r }
+
+// Recorder returns the attached event recorder, or nil.
+func (w *World) Recorder() *trace.Recorder { return w.rec }
 
 // Process is one MPI process: a rank's mailbox, placement, and identity.
 // Its code runs in one or more execution contexts (main thread plus any
@@ -169,6 +182,8 @@ func (w *World) newProcess(node int) *Process {
 type Ctx struct {
 	proc *Process
 	sp   *sim.Proc
+
+	phase string // reconfiguration phase tag applied to recorded events
 }
 
 // Proc returns the MPI process this context belongs to.
@@ -183,6 +198,35 @@ func (c *Ctx) World() *World { return c.proc.w }
 // Now reports the current virtual time.
 func (c *Ctx) Now() float64 { return c.sp.Now() }
 
+// SetPhase tags subsequently recorded events of this context with a
+// reconfiguration phase (see the trace.Phase* constants); the empty string
+// is application traffic. Phases are per execution context, so an
+// auxiliary redistribution thread and its rank's main thread can carry
+// different tags concurrently.
+func (c *Ctx) SetPhase(phase string) { c.phase = phase }
+
+// Phase returns the context's current phase tag.
+func (c *Ctx) Phase() string { return c.phase }
+
+// span opens a trace span of the given kind and returns its closer. When
+// tracing is off it returns a shared no-op closure, keeping the disabled
+// path allocation-free.
+func (c *Ctx) span(kind trace.EventKind, comm int, op string, bytes int64) func() {
+	rec := c.proc.w.rec
+	if rec == nil {
+		return noopSpanEnd
+	}
+	start := c.sp.Now()
+	return func() {
+		rec.Record(trace.Event{
+			Kind: kind, Rank: c.proc.gid, Start: start, End: c.sp.Now(),
+			Peer: -1, Tag: -1, Comm: comm, Bytes: bytes, Op: op, Phase: c.phase,
+		})
+	}
+}
+
+var noopSpanEnd = func() {}
+
 // cpu returns the CPU resource of the context's node.
 func (c *Ctx) cpu() *ps.Resource { return c.proc.w.machine.CPU(c.proc.node) }
 
@@ -192,7 +236,9 @@ func (c *Ctx) Compute(seconds float64) {
 	if seconds <= 0 {
 		return
 	}
+	end := c.span(trace.EvCompute, -1, "compute", 0)
 	c.cpu().Use(c.sp, seconds)
+	end()
 }
 
 // Sleep advances virtual time without consuming CPU.

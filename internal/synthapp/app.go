@@ -19,6 +19,12 @@ type RunParams struct {
 	// Monitor, when non-nil, collects per-rank spans and counters (the
 	// Monitoring module's intermediate output files).
 	Monitor *trace.Monitor
+
+	// Recorder, when non-nil, captures every message-level event of the run
+	// (sends, receives, collectives, compute, spawn, phases) for Chrome
+	// trace export and derived metrics. Recording reads only the virtual
+	// clock, so results are identical with or without it.
+	Recorder *trace.Recorder
 }
 
 // StageMeasure records one reconfiguration of a multi-stage run.
@@ -120,6 +126,7 @@ func Run(w *mpi.World, p RunParams) (Result, error) {
 	if len(p.Cfg.Reconfigs) == 0 && p.Cfg.ReconfigIteration >= 0 && p.NT <= 0 {
 		return Result{}, fmt.Errorf("synthapp: NT=%d with an implicit reconfiguration", p.NT)
 	}
+	w.SetRecorder(p.Recorder)
 	rs := &runState{cfg: p.Cfg, mal: p.Malleability, ns: p.NS, nt: p.NT,
 		rowPtrs: map[string][]int64{}, mon: p.Monitor}
 	for _, d := range p.Cfg.Data {

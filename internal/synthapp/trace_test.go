@@ -1,0 +1,212 @@
+package synthapp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netmodel"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// tracedRun executes one run of smallConfig with event tracing enabled.
+func tracedRun(t *testing.T, mal core.Config, ns, nt int) (Result, *trace.Recorder) {
+	t.Helper()
+	w := paperWorld(netmodel.Ethernet10G(), 1)
+	rec := trace.NewRecorder()
+	res, err := Run(w, RunParams{
+		Cfg: smallConfig(), Malleability: mal, NS: ns, NT: nt, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+// expectedP2PTraffic computes the wire traffic of one P2P redistribution
+// pass of an item under a Merge ns->nt expansion from the plan: every
+// non-local chunk carries an 8-byte size message plus its wire bytes.
+func expectedP2PTraffic(wire func(lo, hi int64) int64, elements int64, ns, nt int) (msgs, bytes int64) {
+	plan := partition.NewPlan(elements, ns, nt)
+	for s := 0; s < ns; s++ {
+		for _, ch := range plan.SendChunks(s) {
+			if ch.Src == ch.Dst {
+				continue // Merge self chunk: local copy, no messages
+			}
+			msgs += 2
+			bytes += wire(ch.Lo, ch.Hi) + 8
+		}
+	}
+	return msgs, bytes
+}
+
+// The acceptance check of the trace layer: a Merge / P2P / non-blocking
+// expansion must report exactly the per-stage traffic the redistribution
+// plan mandates — the constant sparse matrix in the overlapped pass and the
+// variable dense vector in the halted pass.
+func TestTraceMetricsMatchPlan(t *testing.T) {
+	const ns, nt = 4, 8
+	cfg := smallConfig()
+	mal := core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.NonBlocking}
+	_, rec := tracedRun(t, mal, ns, nt)
+	if rec.Len() == 0 {
+		t.Fatal("recorder captured no events")
+	}
+	m := rec.Metrics()
+
+	// Constant item A: sparse, wire bytes from the synthesized row pointer.
+	specA := cfg.Data[0]
+	rp := rowPtrFor(specA)
+	wantMsgsC, wantBytesC := expectedP2PTraffic(func(lo, hi int64) int64 {
+		return (rp[hi] - rp[lo]) * specA.ElemSize
+	}, specA.Elements, ns, nt)
+	if m.MsgsConst != wantMsgsC || m.BytesConst != wantBytesC {
+		t.Fatalf("const pass = %d msgs / %d bytes, plan says %d / %d",
+			m.MsgsConst, m.BytesConst, wantMsgsC, wantBytesC)
+	}
+
+	// Variable item x: dense float64 vector.
+	specX := cfg.Data[1]
+	wantMsgsV, wantBytesV := expectedP2PTraffic(func(lo, hi int64) int64 {
+		return (hi - lo) * specX.ElemSize
+	}, specX.Elements, ns, nt)
+	if m.MsgsVar != wantMsgsV || m.BytesVar != wantBytesV {
+		t.Fatalf("var pass = %d msgs / %d bytes, plan says %d / %d",
+			m.MsgsVar, m.BytesVar, wantMsgsV, wantBytesV)
+	}
+
+	wantEff := float64(wantBytesC) / float64(wantBytesC+wantBytesV)
+	if math.Abs(m.OverlapEfficiency-wantEff) > 1e-12 {
+		t.Fatalf("overlap efficiency = %g, want %g", m.OverlapEfficiency, wantEff)
+	}
+
+	// Stage timers: spawn+merge, overlapped constant pass, and the halted
+	// variable pass inside the halt window.
+	if m.TSpawn <= 0 {
+		t.Fatalf("TSpawn = %g, want > 0", m.TSpawn)
+	}
+	if m.TRedistConst <= 0 {
+		t.Fatalf("TRedistConst = %g, want > 0", m.TRedistConst)
+	}
+	if m.TRedistVar <= 0 || m.THalt < m.TRedistVar {
+		t.Fatalf("TRedistVar = %g, THalt = %g: variable pass must sit inside the halt",
+			m.TRedistVar, m.THalt)
+	}
+}
+
+// A synchronous configuration moves everything with the sources halted:
+// no constant pass, all bytes in the variable pass.
+func TestTraceMetricsSyncAllBytesHalted(t *testing.T) {
+	const ns, nt = 4, 8
+	cfg := smallConfig()
+	mal := core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Sync}
+	_, rec := tracedRun(t, mal, ns, nt)
+	m := rec.Metrics()
+	if m.MsgsConst != 0 || m.BytesConst != 0 {
+		t.Fatalf("sync run has const-pass traffic: %d msgs / %d bytes", m.MsgsConst, m.BytesConst)
+	}
+	specA, specX := cfg.Data[0], cfg.Data[1]
+	rp := rowPtrFor(specA)
+	msgsA, bytesA := expectedP2PTraffic(func(lo, hi int64) int64 {
+		return (rp[hi] - rp[lo]) * specA.ElemSize
+	}, specA.Elements, ns, nt)
+	msgsX, bytesX := expectedP2PTraffic(func(lo, hi int64) int64 {
+		return (hi - lo) * specX.ElemSize
+	}, specX.Elements, ns, nt)
+	if m.MsgsVar != msgsA+msgsX || m.BytesVar != bytesA+bytesX {
+		t.Fatalf("var pass = %d msgs / %d bytes, plan says %d / %d",
+			m.MsgsVar, m.BytesVar, msgsA+msgsX, bytesA+bytesX)
+	}
+	if m.OverlapEfficiency != 0 {
+		t.Fatalf("sync overlap efficiency = %g, want 0", m.OverlapEfficiency)
+	}
+}
+
+// The determinism guard: recording events reads only the virtual clock, so
+// a traced run must produce bit-identical results to an untraced one.
+func TestTracingDoesNotChangeResults(t *testing.T) {
+	configs := []core.Config{
+		{Spawn: core.Merge, Comm: core.P2P, Overlap: core.NonBlocking},
+		{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync},
+		{Spawn: core.Baseline, Comm: core.P2P, Overlap: core.Thread},
+		{Spawn: core.Baseline, Comm: core.COL, Overlap: core.NonBlocking},
+		{Spawn: core.Merge, Comm: core.RMA, Overlap: core.NonBlocking},
+	}
+	for _, mal := range configs {
+		for _, pair := range []struct{ ns, nt int }{{4, 8}, {8, 4}} {
+			t.Run(fmt.Sprintf("%s/%dto%d", mal, pair.ns, pair.nt), func(t *testing.T) {
+				w := paperWorld(netmodel.Ethernet10G(), 3)
+				plain, err := Run(w, RunParams{
+					Cfg: smallConfig(), Malleability: mal, NS: pair.ns, NT: pair.nt,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				traced, rec := tracedRun2(t, mal, pair.ns, pair.nt, 3)
+				if !reflect.DeepEqual(plain, traced) {
+					t.Fatalf("tracing changed the result:\nplain:  %+v\ntraced: %+v", plain, traced)
+				}
+				if rec.Len() == 0 {
+					t.Fatal("traced run recorded no events")
+				}
+			})
+		}
+	}
+}
+
+// tracedRun2 is tracedRun with an explicit seed.
+func tracedRun2(t *testing.T, mal core.Config, ns, nt int, seed int64) (Result, *trace.Recorder) {
+	t.Helper()
+	w := paperWorld(netmodel.Ethernet10G(), seed)
+	rec := trace.NewRecorder()
+	res, err := Run(w, RunParams{
+		Cfg: smallConfig(), Malleability: mal, NS: ns, NT: nt, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+// The exported Chrome trace of a real run must be valid JSON with one
+// metadata track per rank and only well-formed event types.
+func TestTraceChromeExportOfRun(t *testing.T) {
+	mal := core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.NonBlocking}
+	_, rec := tracedRun(t, mal, 4, 8)
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("Chrome export is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) <= rec.Len() {
+		t.Fatalf("export has %d entries for %d events (metadata missing?)",
+			len(out.TraceEvents), rec.Len())
+	}
+	tracks := map[int]bool{}
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			tracks[ev.Tid] = true
+		case "X", "i":
+		default:
+			t.Fatalf("unexpected event type %q", ev.Ph)
+		}
+	}
+	// 4 sources + 4 spawned children = 8 distinct gid tracks at minimum.
+	if len(tracks) < 8 {
+		t.Fatalf("export names %d tracks, want >= 8", len(tracks))
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import "fmt"
+
+// EventKind classifies one typed trace event.
+type EventKind uint8
+
+const (
+	// EvSend is a point-to-point send issue (Isend/Send).
+	EvSend EventKind = iota
+	// EvRecv is a completed point-to-point delivery (or a one-sided Get,
+	// recorded at the origin when the data lands).
+	EvRecv
+	// EvColl is one collective operation; blocking collectives are spans,
+	// non-blocking issues are instants.
+	EvColl
+	// EvCompute is a span of single-core CPU work under processor sharing.
+	EvCompute
+	// EvSpawn is the process-management span of MPI_Comm_spawn on the rank
+	// paying the spawn cost.
+	EvSpawn
+	// EvBarrier is a synchronization span (Barrier, FastBarrier, Fence).
+	EvBarrier
+	// EvPhase is a reconfiguration stage span recorded by the core layer:
+	// its Op names the stage (spawn, redist-const, redist-var, halt).
+	EvPhase
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "send"
+	case EvRecv:
+		return "recv"
+	case EvColl:
+		return "collective"
+	case EvCompute:
+		return "compute"
+	case EvSpawn:
+		return "spawn"
+	case EvBarrier:
+		return "barrier"
+	case EvPhase:
+		return "phase"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Reconfiguration phase names used by the core layer to tag events; they
+// match the paper's §4 stage decomposition.
+const (
+	// PhaseSpawn is stage 2: process management (spawn, merge).
+	PhaseSpawn = "spawn"
+	// PhaseRedistConst is the constant-data redistribution pass, overlapped
+	// with application iterations in asynchronous configurations.
+	PhaseRedistConst = "redist-const"
+	// PhaseRedistVar is the variable-data redistribution pass, run with the
+	// sources halted (all data for synchronous configurations).
+	PhaseRedistVar = "redist-var"
+	// PhaseHalt spans the source halt: from the instant iterations stop to
+	// the completed handover.
+	PhaseHalt = "halt"
+)
+
+// Event is one typed record of the message-level log. Instant events have
+// End == Start. Rank is the world-unique process id (respawned ranks stay
+// distinct); Peer is the peer's world-unique id or -1; Tag and Comm are the
+// MPI tag and matching-context id, or -1 when not applicable.
+type Event struct {
+	Kind  EventKind `json:"kind"`
+	Rank  int       `json:"rank"`
+	Start float64   `json:"start"`
+	End   float64   `json:"end"`
+	Peer  int       `json:"peer"`
+	Tag   int       `json:"tag"`
+	Comm  int       `json:"comm"`
+	Bytes int64     `json:"bytes"`
+	Op    string    `json:"op"`
+	Phase string    `json:"phase,omitempty"`
+}
+
+// Duration returns the event's span length (zero for instants).
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Recorder collects typed events for one run. Like Monitor it is
+// single-threaded by construction: the simulation kernel runs one process
+// at a time, so no locking is needed. A nil *Recorder is the disabled
+// state; instrumentation sites nil-check before building events so the
+// zero-cost path stays allocation-free.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty event log.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }
+
+// Events returns the log in record order (chronological: events are
+// recorded at their End time under the single-threaded kernel).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"testing"
+)
+
+func TestMetricsDerivation(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: EvCompute, Rank: 0, Start: 0, End: 0.5, Peer: -1, Tag: -1, Comm: -1, Op: "compute"})
+	r.Record(Event{Kind: EvSend, Rank: 0, Start: 1, End: 1, Peer: 2, Tag: 77, Comm: 1, Bytes: 100, Op: "Isend", Phase: PhaseRedistConst})
+	r.Record(Event{Kind: EvRecv, Rank: 2, Start: 1.2, End: 1.2, Peer: 0, Tag: 77, Comm: 1, Bytes: 100, Op: "recv", Phase: PhaseRedistConst})
+	r.Record(Event{Kind: EvSend, Rank: 0, Start: 2, End: 2, Peer: 2, Tag: 79, Comm: 1, Bytes: 40, Op: "Isend", Phase: PhaseRedistVar})
+	r.Record(Event{Kind: EvRecv, Rank: 1, Start: 2.5, End: 2.5, Peer: 2, Tag: -1, Comm: 1, Bytes: 60, Op: "Get", Phase: PhaseRedistVar})
+	r.Record(Event{Kind: EvColl, Rank: 1, Start: 3, End: 3.5, Peer: -1, Tag: -1, Comm: 1, Bytes: 8, Op: "Bcast"})
+	r.Record(Event{Kind: EvPhase, Rank: 0, Start: 1, End: 2, Peer: -1, Tag: -1, Comm: -1, Op: PhaseSpawn, Phase: PhaseSpawn})
+	r.Record(Event{Kind: EvPhase, Rank: 1, Start: 1.5, End: 2.5, Peer: -1, Tag: -1, Comm: -1, Op: PhaseSpawn, Phase: PhaseSpawn})
+	r.Record(Event{Kind: EvPhase, Rank: 0, Start: 4, End: 4.25, Peer: -1, Tag: -1, Comm: -1, Op: PhaseHalt, Phase: PhaseHalt})
+
+	m := r.Metrics()
+	if m.BytesConst != 100 || m.MsgsConst != 1 {
+		t.Fatalf("const = %d bytes / %d msgs, want 100 / 1", m.BytesConst, m.MsgsConst)
+	}
+	// Wire traffic counts sends plus one-sided Gets; the plain recv is not
+	// a second wire message.
+	if m.BytesVar != 100 || m.MsgsVar != 2 {
+		t.Fatalf("var = %d bytes / %d msgs, want 100 / 2", m.BytesVar, m.MsgsVar)
+	}
+	if m.OverlapEfficiency != 0.5 {
+		t.Fatalf("overlap efficiency = %g, want 0.5", m.OverlapEfficiency)
+	}
+	// Window of the spawn spans across ranks: [1, 2.5].
+	if m.TSpawn != 1.5 {
+		t.Fatalf("TSpawn = %g, want 1.5", m.TSpawn)
+	}
+	if m.THalt != 0.25 {
+		t.Fatalf("THalt = %g, want 0.25", m.THalt)
+	}
+	if m.MsgsByOp["Isend"] != 2 || m.MsgsByOp["Get"] != 1 {
+		t.Fatalf("MsgsByOp = %v", m.MsgsByOp)
+	}
+
+	if len(m.Ranks) != 3 {
+		t.Fatalf("ranks = %d, want 3", len(m.Ranks))
+	}
+	r0 := m.Ranks[0]
+	if r0.Rank != 0 || r0.SendMsgs != 2 || r0.SendBytes != 140 || r0.ComputeSecs != 0.5 {
+		t.Fatalf("rank 0 = %+v", r0)
+	}
+	r1 := m.Ranks[1]
+	if r1.RecvMsgs != 1 || r1.RecvBytes != 60 || r1.Collectives != 1 {
+		t.Fatalf("rank 1 = %+v", r1)
+	}
+}
+
+func TestMetricsCSVParses(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: EvSend, Rank: 0, Start: 1, End: 1, Peer: 1, Tag: 77, Comm: 1, Bytes: 64, Op: "Isend", Phase: PhaseRedistConst})
+	var buf bytes.Buffer
+	if err := r.Metrics().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("metrics CSV has %d rows", len(rows))
+	}
+	found := false
+	for _, row := range rows {
+		if row[0] == "run" && row[1] == "bytes_const" {
+			found = true
+			if row[2] != "64" {
+				t.Fatalf("bytes_const = %q, want 64", row[2])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("run/bytes_const row missing")
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{Kind: EvCompute, Rank: 0, Start: 0.5, End: 1.5, Peer: -1, Tag: -1, Comm: -1, Op: "compute"})
+	r.Record(Event{Kind: EvSend, Rank: 3, Start: 2, End: 2, Peer: 0, Tag: 77, Comm: 1, Bytes: 128, Op: "Isend", Phase: PhaseRedistConst})
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	// Two metadata track names plus the two events.
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("traceEvents = %d, want 4", len(out.TraceEvents))
+	}
+	var spans, instants, meta int
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Ts != 0.5e6 || ev.Dur != 1e6 {
+				t.Fatalf("span ts/dur = %g/%g, want 5e5/1e6 microseconds", ev.Ts, ev.Dur)
+			}
+		case "i":
+			instants++
+			if ev.Tid != 3 || ev.Name != "Isend" {
+				t.Fatalf("instant = %+v", ev)
+			}
+			if ev.Args["phase"] != PhaseRedistConst {
+				t.Fatalf("instant phase arg = %v", ev.Args["phase"])
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase type %q", ev.Ph)
+		}
+	}
+	if spans != 1 || instants != 1 || meta != 2 {
+		t.Fatalf("spans/instants/meta = %d/%d/%d, want 1/1/2", spans, instants, meta)
+	}
+}
+
+// WriteCSV must escape delimiters in span names; a plain Fprintf join used
+// to corrupt rows whose names contain commas.
+func TestMonitorCSVEscapesCommas(t *testing.T) {
+	m := NewMonitor()
+	m.Rank(0).Record("application", `phase "a,b"`, 0, 1.5)
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("monitor CSV does not parse: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want header + 1", len(rows))
+	}
+	if got := rows[1][2]; got != `phase "a,b"` {
+		t.Fatalf("name field = %q", got)
+	}
+	if rows[1][5] != "1.5" {
+		t.Fatalf("duration field = %q", rows[1][5])
+	}
+}

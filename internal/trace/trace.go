@@ -9,10 +9,12 @@
 package trace
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 )
 
 // Span is one timed region of a rank's execution.
@@ -87,19 +89,27 @@ func (m *Monitor) Ranks() []*RankLog {
 }
 
 // WriteCSV emits one row per span: rank,module,name,start,end,duration.
+// Fields are escaped per RFC 4180, so module or span names containing
+// commas or quotes survive a round-trip.
 func (m *Monitor) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "rank,module,name,start,end,duration"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "module", "name", "start", "end", "duration"}); err != nil {
 		return err
 	}
+	g := func(x float64) string { return fmt.Sprintf("%.9g", x) }
 	for _, rl := range m.Ranks() {
 		for _, s := range rl.Spans {
-			if _, err := fmt.Fprintf(w, "%d,%s,%s,%.9g,%.9g,%.9g\n",
-				rl.Rank, s.Module, s.Name, s.Start, s.End, s.Duration()); err != nil {
+			err := cw.Write([]string{
+				strconv.Itoa(rl.Rank), s.Module, s.Name,
+				g(s.Start), g(s.End), g(s.Duration()),
+			})
+			if err != nil {
 				return err
 			}
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }
 
 // WriteJSON emits the full structure.
