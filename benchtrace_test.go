@@ -1,0 +1,99 @@
+package repro
+
+// The benchmark regression harness: BenchmarkTraceRegression runs the
+// default bench-trace spec and writes BENCH_trace.json, the
+// machine-readable performance-trajectory record CI archives run over run.
+// REPRO_BENCH_OUT overrides the output path (default BENCH_trace.json in
+// the working directory); REPRO_BENCH_REPS sets the recorded rep count.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+func benchTraceOut() string {
+	if s := os.Getenv("REPRO_BENCH_OUT"); s != "" {
+		return s
+	}
+	return "BENCH_trace.json"
+}
+
+// BenchmarkTraceRegression emits BENCH_trace.json. It is a benchmark so it
+// rides the existing `go test -bench` entry point CI already runs; the
+// regression signal is the archived artifact, not b.N timing.
+func BenchmarkTraceRegression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bt, err := harness.BuildBenchTrace(harness.DefaultBenchTraceSpec(), benchReps())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && printOnce(b.Name()) {
+			var buf bytes.Buffer
+			if err := bt.WriteJSON(&buf); err != nil {
+				b.Fatal(err)
+			}
+			// Validate before writing: CI must never archive a malformed record.
+			if _, err := harness.ValidateBenchTrace(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			out := benchTraceOut()
+			if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("wrote %s (%d cells)", out, len(bt.Cells))
+		}
+	}
+}
+
+// TestBenchTraceDeterministic builds a reduced spec twice and requires
+// bit-identical serialization: the record must carry no timestamps, map
+// iteration order, or other nondeterminism, or CI diffs become noise.
+func TestBenchTraceDeterministic(t *testing.T) {
+	spec := harness.BenchTraceSpec{
+		Net:   "ethernet",
+		Pairs: []harness.Pair{{NS: 20, NT: 10}},
+		Configs: []core.Config{
+			{Spawn: core.Merge, Comm: core.P2P, Overlap: core.NonBlocking},
+			{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Sync},
+		},
+	}
+	serialize := func() []byte {
+		t.Helper()
+		bt, err := harness.BuildBenchTrace(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := bt.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := serialize(), serialize()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("bench trace not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if _, err := harness.ValidateBenchTrace(bytes.NewReader(a)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidateBenchTraceRejectsMalformed is the CI gate's own test: broken
+// records must fail loudly.
+func TestValidateBenchTraceRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		`{}`,
+		`{"schema":"repro/bench-trace/v1","reps":1,"cells":[]}`,
+		`{"schema":"wrong/v9","reps":1,"cells":[{"makespan":1}]}`,
+		`{"schema":"repro/bench-trace/v1","reps":1,"cells":[{"net":"ethernet","makespan":0}]}`,
+		`{"schema":"repro/bench-trace/v1","reps":1,"cells":[{"net":"ethernet","makespan":10,"pathError":1}]}`,
+	} {
+		if _, err := harness.ValidateBenchTrace(bytes.NewReader([]byte(in))); err == nil {
+			t.Fatalf("accepted malformed record: %s", in)
+		}
+	}
+}

@@ -29,8 +29,7 @@ func main() {
 	configPath := flag.String("config", "", "synthetic application configuration (JSON); default: built-in CG emulation")
 	seed := flag.Int("seed", 1, "noise seed")
 	reps := flag.Int("reps", 1, "repetitions (distinct seeds starting at -seed)")
-	traceOn := flag.Bool("trace", false, "record message-level events of the last repetition and export a Chrome trace plus metrics")
-	traceOut := flag.String("trace-out", "malleasim_trace", "output prefix for -trace: <prefix>.json (Chrome trace, open in Perfetto), <prefix>.metrics.{csv,json}")
+	tf := harness.RegisterTraceFlags(flag.CommandLine, "malleasim_trace")
 	spansPath := flag.String("spans", "", "write per-rank monitoring spans (CSV) of the last repetition")
 	flag.Parse()
 
@@ -59,7 +58,7 @@ func main() {
 			mon = trace.NewMonitor()
 		}
 		var rec *trace.Recorder
-		if *traceOn && last {
+		if tf.Trace && last {
 			rec = trace.NewRecorder()
 		}
 		w := setup.NewWorld(*seed - 1 + rep)
@@ -87,15 +86,28 @@ func main() {
 			fmt.Printf("monitoring spans written to %s\n", *spansPath)
 		}
 		if rec != nil {
-			if err := harness.WriteTraceFiles(rec, *traceOut); err != nil {
+			if err := harness.WriteTraceFiles(rec, tf.Out); err != nil {
 				fail(err)
 			}
 			m := rec.Metrics()
-			fmt.Printf("trace: %d events -> %s.json (Chrome trace), %s.metrics.{csv,json}\n",
-				rec.Len(), *traceOut, *traceOut)
+			fmt.Printf("trace: %d events -> %s.events.json (raw log for tracetool), %s.json (Chrome trace), %s.metrics.{csv,json}\n",
+				rec.Len(), tf.Out, tf.Out, tf.Out)
 			fmt.Printf("trace: bytes const/var=%d/%d msgs=%d/%d overlap-efficiency=%.2f t_spawn=%.4fs t_redist_const=%.4fs t_redist_var=%.4fs t_halt=%.4fs\n",
 				m.BytesConst, m.BytesVar, m.MsgsConst, m.MsgsVar, m.OverlapEfficiency,
 				m.TSpawn, m.TRedistConst, m.TRedistVar, m.THalt)
+			if tf.Metrics != "" {
+				f, err := os.Create(tf.Metrics)
+				if err != nil {
+					fail(err)
+				}
+				if err := m.WriteCSV(f); err != nil {
+					fail(err)
+				}
+				if err := f.Close(); err != nil {
+					fail(err)
+				}
+				fmt.Printf("trace: run metrics CSV written to %s\n", tf.Metrics)
+			}
 		}
 	}
 }

@@ -5,9 +5,14 @@
 //
 //	redistsweep -net ethernet -pairs plots -reps 5 -out eth.csv
 //	redistsweep -net infiniband -pairs all -reps 5 -out ib_all.csv
+//	redistsweep -trace -metrics cells.csv -trace-out sweep_trace
 //
 // -pairs plots covers the from/to-160 families the paper's line plots use
 // (Figures 2-5, 7-8); -pairs all covers the 42 pairs of Figures 6 and 9.
+// -trace additionally runs one traced repetition per cell: -metrics
+// collects per-cell redistribution metrics, and -trace-out exports the
+// last cell's event log in the same formats cmd/malleasim emits, ready
+// for cmd/tracetool.
 package main
 
 import (
@@ -26,8 +31,7 @@ func main() {
 	reps := flag.Int("reps", 5, "repetitions per cell")
 	out := flag.String("out", "", "CSV output path (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
-	traceOn := flag.Bool("trace", false, "additionally run one traced repetition per cell and write redistribution metrics")
-	traceOut := flag.String("trace-out", "trace_metrics.csv", "per-cell metrics CSV path for -trace")
+	tf := harness.RegisterTraceFlags(flag.CommandLine, "redistsweep_trace")
 	flag.Parse()
 
 	net, err := harness.ParseNet(*netName)
@@ -72,22 +76,31 @@ func main() {
 		fail(err)
 	}
 
-	if *traceOn {
-		cells, err := setup.SweepMetrics(pairs, configs, 0, progress)
+	if tf.Trace {
+		cells, lastRec, err := setup.SweepMetricsTraced(pairs, configs, 0, progress)
 		if err != nil {
 			fail(err)
 		}
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fail(err)
+		if lastRec != nil {
+			if err := harness.WriteTraceFiles(lastRec, tf.Out); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "# event log of the last traced cell written to %s.events.json (raw log for tracetool), %s.json (Chrome trace), %s.metrics.{csv,json}\n",
+				tf.Out, tf.Out, tf.Out)
 		}
-		if err := harness.WriteMetricsCSV(f, cells); err != nil {
-			fail(err)
+		if tf.Metrics != "" {
+			f, err := os.Create(tf.Metrics)
+			if err != nil {
+				fail(err)
+			}
+			if err := harness.WriteMetricsCSV(f, cells); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "# trace metrics for %d cells written to %s\n", len(cells), tf.Metrics)
 		}
-		if err := f.Close(); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "# trace metrics for %d cells written to %s\n", len(cells), *traceOut)
 	}
 }
 

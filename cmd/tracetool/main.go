@@ -1,0 +1,152 @@
+// Command tracetool analyzes the message-level event logs that
+// cmd/malleasim and cmd/redistsweep emit with -trace: it extracts the
+// critical path of a run, profiles per-rank utilization, and diffs two
+// runs phase-by-phase to locate a time delta.
+//
+//	tracetool analyze [-json] run.events.json
+//	tracetool diff [-json] cola.events.json cols.events.json
+//	tracetool top [-n 20] run.events.json
+//	tracetool validate-bench BENCH_trace.json
+//
+// Inputs are auto-detected: the raw event log (<prefix>.events.json), a
+// bare JSON array of events, or the Chrome trace export (<prefix>.json).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/trace"
+	"repro/internal/trace/analyze"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "top":
+		cmdTop(os.Args[2:])
+	case "validate-bench":
+		cmdValidateBench(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tracetool: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  tracetool analyze [-json] <events-file>         critical path, phase windows, per-rank utilization
+  tracetool diff [-json] <events-A> <events-B>    align two runs phase-by-phase, locate the delta
+  tracetool top [-n N] <events-file>              largest critical-path contributors
+  tracetool validate-bench <BENCH_trace.json>     check a benchmark regression record
+
+<events-file> is a -trace output of malleasim or redistsweep: the raw
+event log (<prefix>.events.json) or the Chrome trace (<prefix>.json).
+`)
+	os.Exit(2)
+}
+
+func loadEvents(path string) []trace.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	events, err := trace.ReadEvents(f)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return events
+}
+
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the full analysis as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	a := analyze.Analyze(loadEvents(fs.Arg(0)))
+	if *asJSON {
+		emitJSON(a)
+		return
+	}
+	if err := a.WriteReport(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the diff as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	a := analyze.Analyze(loadEvents(fs.Arg(0)))
+	b := analyze.Analyze(loadEvents(fs.Arg(1)))
+	d := analyze.Diff(a, b)
+	if *asJSON {
+		emitJSON(d)
+		return
+	}
+	fmt.Printf("A: %s\nB: %s\n\n", fs.Arg(0), fs.Arg(1))
+	if err := d.Write(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	n := fs.Int("n", 15, "number of entries")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	a := analyze.Analyze(loadEvents(fs.Arg(0)))
+	if err := a.WriteTop(os.Stdout, *n); err != nil {
+		fail(err)
+	}
+}
+
+func cmdValidateBench(args []string) {
+	fs := flag.NewFlagSet("validate-bench", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	bt, err := harness.ValidateBenchTrace(f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: ok (%d cells, schema %s, reps %d)\n", fs.Arg(0), len(bt.Cells), bt.Schema, bt.Reps)
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracetool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/trace/analyze"
+)
+
+// BenchTraceSchema versions the BENCH_trace.json layout so CI consumers
+// can detect incompatible changes.
+const BenchTraceSchema = "repro/bench-trace/v1"
+
+// BenchCell is one configuration's entry in the performance-trajectory
+// record: the run makespan, the paper's stage timers, and the
+// critical-path composition that explains where the time went.
+type BenchCell struct {
+	Net      string  `json:"net"`
+	NS       int     `json:"ns"`
+	NT       int     `json:"nt"`
+	Config   string  `json:"config"`
+	Makespan float64 `json:"makespan"`
+	Reconfig float64 `json:"reconfig"`
+
+	TSpawn       float64 `json:"tSpawn"`
+	TRedistConst float64 `json:"tRedistConst"`
+	TRedistVar   float64 `json:"tRedistVar"`
+	THalt        float64 `json:"tHalt"`
+
+	BytesConst        int64   `json:"bytesConst"`
+	BytesVar          int64   `json:"bytesVar"`
+	OverlapEfficiency float64 `json:"overlapEfficiency"`
+
+	Path analyze.BucketTotals `json:"criticalPath"`
+	// PathError is |makespan - bucket sum|: the analyzer's attribution
+	// must account for the whole run, so this stays at float-rounding
+	// scale.
+	PathError float64 `json:"pathError"`
+}
+
+// BenchTrace is the machine-readable record bench_test.go's regression
+// harness emits as BENCH_trace.json, archived by CI run over run.
+type BenchTrace struct {
+	Schema string      `json:"schema"`
+	Reps   int         `json:"reps"`
+	Cells  []BenchCell `json:"cells"`
+}
+
+// BenchTraceSpec selects the cells the regression harness records.
+type BenchTraceSpec struct {
+	Net     string
+	Pairs   []Pair
+	Configs []core.Config
+}
+
+// DefaultBenchTraceSpec covers the paper's headline comparison on
+// Ethernet: the 160<->80 pairs under the best (Merge/COL/A), its
+// synchronous sibling, the P2P variants, and the Baseline/P2P/S worst
+// case — the A-vs-S and Merge-vs-Baseline axes of Figures 2-5.
+func DefaultBenchTraceSpec() BenchTraceSpec {
+	return BenchTraceSpec{
+		Net:   "ethernet",
+		Pairs: []Pair{{NS: 160, NT: 80}, {NS: 80, NT: 160}},
+		Configs: []core.Config{
+			{Spawn: core.Merge, Comm: core.COL, Overlap: core.NonBlocking},
+			{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync},
+			{Spawn: core.Merge, Comm: core.P2P, Overlap: core.NonBlocking},
+			{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Sync},
+			{Spawn: core.Baseline, Comm: core.P2P, Overlap: core.Sync},
+			{Spawn: core.Baseline, Comm: core.COL, Overlap: core.Sync},
+		},
+	}
+}
+
+// BuildBenchTrace runs one traced repetition of every cell in the spec and
+// derives its record. The simulator is deterministic, so two builds of the
+// same spec yield byte-identical WriteJSON output.
+func BuildBenchTrace(spec BenchTraceSpec, reps int) (BenchTrace, error) {
+	net, err := ParseNet(spec.Net)
+	if err != nil {
+		return BenchTrace{}, err
+	}
+	setup := DefaultSetup(net)
+	setup.Reps = reps
+
+	bt := BenchTrace{Schema: BenchTraceSchema, Reps: reps}
+	rec := trace.NewRecorder()
+	for _, p := range spec.Pairs {
+		for _, cfg := range spec.Configs {
+			rec.Reset()
+			res, err := setup.RunCellRecorded(p, cfg, 0, rec)
+			if err != nil {
+				return BenchTrace{}, fmt.Errorf("bench trace %s %d->%d %s: %w", spec.Net, p.NS, p.NT, cfg, err)
+			}
+			m := rec.Metrics()
+			a := analyze.Analyze(rec.Events())
+			bt.Cells = append(bt.Cells, BenchCell{
+				Net: spec.Net, NS: p.NS, NT: p.NT, Config: cfg.String(),
+				Makespan: res.TotalTime, Reconfig: res.ReconfigTime(),
+				TSpawn: m.TSpawn, TRedistConst: m.TRedistConst,
+				TRedistVar: m.TRedistVar, THalt: m.THalt,
+				BytesConst: m.BytesConst, BytesVar: m.BytesVar,
+				OverlapEfficiency: m.OverlapEfficiency,
+				Path:              a.Path.Buckets,
+				PathError:         math.Abs(a.Makespan - a.Path.Buckets.Sum()),
+			})
+		}
+	}
+	return bt, nil
+}
+
+// WriteJSON emits the record with a fixed field layout: deterministic
+// input produces bit-identical bytes.
+func (bt BenchTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bt)
+}
+
+// ValidateBenchTrace parses a BENCH_trace.json and checks its invariants:
+// known schema, at least one cell, finite values, and critical-path sums
+// that account for each cell's run. It is the CI gate against malformed
+// artifacts.
+func ValidateBenchTrace(r io.Reader) (BenchTrace, error) {
+	var bt BenchTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&bt); err != nil {
+		return bt, fmt.Errorf("bench trace: %w", err)
+	}
+	if bt.Schema != BenchTraceSchema {
+		return bt, fmt.Errorf("bench trace: schema %q (want %q)", bt.Schema, BenchTraceSchema)
+	}
+	if len(bt.Cells) == 0 {
+		return bt, fmt.Errorf("bench trace: no cells")
+	}
+	for i, c := range bt.Cells {
+		id := fmt.Sprintf("cell %d (%s %d->%d %s)", i, c.Net, c.NS, c.NT, c.Config)
+		for name, v := range map[string]float64{
+			"makespan": c.Makespan, "reconfig": c.Reconfig,
+			"tSpawn": c.TSpawn, "tRedistConst": c.TRedistConst,
+			"tRedistVar": c.TRedistVar, "tHalt": c.THalt,
+			"pathSum": c.Path.Sum(), "pathError": c.PathError,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return bt, fmt.Errorf("bench trace: %s: %s = %v", id, name, v)
+			}
+		}
+		if c.Makespan <= 0 {
+			return bt, fmt.Errorf("bench trace: %s: non-positive makespan %v", id, c.Makespan)
+		}
+		if c.PathError > 1e-6*c.Makespan+1e-9 {
+			return bt, fmt.Errorf("bench trace: %s: critical path does not account for the makespan (error %v)", id, c.PathError)
+		}
+	}
+	return bt, nil
+}

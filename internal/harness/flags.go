@@ -1,11 +1,40 @@
 package harness
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/netmodel"
 )
+
+// TraceFlags is the tracing command-line surface shared by cmd/malleasim
+// and cmd/redistsweep, so both tools accept the same flags and emit the
+// same file formats — cmd/tracetool consumes either tool's output
+// unchanged.
+type TraceFlags struct {
+	// Trace enables message-level event recording.
+	Trace bool
+	// Out is the output prefix for the recorded run: <Out>.events.json is
+	// the raw event log (the tracetool input), <Out>.json the Chrome trace
+	// (open in Perfetto), <Out>.metrics.{csv,json} the derived counters.
+	Out string
+	// Metrics, when non-empty, is a CSV path for derived redistribution
+	// metrics: per run for malleasim, per sweep cell for redistsweep.
+	Metrics string
+}
+
+// RegisterTraceFlags registers -trace, -trace-out, and -metrics on fs with
+// the given default output prefix.
+func RegisterTraceFlags(fs *flag.FlagSet, defaultPrefix string) *TraceFlags {
+	tf := &TraceFlags{}
+	fs.BoolVar(&tf.Trace, "trace", false,
+		"record message-level events and export <trace-out>.events.json (raw log for tracetool), <trace-out>.json (Chrome trace), <trace-out>.metrics.{csv,json}")
+	fs.StringVar(&tf.Out, "trace-out", defaultPrefix, "output prefix for -trace")
+	fs.StringVar(&tf.Metrics, "metrics", "",
+		"write derived redistribution metrics CSV to this path (with -trace)")
+	return tf
+}
 
 // ParseNet resolves an interconnect name used by the command-line tools.
 func ParseNet(name string) (netmodel.Params, error) {

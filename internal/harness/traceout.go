@@ -15,18 +15,29 @@ import (
 // and returns the recorder alongside the result. Tracing reads only the
 // virtual clock, so the result is identical to RunCell's.
 func (s Setup) RunCellTraced(p Pair, mal core.Config, rep int) (synthapp.Result, *trace.Recorder, error) {
-	w := s.NewWorld(rep)
 	rec := trace.NewRecorder()
-	res, err := synthapp.Run(w, synthapp.RunParams{
-		Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT, Recorder: rec,
-	})
+	res, err := s.RunCellRecorded(p, mal, rep, rec)
 	return res, rec, err
 }
 
-// WriteTraceFiles exports one recorded run: <prefix>.json holds the Chrome
-// trace-event file (open it at https://ui.perfetto.dev or chrome://tracing),
-// <prefix>.metrics.json and <prefix>.metrics.csv the derived counters.
+// RunCellRecorded is RunCellTraced with a caller-owned recorder, so sweeps
+// can Reset and reuse one recorder across cells instead of reallocating.
+func (s Setup) RunCellRecorded(p Pair, mal core.Config, rep int, rec *trace.Recorder) (synthapp.Result, error) {
+	w := s.NewWorld(rep)
+	return synthapp.Run(w, synthapp.RunParams{
+		Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT, Recorder: rec,
+	})
+}
+
+// WriteTraceFiles exports one recorded run: <prefix>.events.json holds the
+// raw event log (the cmd/tracetool input), <prefix>.json the Chrome
+// trace-event file (open it at https://ui.perfetto.dev or
+// chrome://tracing), <prefix>.metrics.json and <prefix>.metrics.csv the
+// derived counters.
 func WriteTraceFiles(rec *trace.Recorder, prefix string) error {
+	if err := writeTo(prefix+".events.json", rec.WriteEvents); err != nil {
+		return err
+	}
 	if err := writeTo(prefix+".json", rec.WriteChromeTrace); err != nil {
 		return err
 	}
@@ -57,26 +68,46 @@ type CellMetrics struct {
 }
 
 // SweepMetrics runs one traced repetition (seed index rep) of every
-// (pair, config) cell and returns the derived per-cell metrics. progress,
-// when non-nil, receives one line per completed cell.
+// (pair, config) cell and returns the derived per-cell metrics, reusing a
+// single recorder across cells. progress, when non-nil, receives one line
+// per completed cell.
 func (s Setup) SweepMetrics(pairs []Pair, configs []core.Config, rep int, progress func(string)) ([]CellMetrics, error) {
+	cells, _, err := s.sweepMetrics(pairs, configs, rep, progress, false)
+	return cells, err
+}
+
+// SweepMetricsTraced is SweepMetrics plus the raw event log of the last
+// cell, for export through WriteTraceFiles.
+func (s Setup) SweepMetricsTraced(pairs []Pair, configs []core.Config, rep int, progress func(string)) ([]CellMetrics, *trace.Recorder, error) {
+	return s.sweepMetrics(pairs, configs, rep, progress, true)
+}
+
+func (s Setup) sweepMetrics(pairs []Pair, configs []core.Config, rep int, progress func(string), keepLast bool) ([]CellMetrics, *trace.Recorder, error) {
 	var out []CellMetrics
+	rec := trace.NewRecorder()
+	last := len(pairs)*len(configs) - 1
+	n := 0
+	var lastRec *trace.Recorder
 	for _, p := range pairs {
 		for _, cfg := range configs {
 			key := CellKey{Pair: p, Config: cfg}
-			_, rec, err := s.RunCellTraced(p, cfg, rep)
-			if err != nil {
-				return nil, fmt.Errorf("harness: traced %s rep %d: %w", key, rep, err)
+			rec.Reset()
+			if _, err := s.RunCellRecorded(p, cfg, rep, rec); err != nil {
+				return nil, nil, fmt.Errorf("harness: traced %s rep %d: %w", key, rep, err)
 			}
 			m := rec.Metrics()
 			out = append(out, CellMetrics{Key: key, M: m})
+			if keepLast && n == last {
+				lastRec = rec
+			}
 			if progress != nil {
 				progress(fmt.Sprintf("%-28s bytes(const/var)=%d/%d msgs=%d/%d overlap=%.2f",
 					key, m.BytesConst, m.BytesVar, m.MsgsConst, m.MsgsVar, m.OverlapEfficiency))
 			}
+			n++
 		}
 	}
-	return out, nil
+	return out, lastRec, nil
 }
 
 // WriteMetricsCSV writes one row of redistribution metrics per traced cell.

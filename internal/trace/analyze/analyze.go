@@ -1,0 +1,282 @@
+// Package analyze derives performance attribution from a trace.Recorder
+// event log: a happens-before DAG (per-rank program order, send→recv edges
+// matched by rank/peer/tag/comm, barriers as synchronization points) with
+// critical-path extraction, per-rank utilization profiles, and trace
+// diffing between two runs.
+//
+// The critical path walks backward from the event that ends the run,
+// always following the edge that enabled progress: through a receive it
+// crosses to the matching send (the wire), through a zero-message barrier
+// it crosses to the last-arriving rank, and through compute/spawn spans it
+// consumes local work. Every virtual second of the makespan lands in
+// exactly one bucket — compute, wire, blocked-wait, or spawn — so the
+// bucket sums equal the run makespan by construction, and the composition
+// explains *why* one configuration beats another in the paper's terms:
+// T_spawn is the spawn bucket, T_redist the wire+blocked share inside the
+// redistribution windows, and overlap quality is how much of the wire time
+// hides outside the halted window.
+package analyze
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Bucket classifies one critical-path segment.
+type Bucket uint8
+
+const (
+	// Compute is single-core CPU work (EvCompute spans).
+	Compute Bucket = iota
+	// Wire is message transit: the span from a matched send's issue to its
+	// delivery at the receiver.
+	Wire
+	// Blocked is time waiting with no recorded local activity: posted
+	// receives, barrier waits, and scheduling gaps.
+	Blocked
+	// Spawn is process-management time (EvSpawn spans, the paper's T_spawn).
+	Spawn
+)
+
+func (b Bucket) String() string {
+	switch b {
+	case Compute:
+		return "compute"
+	case Wire:
+		return "wire"
+	case Blocked:
+		return "blocked"
+	case Spawn:
+		return "spawn"
+	}
+	return fmt.Sprintf("Bucket(%d)", uint8(b))
+}
+
+// MarshalJSON renders the bucket by name so reports stay readable.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + b.String() + `"`), nil
+}
+
+// BucketTotals accumulates attributed time per bucket.
+type BucketTotals struct {
+	Compute float64 `json:"compute"`
+	Wire    float64 `json:"wire"`
+	Blocked float64 `json:"blocked"`
+	Spawn   float64 `json:"spawn"`
+}
+
+// Add accumulates d seconds into bucket b.
+func (t *BucketTotals) Add(b Bucket, d float64) {
+	switch b {
+	case Compute:
+		t.Compute += d
+	case Wire:
+		t.Wire += d
+	case Blocked:
+		t.Blocked += d
+	case Spawn:
+		t.Spawn += d
+	}
+}
+
+// Sum returns the total attributed time.
+func (t BucketTotals) Sum() float64 { return t.Compute + t.Wire + t.Blocked + t.Spawn }
+
+// Segment is one contiguous stretch of the critical path on one rank.
+type Segment struct {
+	Bucket Bucket  `json:"bucket"`
+	Rank   int     `json:"rank"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	// Op names the activity that produced the segment: the event op for
+	// compute/spawn/wire, the synchronization op for barrier waits, and
+	// "wait" for bare gaps.
+	Op string `json:"op"`
+	// Phase is the reconfiguration phase tag of the producing event, if any.
+	Phase string `json:"phase,omitempty"`
+}
+
+// Duration returns the segment length.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// CriticalPath is the extracted end-to-end dependency chain.
+type CriticalPath struct {
+	// Makespan is the attributed span: run end minus run start. The bucket
+	// totals sum to it exactly (up to float rounding).
+	Makespan float64      `json:"makespan"`
+	Buckets  BucketTotals `json:"buckets"`
+	// Outside is the share of the path outside every reconfiguration phase
+	// window: the steady-state application time.
+	Outside BucketTotals `json:"outsidePhases"`
+	// Segments lists the path in forward time order.
+	Segments []Segment `json:"segments"`
+}
+
+// PhaseWindow aggregates one reconfiguration stage across ranks.
+type PhaseWindow struct {
+	Phase    string  `json:"phase"`
+	Start    float64 `json:"start"` // earliest start across ranks
+	End      float64 `json:"end"`   // latest end across ranks
+	Duration float64 `json:"duration"`
+	// Ranks counts ranks that recorded the stage; Straggler is the rank
+	// with the largest summed stage time (-1 when none), and Skew is the
+	// max-over-ranks minus min-over-ranks of that per-rank stage time —
+	// the straggler signal.
+	Ranks        int     `json:"ranks"`
+	Straggler    int     `json:"straggler"`
+	StragglerDur float64 `json:"stragglerDur"`
+	Skew         float64 `json:"skew"`
+	// Path is the critical-path composition inside [Start, End]. Windows
+	// can overlap (asynchronous configurations overlap redist-const with
+	// application iterations), so these clips are per-window views, not a
+	// partition of the makespan.
+	Path BucketTotals `json:"path"`
+}
+
+// RankProfile is one rank's utilization over the run.
+type RankProfile struct {
+	Rank  int     `json:"rank"`
+	First float64 `json:"first"` // first recorded activity
+	Last  float64 `json:"last"`  // last recorded activity
+	// Busy is the union of compute and spawn spans; Comm the union of
+	// collective/barrier spans not already counted busy; Idle the rest of
+	// the rank's lifespan.
+	Busy        float64 `json:"busy"`
+	Comm        float64 `json:"comm"`
+	Idle        float64 `json:"idle"`
+	Utilization float64 `json:"utilization"` // Busy / lifespan
+	SendMsgs    int64   `json:"sendMsgs"`
+	RecvMsgs    int64   `json:"recvMsgs"`
+	SendBytes   int64   `json:"sendBytes"`
+	RecvBytes   int64   `json:"recvBytes"`
+	// OnPath is the critical-path time attributed to this rank.
+	OnPath BucketTotals `json:"onPath"`
+}
+
+// Diagnostics reports trace defects the analyzer tolerated.
+type Diagnostics struct {
+	// UnmatchedSends counts sends with no delivered receive (in-flight at
+	// run end or receiver lost); UnmatchedRecvs counts deliveries with no
+	// recorded send (a truncated or corrupted log).
+	UnmatchedSends int `json:"unmatchedSends"`
+	UnmatchedRecvs int `json:"unmatchedRecvs"`
+	// WalkTruncated is set when the critical-path walk hit its safety
+	// bound and attributed the remainder as blocked-wait.
+	WalkTruncated bool     `json:"walkTruncated,omitempty"`
+	Notes         []string `json:"notes,omitempty"`
+}
+
+// Analysis is the full derived view of one event log.
+type Analysis struct {
+	EventCount int           `json:"eventCount"`
+	RankCount  int           `json:"rankCount"`
+	Start      float64       `json:"start"`
+	Makespan   float64       `json:"makespan"`
+	Path       CriticalPath  `json:"criticalPath"`
+	Phases     []PhaseWindow `json:"phases"`
+	Profiles   []RankProfile `json:"profiles"`
+	Diags      Diagnostics   `json:"diagnostics"`
+}
+
+// Analyze builds the happens-before DAG from the event log and derives the
+// critical path, phase windows, and per-rank profiles. It never panics on
+// degenerate input: an empty log yields a zero Analysis, and unmatched
+// messages surface as diagnostics.
+func Analyze(events []trace.Event) *Analysis {
+	d := buildDAG(events)
+	a := &Analysis{
+		EventCount: len(d.events),
+		RankCount:  len(d.rankIDs),
+		Start:      d.start,
+		Makespan:   d.end - d.start,
+		Diags: Diagnostics{
+			UnmatchedSends: len(d.unmatchedSends),
+			UnmatchedRecvs: len(d.unmatchedRecvs),
+		},
+	}
+	if len(d.events) == 0 {
+		return a
+	}
+	if a.Diags.UnmatchedSends > 0 {
+		a.Diags.Notes = append(a.Diags.Notes, fmt.Sprintf(
+			"%d send(s) without a delivered receive: treated as non-enabling (in-flight at run end?)",
+			a.Diags.UnmatchedSends))
+	}
+	if a.Diags.UnmatchedRecvs > 0 {
+		a.Diags.Notes = append(a.Diags.Notes, fmt.Sprintf(
+			"%d receive(s) without a recorded send: wire time for them counts as blocked-wait (truncated log?)",
+			a.Diags.UnmatchedRecvs))
+	}
+
+	a.Path = d.criticalPath(&a.Diags)
+	a.Phases = d.phaseWindows(a.Path.Segments)
+	a.Path.Outside = outsidePhases(a.Path.Segments, a.Phases)
+	a.Profiles = d.rankProfiles(a.Path.Segments)
+	return a
+}
+
+// outsidePhases clips the path segments against the union of phase windows
+// and returns the time falling in none of them.
+func outsidePhases(segs []Segment, phases []PhaseWindow) BucketTotals {
+	ivs := make([]interval, 0, len(phases))
+	for _, ph := range phases {
+		ivs = append(ivs, interval{ph.Start, ph.End})
+	}
+	union := mergeIntervals(ivs)
+	var out BucketTotals
+	for _, s := range segs {
+		covered := overlapLen(union, s.Start, s.End)
+		if rest := s.Duration() - covered; rest > 0 {
+			out.Add(s.Bucket, rest)
+		}
+	}
+	return out
+}
+
+// interval helpers shared by utilization and window clipping.
+type interval struct{ lo, hi float64 }
+
+// mergeIntervals unions a set of intervals into disjoint sorted intervals.
+func mergeIntervals(ivs []interval) []interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	out := []interval{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.lo <= last.hi {
+			if iv.hi > last.hi {
+				last.hi = iv.hi
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// intervalsLen sums the lengths of disjoint intervals.
+func intervalsLen(ivs []interval) float64 {
+	var n float64
+	for _, iv := range ivs {
+		n += iv.hi - iv.lo
+	}
+	return n
+}
+
+// overlapLen returns how much of [lo, hi] the disjoint sorted intervals
+// cover.
+func overlapLen(union []interval, lo, hi float64) float64 {
+	var n float64
+	for _, iv := range union {
+		l, h := math.Max(lo, iv.lo), math.Min(hi, iv.hi)
+		if h > l {
+			n += h - l
+		}
+	}
+	return n
+}

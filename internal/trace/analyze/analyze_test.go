@@ -1,0 +1,196 @@
+package analyze
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// pathSum checks the construction invariant: the bucket totals account for
+// the whole makespan.
+func checkPathSum(t *testing.T, a *Analysis) {
+	t.Helper()
+	if !almost(a.Path.Buckets.Sum(), a.Makespan) {
+		t.Fatalf("critical-path bucket sum %.12f != makespan %.12f", a.Path.Buckets.Sum(), a.Makespan)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil)
+	if a.Makespan != 0 || a.EventCount != 0 || a.RankCount != 0 {
+		t.Fatalf("empty log: %+v", a)
+	}
+	if len(a.Path.Segments) != 0 || len(a.Phases) != 0 || len(a.Profiles) != 0 {
+		t.Fatalf("empty log produced derived data: %+v", a)
+	}
+	var sb strings.Builder
+	if err := a.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(a, a)
+	if d.Delta != 0 || d.Dominant != "application" {
+		t.Fatalf("self-diff of empty: %+v", d)
+	}
+}
+
+func TestAnalyzeSingleRank(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.EvCompute, Rank: 3, Start: 0, End: 1, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+		{Kind: trace.EvCompute, Rank: 3, Start: 1.5, End: 2.5, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+	}
+	a := Analyze(evs)
+	if a.RankCount != 1 || !almost(a.Makespan, 2.5) {
+		t.Fatalf("got ranks %d makespan %f", a.RankCount, a.Makespan)
+	}
+	checkPathSum(t, a)
+	if !almost(a.Path.Buckets.Compute, 2.0) || !almost(a.Path.Buckets.Blocked, 0.5) {
+		t.Fatalf("buckets %+v", a.Path.Buckets)
+	}
+	if len(a.Profiles) != 1 || !almost(a.Profiles[0].Busy, 2.0) {
+		t.Fatalf("profiles %+v", a.Profiles)
+	}
+}
+
+// TestCriticalPathCrossesWire builds a two-rank chain: rank 0 computes,
+// sends to rank 1, which computes after delivery. The path must cross the
+// wire and attribute each stretch correctly.
+func TestCriticalPathCrossesWire(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.EvCompute, Rank: 0, Start: 0, End: 1, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+		{Kind: trace.EvSend, Rank: 0, Start: 1, End: 1, Peer: 1, Tag: 7, Comm: 2, Bytes: 100, Op: "Isend"},
+		{Kind: trace.EvRecv, Rank: 1, Start: 1.4, End: 1.4, Peer: 0, Tag: 7, Comm: 2, Bytes: 100, Op: "recv"},
+		{Kind: trace.EvCompute, Rank: 1, Start: 1.4, End: 2.4, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+	}
+	a := Analyze(evs)
+	checkPathSum(t, a)
+	b := a.Path.Buckets
+	if !almost(b.Compute, 2.0) || !almost(b.Wire, 0.4) || !almost(b.Blocked, 0) {
+		t.Fatalf("buckets %+v", b)
+	}
+	if a.Diags.UnmatchedSends != 0 || a.Diags.UnmatchedRecvs != 0 {
+		t.Fatalf("diags %+v", a.Diags)
+	}
+	// The path should visit rank 1 (compute+wire) then rank 0 (compute).
+	if len(a.Path.Segments) != 3 {
+		t.Fatalf("segments %+v", a.Path.Segments)
+	}
+	if s := a.Path.Segments[1]; s.Bucket != Wire || s.Rank != 1 || !almost(s.Start, 1) || !almost(s.End, 1.4) {
+		t.Fatalf("wire segment %+v", s)
+	}
+}
+
+// TestUnmatchedSendIsDiagnostic feeds a log whose final send never
+// delivers: the analyzer must flag it and still attribute the makespan.
+func TestUnmatchedSendIsDiagnostic(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.EvCompute, Rank: 0, Start: 0, End: 1, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+		{Kind: trace.EvSend, Rank: 0, Start: 1, End: 1, Peer: 1, Tag: 3, Comm: 0, Bytes: 10, Op: "Isend"},
+		{Kind: trace.EvCompute, Rank: 1, Start: 0, End: 1.2, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+	}
+	a := Analyze(evs)
+	if a.Diags.UnmatchedSends != 1 {
+		t.Fatalf("want 1 unmatched send, got %+v", a.Diags)
+	}
+	checkPathSum(t, a)
+	if len(a.Diags.Notes) == 0 {
+		t.Fatal("expected a diagnostic note")
+	}
+}
+
+// TestUnmatchedRecvIsDiagnostic covers the truncated-log case: a delivery
+// with no recorded send must not panic or deadlock the walk.
+func TestUnmatchedRecvIsDiagnostic(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.EvRecv, Rank: 1, Start: 1, End: 1, Peer: 0, Tag: 3, Comm: 0, Bytes: 10, Op: "recv"},
+		{Kind: trace.EvCompute, Rank: 1, Start: 1, End: 2, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+	}
+	a := Analyze(evs)
+	if a.Diags.UnmatchedRecvs != 1 {
+		t.Fatalf("want 1 unmatched recv, got %+v", a.Diags)
+	}
+	checkPathSum(t, a)
+	// The wire time it would have represented degrades to blocked-wait.
+	if a.Path.Buckets.Wire != 0 {
+		t.Fatalf("unmatched recv produced wire time: %+v", a.Path.Buckets)
+	}
+}
+
+// TestBarrierCrossesToLastArriver: two ranks synchronize on a zero-message
+// barrier; the early arriver's wait must attribute as blocked and the path
+// must cross to the last arriver's preceding compute.
+func TestBarrierCrossesToLastArriver(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.EvCompute, Rank: 0, Start: 0, End: 0.2, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+		{Kind: trace.EvCompute, Rank: 1, Start: 0, End: 1.0, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+		{Kind: trace.EvBarrier, Rank: 0, Start: 0.2, End: 1.0, Peer: -1, Tag: -1, Comm: 5, Op: "FastBarrier"},
+		{Kind: trace.EvBarrier, Rank: 1, Start: 1.0, End: 1.0, Peer: -1, Tag: -1, Comm: 5, Op: "FastBarrier"},
+		{Kind: trace.EvCompute, Rank: 0, Start: 1.0, End: 1.5, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+	}
+	a := Analyze(evs)
+	checkPathSum(t, a)
+	b := a.Path.Buckets
+	// 0.5 (rank 0 tail) + 1.0 (rank 1 compute, via the barrier group) = compute.
+	if !almost(b.Compute, 1.5) || !almost(b.Blocked, 0) {
+		t.Fatalf("buckets %+v", b)
+	}
+}
+
+// TestPhaseWindowsAndStraggler checks window aggregation and the skew
+// signal across ranks.
+func TestPhaseWindowsAndStraggler(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.EvCompute, Rank: 0, Start: 0, End: 3, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+		{Kind: trace.EvPhase, Rank: 0, Start: 1, End: 2, Peer: -1, Tag: -1, Comm: -1, Op: trace.PhaseRedistVar},
+		{Kind: trace.EvPhase, Rank: 1, Start: 1, End: 2.5, Peer: -1, Tag: -1, Comm: -1, Op: trace.PhaseRedistVar},
+	}
+	a := Analyze(evs)
+	if len(a.Phases) != 1 {
+		t.Fatalf("phases %+v", a.Phases)
+	}
+	ph := a.Phases[0]
+	if ph.Phase != trace.PhaseRedistVar || !almost(ph.Start, 1) || !almost(ph.End, 2.5) {
+		t.Fatalf("window %+v", ph)
+	}
+	if ph.Straggler != 1 || !almost(ph.Skew, 0.5) || !almost(ph.StragglerDur, 1.5) {
+		t.Fatalf("straggler %+v", ph)
+	}
+	if !almost(ph.Path.Compute, 1.5) {
+		t.Fatalf("window path %+v", ph.Path)
+	}
+	if !almost(a.Path.Outside.Compute, 1.5) {
+		t.Fatalf("outside %+v", a.Path.Outside)
+	}
+}
+
+// TestDiffDominantDirection: the dominant stage must follow the direction
+// of the makespan delta, not the raw magnitude.
+func TestDiffDominantDirection(t *testing.T) {
+	mk := func(varDur, constDur float64) *Analysis {
+		var evs []trace.Event
+		end := 1 + varDur + constDur
+		evs = append(evs,
+			trace.Event{Kind: trace.EvCompute, Rank: 0, Start: 0, End: end, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+			trace.Event{Kind: trace.EvPhase, Rank: 0, Start: 0.5, End: 0.5 + constDur, Peer: -1, Tag: -1, Comm: -1, Op: trace.PhaseRedistConst},
+			trace.Event{Kind: trace.EvPhase, Rank: 0, Start: 1 + constDur, End: 1 + constDur + varDur, Peer: -1, Tag: -1, Comm: -1, Op: trace.PhaseRedistVar},
+		)
+		return Analyze(evs)
+	}
+	a := mk(0.1, 1.0) // async-like: big const window, tiny var window
+	b := mk(0.9, 0.0) // sync-like: everything in the halted var window
+	d := Diff(a, b)
+	if d.Delta >= 0 {
+		t.Fatalf("expected B faster in this construction, delta %f", d.Delta)
+	}
+	if d.DominantReconfig != trace.PhaseRedistConst {
+		t.Fatalf("dominant reconfig %q (stages %+v)", d.DominantReconfig, d.Stages)
+	}
+	// Reversed: B slower, extra time lives in the halted var window.
+	d = Diff(b, a)
+	if d.Delta <= 0 || d.DominantReconfig != trace.PhaseRedistConst {
+		t.Fatalf("reverse diff: delta %f dominant %q", d.Delta, d.DominantReconfig)
+	}
+}

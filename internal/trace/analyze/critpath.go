@@ -1,0 +1,192 @@
+package analyze
+
+import "repro/internal/trace"
+
+// criticalPath walks backward from the run's last event end, at every step
+// following the edge that enabled progress:
+//
+//   - a matched receive crosses to its send (the interval is wire time),
+//   - a zero-message barrier crosses to the last-arriving member of its
+//     synchronization group (the interval is blocked-wait),
+//   - a compute or spawn span consumes local work,
+//   - stretches with no recorded local activity are blocked-wait.
+//
+// Each step attributes exactly the walked interval, so the bucket totals
+// sum to the makespan by construction.
+func (d *dag) criticalPath(diags *Diagnostics) CriticalPath {
+	cp := CriticalPath{Makespan: d.end - d.start}
+	if len(d.events) == 0 {
+		return cp
+	}
+
+	// Start at the event with the latest end (the last in global order).
+	cur := d.events[len(d.events)-1].Rank
+	t := d.end
+	bound := len(d.byRank[cur])
+
+	var segs []Segment // built in reverse time order
+	emit := func(b Bucket, rank int, lo, hi float64, op, phase string) {
+		if hi <= lo {
+			return
+		}
+		cp.Buckets.Add(b, hi-lo)
+		// Coalesce with the previously emitted (later-in-time) segment when
+		// contiguous and alike, to keep the path readable.
+		if n := len(segs); n > 0 {
+			p := &segs[n-1]
+			if p.Bucket == b && p.Rank == rank && p.Op == op && p.Phase == phase && p.Start == hi {
+				p.Start = lo
+				return
+			}
+		}
+		segs = append(segs, Segment{Bucket: b, Rank: rank, Start: lo, End: hi, Op: op, Phase: phase})
+	}
+
+	consumedRecv := map[int]bool{}
+	maxSteps := 6*len(d.events) + 64
+	for steps := 0; t > d.start; steps++ {
+		if steps >= maxSteps {
+			diags.WalkTruncated = true
+			diags.Notes = append(diags.Notes,
+				"critical-path walk hit its safety bound; remainder attributed as blocked-wait")
+			emit(Blocked, cur, d.start, t, "truncated", "")
+			t = d.start
+			break
+		}
+
+		idx := d.latestAtOrBefore(cur, t, bound)
+		if idx < 0 {
+			// Nothing earlier on this rank (e.g. a spawned rank's first
+			// recorded activity): the remainder is untracked wait.
+			emit(Blocked, cur, d.start, t, "wait", "")
+			t = d.start
+			break
+		}
+		tl := d.byRank[cur]
+		if e := d.events[tl[idx]]; e.End < t {
+			// Gap with no recorded activity: blocked-wait.
+			emit(Blocked, cur, e.End, t, "wait", "")
+			t = e.End
+			bound = idx + 1
+		}
+
+		// Among the plateau of events ending exactly at t, pick the most
+		// informative enabler.
+		j, kind := d.pickEnabler(cur, t, idx, consumedRecv)
+		if j < 0 {
+			// Only non-enabling instants at t (sends, collective issues,
+			// phase markers): step past the earliest of them.
+			bound = d.plateauStart(cur, t, idx)
+			continue
+		}
+		gi := tl[j]
+		e := d.events[gi]
+		switch kind {
+		case enablerRecv:
+			si := d.sendFor[gi]
+			s := d.events[si]
+			consumedRecv[gi] = true
+			emit(Wire, cur, s.End, t, e.Op, e.Phase)
+			cur = s.Rank
+			t = s.End
+			bound = d.pos[si] // continue strictly before the send
+		case enablerCompute:
+			emit(Compute, cur, e.Start, t, e.Op, e.Phase)
+			t = e.Start
+			bound = j
+		case enablerSpawn:
+			emit(Spawn, cur, e.Start, t, e.Op, e.Phase)
+			t = e.Start
+			bound = j
+		case enablerBarrier:
+			// Zero-message synchronization: cross to the group's last
+			// arriver; the wait is blocked time on the current rank.
+			k := barrierKey{op: e.Op, comm: e.Comm, end: e.End}
+			li, ok := d.lastArriver[k]
+			last := e
+			if ok {
+				last = d.events[li]
+			}
+			emit(Blocked, cur, last.Start, t, e.Op, e.Phase)
+			if ok && last.Rank != cur {
+				cur = last.Rank
+				t = last.Start
+				bound = d.pos[li]
+			} else {
+				t = e.Start
+				bound = j
+			}
+		case enablerSkip:
+			// A Get delivery or a zero-length span: consume it without
+			// attribution (the enabling chain continues locally).
+			bound = j
+		}
+	}
+
+	// Reverse into forward time order.
+	for i, k := 0, len(segs)-1; i < k; i, k = i+1, k-1 {
+		segs[i], segs[k] = segs[k], segs[i]
+	}
+	cp.Segments = segs
+	return cp
+}
+
+type enablerKind int
+
+const (
+	enablerRecv enablerKind = iota
+	enablerCompute
+	enablerSpawn
+	enablerBarrier
+	enablerSkip
+)
+
+// pickEnabler scans the plateau of events on rank cur ending exactly at t
+// (walking down from idx) and returns the index of the best enabler with
+// its kind, or (-1, 0) when the plateau holds only non-enabling instants.
+// Preference: matched receive > compute span > spawn span > barrier span >
+// Get delivery; unmatched receives rank with Gets (no edge to follow).
+func (d *dag) pickEnabler(cur int, t float64, idx int, consumedRecv map[int]bool) (int, enablerKind) {
+	tl := d.byRank[cur]
+	best, bestKind, bestPri := -1, enablerSkip, 0
+	for j := idx; j >= 0; j-- {
+		e := d.events[tl[j]]
+		if e.End != t {
+			break
+		}
+		var kind enablerKind
+		var pri int
+		switch {
+		case e.Kind == trace.EvRecv && !consumedRecv[tl[j]]:
+			if _, ok := d.sendFor[tl[j]]; ok {
+				kind, pri = enablerRecv, 5
+			} else {
+				kind, pri = enablerSkip, 1 // Get or unmatched: no edge
+			}
+		case e.Kind == trace.EvCompute && e.End > e.Start:
+			kind, pri = enablerCompute, 4
+		case e.Kind == trace.EvSpawn && e.End > e.Start:
+			kind, pri = enablerSpawn, 3
+		case e.Kind == trace.EvBarrier && e.End > e.Start:
+			kind, pri = enablerBarrier, 2
+		default:
+			continue
+		}
+		if pri > bestPri {
+			best, bestKind, bestPri = j, kind, pri
+		}
+	}
+	return best, bestKind
+}
+
+// plateauStart returns the timeline position of the first event on rank
+// cur whose End equals t, scanning down from idx; bounding the search
+// there steps the walk past a plateau of non-enabling instants.
+func (d *dag) plateauStart(cur int, t float64, idx int) int {
+	tl := d.byRank[cur]
+	j := idx
+	for j >= 0 && d.events[tl[j]].End == t {
+		j--
+	}
+	return j + 1
+}

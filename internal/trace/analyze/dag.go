@@ -1,0 +1,136 @@
+package analyze
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// dag is the happens-before structure: per-rank timelines ordered by event
+// end time (program order under the single-threaded kernel), send→recv
+// matching, and barrier synchronization groups.
+type dag struct {
+	events []trace.Event
+	// byRank maps rank id to the indices of its events, ascending by
+	// (End, Start, record order).
+	byRank  map[int][]int
+	rankIDs []int
+	// pos[i] is the position of event i inside its rank's timeline.
+	pos []int
+	// sendFor maps a receive's event index to its matched send's index.
+	sendFor map[int]int
+	// lastArriver maps a barrier group (op, comm, end) to the event index
+	// of the member with the latest start — the rank that released the
+	// group.
+	lastArriver    map[barrierKey]int
+	unmatchedSends []int
+	unmatchedRecvs []int
+	start, end     float64
+}
+
+type matchKey struct {
+	src, dst, tag, comm int
+}
+
+type barrierKey struct {
+	op   string
+	comm int
+	end  float64
+}
+
+// buildDAG copies, orders, and matches the event log.
+func buildDAG(events []trace.Event) *dag {
+	d := &dag{
+		byRank:      map[int][]int{},
+		sendFor:     map[int]int{},
+		lastArriver: map[barrierKey]int{},
+	}
+	d.events = make([]trace.Event, len(events))
+	copy(d.events, events)
+	// Order chronologically by End; ties keep record order, which preserves
+	// same-instant causality (a send is recorded before its delivery).
+	sort.SliceStable(d.events, func(i, j int) bool {
+		if d.events[i].End != d.events[j].End {
+			return d.events[i].End < d.events[j].End
+		}
+		return d.events[i].Start < d.events[j].Start
+	})
+	if len(d.events) == 0 {
+		return d
+	}
+
+	d.start = d.events[0].Start
+	pending := map[matchKey][]int{}
+	for i, ev := range d.events {
+		d.byRank[ev.Rank] = append(d.byRank[ev.Rank], i)
+		if ev.Start < d.start {
+			d.start = ev.Start
+		}
+		if ev.End > d.end {
+			d.end = ev.End
+		}
+		switch ev.Kind {
+		case trace.EvSend:
+			k := matchKey{src: ev.Rank, dst: ev.Peer, tag: ev.Tag, comm: ev.Comm}
+			pending[k] = append(pending[k], i)
+		case trace.EvRecv:
+			if ev.Op == "Get" {
+				break // one-sided: no send event exists by design
+			}
+			k := matchKey{src: ev.Peer, dst: ev.Rank, tag: ev.Tag, comm: ev.Comm}
+			q := pending[k]
+			if len(q) == 0 {
+				d.unmatchedRecvs = append(d.unmatchedRecvs, i)
+				break
+			}
+			// FIFO per (src, dst, tag, comm): MPI's non-overtaking rule.
+			d.sendFor[i] = q[0]
+			pending[k] = q[1:]
+		case trace.EvBarrier:
+			// The last arriver's span is typically zero-length (it enters
+			// and releases the group in the same instant), so instants
+			// participate in the synchronization group too.
+			k := barrierKey{op: ev.Op, comm: ev.Comm, end: ev.End}
+			j, ok := d.lastArriver[k]
+			if !ok || ev.Start > d.events[j].Start {
+				d.lastArriver[k] = i
+			}
+		}
+	}
+	for _, q := range pending {
+		d.unmatchedSends = append(d.unmatchedSends, q...)
+	}
+	sort.Ints(d.unmatchedSends)
+
+	d.rankIDs = make([]int, 0, len(d.byRank))
+	for id := range d.byRank {
+		d.rankIDs = append(d.rankIDs, id)
+	}
+	sort.Ints(d.rankIDs)
+	d.pos = make([]int, len(d.events))
+	for _, tl := range d.byRank {
+		for p, i := range tl {
+			d.pos[i] = p
+		}
+	}
+	return d
+}
+
+// latestAtOrBefore returns the index (within rank's timeline, below bound)
+// of the last event with End <= t, or -1.
+func (d *dag) latestAtOrBefore(rank int, t float64, bound int) int {
+	tl := d.byRank[rank]
+	if bound > len(tl) {
+		bound = len(tl)
+	}
+	lo, hi := 0, bound // find first position with End > t
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.events[tl[mid]].End <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}

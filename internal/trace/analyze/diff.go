@@ -1,0 +1,163 @@
+package analyze
+
+import (
+	"math"
+	"sort"
+)
+
+// StageDelta compares one aligned stage of two runs.
+type StageDelta struct {
+	// Phase is a reconfiguration stage name, or "application" for the
+	// steady-state time outside every phase window.
+	Phase string  `json:"phase"`
+	A     float64 `json:"a"`     // window duration in run A
+	B     float64 `json:"b"`     // window duration in run B
+	Delta float64 `json:"delta"` // B - A
+	// SkewA/SkewB carry the straggler signal through the diff.
+	SkewA float64 `json:"skewA"`
+	SkewB float64 `json:"skewB"`
+	// PathA/PathB are the critical-path compositions inside the window.
+	PathA BucketTotals `json:"pathA"`
+	PathB BucketTotals `json:"pathB"`
+}
+
+// DiffReport aligns two analyses phase-by-phase and locates the time
+// delta. Sign convention: positive deltas mean run B is slower.
+type DiffReport struct {
+	MakespanA float64 `json:"makespanA"`
+	MakespanB float64 `json:"makespanB"`
+	Delta     float64 `json:"delta"`
+	// Stages aligns the reconfiguration windows (canonical order) plus the
+	// "application" pseudo-stage covering time outside all windows.
+	Stages []StageDelta `json:"stages"`
+	// BucketsA/BucketsB compare the whole-run critical-path compositions.
+	BucketsA BucketTotals `json:"bucketsA"`
+	BucketsB BucketTotals `json:"bucketsB"`
+	// Dominant is the stage where the time delta lives: the stage whose
+	// delta is largest in the direction of the overall makespan delta
+	// (largest |Delta| when the makespans tie). DominantReconfig restricts
+	// that to the reconfiguration stages — where inside the
+	// reconfiguration the time moved.
+	Dominant         string `json:"dominant"`
+	DominantReconfig string `json:"dominantReconfig"`
+}
+
+// Diff aligns two runs (typically the same (NS, NT) pair under two
+// configurations, e.g. Merge/COL/A vs Baseline/P2P/S) and reports where
+// the makespan delta lives.
+func Diff(a, b *Analysis) *DiffReport {
+	d := &DiffReport{
+		MakespanA: a.Makespan,
+		MakespanB: b.Makespan,
+		Delta:     b.Makespan - a.Makespan,
+		BucketsA:  a.Path.Buckets,
+		BucketsB:  b.Path.Buckets,
+	}
+
+	phA := phaseMap(a)
+	phB := phaseMap(b)
+	names := alignedNames(phA, phB)
+	for _, name := range names {
+		sd := StageDelta{Phase: name}
+		if w, ok := phA[name]; ok {
+			sd.A, sd.SkewA, sd.PathA = w.Duration, w.Skew, w.Path
+		}
+		if w, ok := phB[name]; ok {
+			sd.B, sd.SkewB, sd.PathB = w.Duration, w.Skew, w.Path
+		}
+		sd.Delta = sd.B - sd.A
+		d.Stages = append(d.Stages, sd)
+	}
+
+	// The application pseudo-stage: path time outside every window.
+	app := StageDelta{
+		Phase: "application",
+		A:     a.Path.Outside.Sum(),
+		B:     b.Path.Outside.Sum(),
+		PathA: a.Path.Outside,
+		PathB: b.Path.Outside,
+	}
+	app.Delta = app.B - app.A
+	d.Stages = append(d.Stages, app)
+
+	// A stage scores by how much it moves the makespan in the observed
+	// direction: when B is slower the dominant stage is the one with the
+	// largest positive delta, when B is faster the most negative. On a
+	// makespan tie, the largest magnitude wins.
+	score := func(sd StageDelta) float64 {
+		switch {
+		case d.Delta > 0:
+			return sd.Delta
+		case d.Delta < 0:
+			return -sd.Delta
+		}
+		return math.Abs(sd.Delta)
+	}
+	bestAll, bestRec := math.Inf(-1), math.Inf(-1)
+	for _, sd := range d.Stages {
+		if s := score(sd); s > bestAll {
+			bestAll, d.Dominant = s, sd.Phase
+		}
+		if sd.Phase != "application" {
+			if s := score(sd); s > bestRec {
+				bestRec, d.DominantReconfig = s, sd.Phase
+			}
+		}
+	}
+	return d
+}
+
+func phaseMap(a *Analysis) map[string]PhaseWindow {
+	m := make(map[string]PhaseWindow, len(a.Phases))
+	for _, w := range a.Phases {
+		m[w.Phase] = w
+	}
+	return m
+}
+
+// alignedNames unions both runs' stage names in canonical order, then any
+// extras alphabetically.
+func alignedNames(a, b map[string]PhaseWindow) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, ph := range canonicalPhases {
+		if _, ok := a[ph]; ok {
+			add(ph)
+			continue
+		}
+		if _, ok := b[ph]; ok {
+			add(ph)
+		}
+	}
+	var rest []string
+	for n := range a {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	for n := range b {
+		if !seen[n] && !contains(rest, n) {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	for _, n := range rest {
+		add(n)
+	}
+	return names
+}
+
+func contains(s []string, x string) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,175 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteReport renders the analysis as a human-readable summary: makespan
+// attribution, phase windows with stragglers, and per-rank utilization.
+func (a *Analysis) WriteReport(w io.Writer) error {
+	pct := func(x float64) float64 {
+		if a.Makespan <= 0 {
+			return 0
+		}
+		return 100 * x / a.Makespan
+	}
+	if _, err := fmt.Fprintf(w, "events %d  ranks %d  makespan %.6fs (start %.6fs)\n",
+		a.EventCount, a.RankCount, a.Makespan, a.Start); err != nil {
+		return err
+	}
+	b := a.Path.Buckets
+	if _, err := fmt.Fprintf(w,
+		"critical path: compute %.6fs (%.1f%%)  wire %.6fs (%.1f%%)  blocked %.6fs (%.1f%%)  spawn %.6fs (%.1f%%)  [sum %.6fs]\n",
+		b.Compute, pct(b.Compute), b.Wire, pct(b.Wire),
+		b.Blocked, pct(b.Blocked), b.Spawn, pct(b.Spawn), b.Sum()); err != nil {
+		return err
+	}
+	if len(a.Phases) > 0 {
+		if _, err := fmt.Fprintf(w, "\n%-14s %10s %10s %6s %10s %10s  %s\n",
+			"phase", "window(s)", "skew(s)", "ranks", "straggler", "strag(s)", "path: compute/wire/blocked/spawn"); err != nil {
+			return err
+		}
+		for _, ph := range a.Phases {
+			if _, err := fmt.Fprintf(w, "%-14s %10.6f %10.6f %6d %10d %10.6f  %.4f/%.4f/%.4f/%.4f\n",
+				ph.Phase, ph.Duration, ph.Skew, ph.Ranks, ph.Straggler, ph.StragglerDur,
+				ph.Path.Compute, ph.Path.Wire, ph.Path.Blocked, ph.Path.Spawn); err != nil {
+				return err
+			}
+		}
+		o := a.Path.Outside
+		if _, err := fmt.Fprintf(w, "%-14s %10.6f %10s %6s %10s %10s  %.4f/%.4f/%.4f/%.4f\n",
+			"application", o.Sum(), "-", "-", "-", "-",
+			o.Compute, o.Wire, o.Blocked, o.Spawn); err != nil {
+			return err
+		}
+	}
+	if len(a.Profiles) > 0 {
+		if _, err := fmt.Fprintf(w, "\n%-6s %10s %10s %10s %6s %10s %12s %10s\n",
+			"rank", "busy(s)", "comm(s)", "idle(s)", "util", "on-path(s)", "sent", "recvd"); err != nil {
+			return err
+		}
+		for _, p := range a.Profiles {
+			if _, err := fmt.Fprintf(w, "g%-5d %10.4f %10.4f %10.4f %5.1f%% %10.4f %12d %10d\n",
+				p.Rank, p.Busy, p.Comm, p.Idle, 100*p.Utilization,
+				p.OnPath.Sum(), p.SendBytes, p.RecvBytes); err != nil {
+				return err
+			}
+		}
+	}
+	return a.writeDiags(w)
+}
+
+func (a *Analysis) writeDiags(w io.Writer) error {
+	if a.Diags.UnmatchedSends == 0 && a.Diags.UnmatchedRecvs == 0 && !a.Diags.WalkTruncated {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "\ndiagnostics:\n"); err != nil {
+		return err
+	}
+	for _, note := range a.Diags.Notes {
+		if _, err := fmt.Fprintf(w, "  - %s\n", note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTop renders the n largest critical-path contributors, both as raw
+// segments and aggregated by (bucket, op).
+func (a *Analysis) WriteTop(w io.Writer, n int) error {
+	if n <= 0 {
+		n = 10
+	}
+	type aggKey struct {
+		bucket Bucket
+		op     string
+	}
+	agg := map[aggKey]float64{}
+	count := map[aggKey]int{}
+	for _, s := range a.Path.Segments {
+		k := aggKey{s.Bucket, s.Op}
+		agg[k] += s.Duration()
+		count[k]++
+	}
+	keys := make([]aggKey, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if agg[keys[i]] != agg[keys[j]] {
+			return agg[keys[i]] > agg[keys[j]]
+		}
+		if keys[i].bucket != keys[j].bucket {
+			return keys[i].bucket < keys[j].bucket
+		}
+		return keys[i].op < keys[j].op
+	})
+	if _, err := fmt.Fprintf(w, "top critical-path contributors by (bucket, op):\n%-10s %-16s %8s %12s\n",
+		"bucket", "op", "count", "total(s)"); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		if i >= n {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %-16s %8d %12.6f\n",
+			k.bucket, k.op, count[k], agg[k]); err != nil {
+			return err
+		}
+	}
+
+	segs := make([]Segment, len(a.Path.Segments))
+	copy(segs, a.Path.Segments)
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].Duration() > segs[j].Duration() })
+	if _, err := fmt.Fprintf(w, "\nlongest critical-path segments:\n%-10s %-16s %6s %12s %12s %12s  %s\n",
+		"bucket", "op", "rank", "start(s)", "end(s)", "dur(s)", "phase"); err != nil {
+		return err
+	}
+	for i, s := range segs {
+		if i >= n {
+			break
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %-16s g%-5d %12.6f %12.6f %12.6f  %s\n",
+			s.Bucket, s.Op, s.Rank, s.Start, s.End, s.Duration(), s.Phase); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write renders the diff report.
+func (d *DiffReport) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "makespan: A %.6fs  B %.6fs  delta %+.6fs\n",
+		d.MakespanA, d.MakespanB, d.Delta); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"critical path A: compute %.4f wire %.4f blocked %.4f spawn %.4f\n"+
+			"critical path B: compute %.4f wire %.4f blocked %.4f spawn %.4f\n",
+		d.BucketsA.Compute, d.BucketsA.Wire, d.BucketsA.Blocked, d.BucketsA.Spawn,
+		d.BucketsB.Compute, d.BucketsB.Wire, d.BucketsB.Blocked, d.BucketsB.Spawn); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\n%-14s %12s %12s %12s %10s %10s\n",
+		"stage", "A(s)", "B(s)", "delta(s)", "skewA(s)", "skewB(s)"); err != nil {
+		return err
+	}
+	for _, sd := range d.Stages {
+		if _, err := fmt.Fprintf(w, "%-14s %12.6f %12.6f %+12.6f %10.6f %10.6f\n",
+			sd.Phase, sd.A, sd.B, sd.Delta, sd.SkewA, sd.SkewB); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\ndelta lives predominantly in: %s", d.Dominant); err != nil {
+		return err
+	}
+	if d.DominantReconfig != "" && d.DominantReconfig != d.Dominant {
+		if _, err := fmt.Fprintf(w, " (reconfiguration stages: %s)", d.DominantReconfig); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

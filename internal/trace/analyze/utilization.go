@@ -1,0 +1,167 @@
+package analyze
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// canonicalPhases is the reporting order of the paper's §4 stages.
+var canonicalPhases = []string{
+	trace.PhaseSpawn, trace.PhaseRedistConst, trace.PhaseRedistVar, trace.PhaseHalt,
+}
+
+// phaseWindows aggregates the EvPhase spans per stage: the window is the
+// earliest start to the latest end across ranks, the straggler the rank
+// with the largest summed stage time, and the skew the max-minus-min of
+// that per-rank time. Each window also carries the critical-path
+// composition clipped to it.
+func (d *dag) phaseWindows(segs []Segment) []PhaseWindow {
+	type acc struct {
+		w       PhaseWindow
+		perRank map[int]float64
+	}
+	byPhase := map[string]*acc{}
+	for _, i := range d.phaseEventIdx() {
+		ev := d.events[i]
+		a, ok := byPhase[ev.Op]
+		if !ok {
+			a = &acc{
+				w:       PhaseWindow{Phase: ev.Op, Start: ev.Start, End: ev.End, Straggler: -1},
+				perRank: map[int]float64{},
+			}
+			byPhase[ev.Op] = a
+		}
+		if ev.Start < a.w.Start {
+			a.w.Start = ev.Start
+		}
+		if ev.End > a.w.End {
+			a.w.End = ev.End
+		}
+		a.perRank[ev.Rank] += ev.Duration()
+	}
+	if len(byPhase) == 0 {
+		return nil
+	}
+
+	names := make([]string, 0, len(byPhase))
+	seen := map[string]bool{}
+	for _, ph := range canonicalPhases {
+		if byPhase[ph] != nil {
+			names = append(names, ph)
+			seen[ph] = true
+		}
+	}
+	var rest []string
+	for ph := range byPhase {
+		if !seen[ph] {
+			rest = append(rest, ph)
+		}
+	}
+	sort.Strings(rest)
+	names = append(names, rest...)
+
+	out := make([]PhaseWindow, 0, len(names))
+	for _, ph := range names {
+		a := byPhase[ph]
+		a.w.Duration = a.w.End - a.w.Start
+		a.w.Ranks = len(a.perRank)
+		minD, maxD := -1.0, -1.0
+		for rank, dur := range a.perRank {
+			if minD < 0 || dur < minD {
+				minD = dur
+			}
+			if dur > maxD || (dur == maxD && (a.w.Straggler < 0 || rank < a.w.Straggler)) {
+				maxD = dur
+				a.w.Straggler = rank
+			}
+		}
+		a.w.StragglerDur = maxD
+		a.w.Skew = maxD - minD
+		for _, s := range segs {
+			lo, hi := s.Start, s.End
+			if lo < a.w.Start {
+				lo = a.w.Start
+			}
+			if hi > a.w.End {
+				hi = a.w.End
+			}
+			if hi > lo {
+				a.w.Path.Add(s.Bucket, hi-lo)
+			}
+		}
+		out = append(out, a.w)
+	}
+	return out
+}
+
+// phaseEventIdx returns the indices of all EvPhase events.
+func (d *dag) phaseEventIdx() []int {
+	var out []int
+	for i, ev := range d.events {
+		if ev.Kind == trace.EvPhase {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// rankProfiles derives each rank's busy/communicating/idle split and its
+// share of the critical path.
+func (d *dag) rankProfiles(segs []Segment) []RankProfile {
+	onPath := map[int]*BucketTotals{}
+	for _, s := range segs {
+		bt, ok := onPath[s.Rank]
+		if !ok {
+			bt = &BucketTotals{}
+			onPath[s.Rank] = bt
+		}
+		bt.Add(s.Bucket, s.Duration())
+	}
+
+	out := make([]RankProfile, 0, len(d.rankIDs))
+	for _, rank := range d.rankIDs {
+		tl := d.byRank[rank]
+		p := RankProfile{Rank: rank, First: d.events[tl[0]].Start, Last: d.events[tl[len(tl)-1]].End}
+		var busyIv, commIv []interval
+		for _, i := range tl {
+			ev := d.events[i]
+			if ev.Start < p.First {
+				p.First = ev.Start
+			}
+			switch ev.Kind {
+			case trace.EvCompute, trace.EvSpawn:
+				if ev.End > ev.Start {
+					busyIv = append(busyIv, interval{ev.Start, ev.End})
+				}
+			case trace.EvColl, trace.EvBarrier:
+				if ev.End > ev.Start {
+					commIv = append(commIv, interval{ev.Start, ev.End})
+				}
+			case trace.EvSend:
+				p.SendMsgs++
+				p.SendBytes += ev.Bytes
+			case trace.EvRecv:
+				p.RecvMsgs++
+				p.RecvBytes += ev.Bytes
+			}
+		}
+		busy := mergeIntervals(busyIv)
+		p.Busy = intervalsLen(busy)
+		// Communication spans often contain recorded compute (packing,
+		// reduction work): count the union once, with busy taking priority.
+		p.Comm = intervalsLen(mergeIntervals(append(busyIv, commIv...))) - p.Busy
+		if life := p.Last - p.First; life > 0 {
+			p.Idle = life - p.Busy - p.Comm
+			if p.Idle < 0 {
+				p.Idle = 0
+			}
+			p.Utilization = p.Busy / life
+		}
+		if bt := onPath[rank]; bt != nil {
+			p.OnPath = *bt
+		}
+		out = append(out, p)
+	}
+	return out
+}

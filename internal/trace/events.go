@@ -97,9 +97,19 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Record appends one event.
 func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }
 
-// Events returns the log in record order (chronological: events are
-// recorded at their End time under the single-threaded kernel).
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns a copy of the log in record order (chronological: events
+// are recorded at their End time under the single-threaded kernel). The
+// copy is the caller's to keep: it stays valid across Reset and later
+// recording.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Reset empties the log, keeping the allocated capacity so harness sweeps
+// can reuse one recorder across runs without reallocating.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
 
 // Len reports the number of recorded events.
 func (r *Recorder) Len() int { return len(r.events) }

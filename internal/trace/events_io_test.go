@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: EvCompute, Rank: 0, Start: 0, End: 1, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+		{Kind: EvSend, Rank: 0, Start: 1, End: 1, Peer: 1, Tag: 7, Comm: 2, Bytes: 512, Op: "Isend", Phase: PhaseRedistConst},
+		{Kind: EvRecv, Rank: 1, Start: 1.25, End: 1.25, Peer: 0, Tag: 7, Comm: 2, Bytes: 512, Op: "recv", Phase: PhaseRedistConst},
+		{Kind: EvPhase, Rank: 0, Start: 0.5, End: 1.5, Peer: -1, Tag: -1, Comm: -1, Op: PhaseRedistConst},
+	}
+}
+
+func TestEventsCopyAndReset(t *testing.T) {
+	r := NewRecorder()
+	for _, ev := range sampleEvents() {
+		r.Record(ev)
+	}
+	got := r.Events()
+	if len(got) != 4 || r.Len() != 4 {
+		t.Fatalf("len %d / %d", len(got), r.Len())
+	}
+	// The returned slice is a copy: later recording must not alias into it.
+	r.Record(Event{Kind: EvCompute, Rank: 9, Start: 2, End: 3, Peer: -1, Tag: -1, Comm: -1, Op: "late"})
+	if len(got) != 4 || got[0].Op != "compute" {
+		t.Fatalf("Events() aliased the live log: %+v", got)
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Events()) != 0 {
+		t.Fatalf("Reset left %d events", r.Len())
+	}
+	// The copy taken before Reset stays intact even after new recording.
+	r.Record(Event{Kind: EvSpawn, Rank: 5, Start: 0, End: 1, Peer: -1, Tag: -1, Comm: -1, Op: "spawn"})
+	if got[1].Kind != EvSend || got[1].Bytes != 512 {
+		t.Fatalf("pre-Reset copy mutated: %+v", got[1])
+	}
+}
+
+func TestEventLogRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	for _, ev := range sampleEvents() {
+		r.Record(ev)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"format":"repro/event-log/v1"`) {
+		t.Fatalf("missing format marker:\n%s", buf.String())
+	}
+	got, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleEvents()) {
+		t.Fatalf("round trip drift:\n got %+v\nwant %+v", got, sampleEvents())
+	}
+	// Determinism: a second serialization is bit-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteEvents(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteEvents is not deterministic")
+	}
+}
+
+func TestReadEventsBareArray(t *testing.T) {
+	in := `[{"kind":3,"rank":0,"start":0,"end":2,"peer":-1,"tag":-1,"comm":-1,"bytes":0,"op":"compute"}]`
+	got, err := ReadEvents(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Kind != EvCompute || got[0].End != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestReadEventsChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	for _, ev := range sampleEvents() {
+		r.Record(ev)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("reconstructed %d events, want 4: %+v", len(got), got)
+	}
+	for i, want := range sampleEvents() {
+		g := got[i]
+		if g.Kind != want.Kind || g.Rank != want.Rank || g.Peer != want.Peer ||
+			g.Tag != want.Tag || g.Comm != want.Comm || g.Bytes != want.Bytes ||
+			g.Op != want.Op || g.Phase != want.Phase {
+			t.Fatalf("event %d metadata drift:\n got %+v\nwant %+v", i, g, want)
+		}
+		// Timestamps survive microsecond round-trip to within float noise.
+		if math.Abs(g.Start-want.Start) > 1e-9 || math.Abs(g.End-want.End) > 1e-9 {
+			t.Fatalf("event %d time drift: got [%v,%v] want [%v,%v]", i, g.Start, g.End, want.Start, want.End)
+		}
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		`not json`,
+		`{"foo": 1}`,
+		`{"format":"something/else","events":[]}`,
+	} {
+		if _, err := ReadEvents(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}
+
+func TestNormalizeEventsClampsAndSorts(t *testing.T) {
+	evs := []Event{
+		{Kind: EvCompute, Rank: 0, Start: 5, End: 4},           // inverted span
+		{Kind: EvCompute, Rank: 0, Start: math.NaN(), End: 1},  // NaN start
+		{Kind: EvCompute, Rank: 0, Start: 0, End: math.Inf(1)}, // Inf end
+		{Kind: EvCompute, Rank: 0, Start: 2, End: 3},
+	}
+	out := normalizeEvents(evs)
+	for i, ev := range out {
+		if math.IsNaN(ev.Start) || math.IsInf(ev.End, 0) || ev.End < ev.Start {
+			t.Fatalf("event %d not normalized: %+v", i, ev)
+		}
+		if i > 0 && out[i-1].End > ev.End {
+			t.Fatalf("not sorted at %d: %+v", i, out)
+		}
+	}
+}
+
+// failWriter fails after n successful writes.
+type failWriter struct{ n int }
+
+var errBoom = errors.New("boom")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errBoom
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	small := RunMetrics{TSpawn: 1, TRedistConst: 2, TRedistVar: 3, THalt: 4}
+	// A small report fits the csv writer's buffer, so the failure surfaces
+	// at the final flush.
+	if err := small.WriteCSV(&failWriter{n: 0}); !errors.Is(err, errBoom) {
+		t.Fatalf("flush-time failure lost: %v", err)
+	}
+	// A large report overflows the buffer mid-stream; the first write error
+	// must propagate rather than being swallowed by later rows.
+	big := small
+	for i := 0; i < 500; i++ {
+		big.Ranks = append(big.Ranks, RankMetrics{Rank: i, SendMsgs: 10, SendBytes: 1 << 20})
+	}
+	if err := big.WriteCSV(&failWriter{n: 1}); !errors.Is(err, errBoom) {
+		t.Fatalf("mid-stream failure lost: %v", err)
+	}
+	var ok bytes.Buffer
+	if err := big.WriteCSV(&ok); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ok.String(), "t_spawn") {
+		t.Fatalf("unexpected CSV: %s", ok.String())
+	}
+}

@@ -33,7 +33,7 @@ type RankMetrics struct {
 // RunMetrics are the per-run counters derived from an event log, matching
 // the paper's §4 decomposition of a reconfiguration.
 type RunMetrics struct {
-	Ranks  []RankMetrics `json:"ranks"`
+	Ranks  []RankMetrics  `json:"ranks"`
 	Phases []PhaseMetrics `json:"phases"`
 	// MsgsByOp counts wire messages by issuing operation (Isend, Get, ...).
 	MsgsByOp map[string]int64 `json:"msgsByOp"`
@@ -171,13 +171,19 @@ func (m RunMetrics) WriteJSON(w io.Writer) error {
 }
 
 // WriteCSV emits the metrics as scope,metric,value rows: run-level
-// counters, one scope per phase, and one scope per rank.
+// counters, one scope per phase, and one scope per rank. The first write
+// error is returned.
 func (m RunMetrics) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
+	var firstErr error
 	row := func(scope, metric string, value any) {
-		cw.Write([]string{scope, metric, fmt.Sprintf("%v", value)})
+		if err := cw.Write([]string{scope, metric, fmt.Sprintf("%v", value)}); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	cw.Write([]string{"scope", "metric", "value"})
+	if err := cw.Write([]string{"scope", "metric", "value"}); err != nil {
+		return err
+	}
 	row("run", "t_spawn", fmt.Sprintf("%.9g", m.TSpawn))
 	row("run", "t_redist_const", fmt.Sprintf("%.9g", m.TRedistConst))
 	row("run", "t_redist_var", fmt.Sprintf("%.9g", m.TRedistVar))
@@ -211,6 +217,9 @@ func (m RunMetrics) WriteCSV(w io.Writer) error {
 		row(scope, "recv_bytes", rm.RecvBytes)
 		row(scope, "collectives", rm.Collectives)
 		row(scope, "compute_secs", fmt.Sprintf("%.9g", rm.ComputeSecs))
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	cw.Flush()
 	return cw.Error()
