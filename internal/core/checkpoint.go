@@ -25,8 +25,11 @@ type crTransfer struct {
 
 // crFiles is the per-reconfiguration "filesystem namespace": one byte
 // region per (item, source rank). Single-threaded under the kernel.
+// complete marks sources that finished writing every block; readers must
+// check it so a crash mid-write can never expose a partial checkpoint.
 type crFiles struct {
-	blocks map[crKey]mpi.Payload
+	blocks   map[crKey]mpi.Payload
+	complete map[int]bool
 }
 
 type crKey struct {
@@ -49,7 +52,7 @@ func crStoreFor(c *mpi.Ctx, v *view) *crFiles {
 	id := v.comm.CtxID()
 	f := per[id]
 	if f == nil {
-		f = &crFiles{blocks: map[crKey]mpi.Payload{}}
+		f = &crFiles{blocks: map[crKey]mpi.Payload{}, complete: map[int]bool{}}
 		per[id] = f
 	}
 	return f
@@ -89,6 +92,7 @@ func (t *crTransfer) runBlockingAll(c *mpi.Ctx) {
 				fs.Use(c.SimProc(), float64(pl.Size))
 			}
 		}
+		t.files.complete[t.v.srcRank] = true
 	}
 
 	// Epoch boundary: restart only reads complete checkpoints.
@@ -100,6 +104,10 @@ func (t *crTransfer) runBlockingAll(c *mpi.Ctx) {
 			lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
 			it.Prepare(lo, hi)
 			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
+				if !t.files.complete[ch.Src] {
+					panic(&UnrecoverableError{Reason: fmt.Sprintf(
+						"item %q: source %d never completed its checkpoint", it.Name(), ch.Src)})
+				}
 				src, ok := t.files.blocks[crKey{item: i, src: ch.Src}]
 				if !ok {
 					panic(fmt.Sprintf("core: checkpoint of item %d from source %d missing", i, ch.Src))

@@ -142,6 +142,8 @@ type Reconfig struct {
 	constStart float64 // virtual time the non-blocking constant pass began
 	asyncDone  bool
 
+	res *Resilience // nil: no fault tolerance
+
 	newComm  *mpi.Comm
 	finished bool
 }
@@ -159,6 +161,17 @@ type Reconfig struct {
 // every iteration until it reports true, then Finish.
 func StartReconfig(c *mpi.Ctx, cfg Config, appComm *mpi.Comm, nt int,
 	store *Store, makeStore func() *Store, target TargetFunc) *Reconfig {
+	return StartReconfigRes(c, cfg, appComm, nt, store, makeStore, target, nil)
+}
+
+// StartReconfigRes is StartReconfig with fault tolerance: a non-nil res
+// runs the variable-data redistribution under the detect → abort →
+// re-plan → resume protocol (see recover.go). Resilience requires the
+// synchronous strategy; asynchronous configurations are downgraded to Sync
+// (recorded as an "overlap-fallback" fault event) because an overlapped
+// epoch cannot abort cleanly mid-iteration. RMA is not supported.
+func StartReconfigRes(c *mpi.Ctx, cfg Config, appComm *mpi.Comm, nt int,
+	store *Store, makeStore func() *Store, target TargetFunc, res *Resilience) *Reconfig {
 
 	ns := appComm.Size()
 	if nt <= 0 {
@@ -167,10 +180,23 @@ func StartReconfig(c *mpi.Ctx, cfg Config, appComm *mpi.Comm, nt int,
 	if cfg.Comm == CR && cfg.Overlap != Sync {
 		panic("core: checkpoint/restart (CR) supports only the synchronous strategy (§2)")
 	}
+	if res != nil {
+		if res.Detector == nil {
+			panic("core: Resilience requires a FailureDetector")
+		}
+		if cfg.Comm == RMA {
+			panic("core: resilient redistribution does not support RMA")
+		}
+		if cfg.Overlap != Sync {
+			cfg.Overlap = Sync
+			recordFault(c, "overlap-fallback", -1)
+		}
+	}
 	r := &Reconfig{
 		cfg: cfg, ns: ns, nt: nt, rank: appComm.Rank(c),
 		appComm: appComm, store: store,
 		state: sim.NewSignal("core.reconfig"),
+		res:   res,
 	}
 	if r.rank < 0 {
 		panic("core: StartReconfig by non-member of the application communicator")
@@ -217,7 +243,7 @@ func (r *Reconfig) stage2(c *mpi.Ctx, makeStore func() *Store, target TargetFunc
 			st := makeStore()
 			pv := child.Proc().Parent()
 			v := newInterView(child, pv, r.ns, r.nt, false)
-			runTargetSide(child, cfg, v, st)
+			runTargetSide(child, cfg, v, st, r.res)
 			// Targets synchronize among themselves before resuming: the new
 			// group starts its first iteration together.
 			childWorld.FastBarrier(child)
@@ -234,7 +260,7 @@ func (r *Reconfig) stage2(c *mpi.Ctx, makeStore func() *Store, target TargetFunc
 				// Redistribution uses a duplicate so its traffic cannot
 				// match the application's (§3.2).
 				v := newIntraView(child, joint.Dup(child), r.ns, r.nt)
-				runTargetSide(child, cfg, v, st)
+				runTargetSide(child, cfg, v, st, r.res)
 				joint.FastBarrier(child) // §3: synchronize before resuming
 				target(child, joint, st)
 			}
@@ -253,7 +279,7 @@ func (r *Reconfig) stage2(c *mpi.Ctx, makeStore func() *Store, target TargetFunc
 // the same phases the sources run, with the algorithm family matching the
 // overlap strategy (non-blocking sources pair with scattered collectives,
 // blocking sources with pairwise ones).
-func runTargetSide(c *mpi.Ctx, cfg Config, v *view, st *Store) {
+func runTargetSide(c *mpi.Ctx, cfg Config, v *view, st *Store, res *Resilience) {
 	async, final, asyncIdx, finalIdx := itemPhases(cfg, st)
 	if len(async) > 0 {
 		tagPhase(c, trace.PhaseRedistConst, func() {
@@ -264,6 +290,12 @@ func runTargetSide(c *mpi.Ctx, cfg Config, v *view, st *Store) {
 				x.runBlockingAll(c)
 			}
 		})
+	}
+	if res != nil {
+		// The resilient pass is collective (protect and commit barriers),
+		// so targets participate even when there is nothing to move.
+		runResilientPass(c, cfg, v, final, finalIdx, res, false)
+		return
 	}
 	if len(final) > 0 {
 		tagPhase(c, trace.PhaseRedistVar, func() {
@@ -330,9 +362,13 @@ func (r *Reconfig) Wait(c *mpi.Ctx) {
 	prev := c.Phase()
 	c.SetPhase(trace.PhaseHalt)
 	_, final, _, finalIdx := itemPhases(r.cfg, r.store)
-	withPhase(c, trace.PhaseRedistVar, func() {
-		newXfer(r.cfg.Comm, r.v, final, finalIdx).runBlockingAll(c)
-	})
+	if r.res != nil {
+		runResilientPass(c, r.cfg, r.v, final, finalIdx, r.res, true)
+	} else {
+		withPhase(c, trace.PhaseRedistVar, func() {
+			newXfer(r.cfg.Comm, r.v, final, finalIdx).runBlockingAll(c)
+		})
+	}
 	r.handover(c)
 	recordPhaseSpan(c, trace.PhaseHalt, haltStart)
 	c.SetPhase(prev)

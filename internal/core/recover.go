@@ -1,0 +1,506 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// This file implements the fault-tolerant redistribution protocol:
+// detect → abort → re-plan → resume.
+//
+// A resilient pass wraps one redistribution epoch in three safeguards:
+//
+//  1. Protect. Before any data moves, every source persists its blocks to
+//     the shared filesystem (the same namespace the CR method uses) and
+//     marks the checkpoint complete. A soft barrier separates the writes
+//     from any read, so a partially written block is never trusted.
+//  2. Attempt with detection. The normal transfer (P2P or COL) is driven
+//     non-blockingly under a deadline. When the failure detector reports a
+//     participant that was alive when the round was planned, or the epoch
+//     times out repeatedly, the rank aborts the round.
+//  3. Re-plan and resume. Aborting ranks raise a shared abort flag; the
+//     round's commit barrier makes the decision collective. The next round
+//     re-transfers every chunk: sources whose copy is still pristine resend
+//     it directly, chunks whose source copy was lost (a dead rank, or a
+//     Merge rank whose Prepare already overwrote its block) are restored
+//     from the protect checkpoint. Data whose only copy is gone raises
+//     UnrecoverableError.
+//
+// Every decision is recorded as a trace.EvFault event and recovery work is
+// tagged with trace.PhaseRecovery, so the analyzer attributes its cost to a
+// dedicated critical-path bucket.
+
+// FailureDetector is the recovery protocol's oracle for process liveness.
+// The fault package provides the standard implementation; core depends only
+// on this interface.
+type FailureDetector interface {
+	// Failed reports whether the process with world-unique id gid has been
+	// detected as failed. Detection may lag the actual crash.
+	Failed(gid int) bool
+	// Version increases every time a new failure is detected.
+	Version() int
+	// Probe actively checks liveness, promoting crashed-but-undetected
+	// processes to detected immediately (a ping, versus the passive
+	// heartbeat timeout).
+	Probe()
+}
+
+// Resilience configures fault-tolerant redistribution. A nil *Resilience
+// disables the protocol entirely.
+type Resilience struct {
+	// Detector supplies failure notifications; required.
+	Detector FailureDetector
+	// Timeout bounds one redistribution epoch before the rank probes the
+	// detector; after three fruitless extensions the epoch aborts. Default
+	// 2 simulated seconds.
+	Timeout float64
+	// MaxRounds bounds recovery attempts before the pass gives up with
+	// UnrecoverableError. Default 8, capped at 15 by the recovery tag
+	// space.
+	MaxRounds int
+}
+
+func (r *Resilience) timeout() float64 {
+	if r.Timeout > 0 {
+		return r.Timeout
+	}
+	return 2
+}
+
+func (r *Resilience) maxRounds() int {
+	n := r.MaxRounds
+	if n <= 0 {
+		n = 8
+	}
+	if n > 15 {
+		n = 15 // recovery tags must stay below the collective tag space
+	}
+	return n
+}
+
+// UnrecoverableError reports a fault the recovery protocol cannot mask:
+// data whose only surviving copy was lost, or a pass that kept aborting
+// past its round budget. It surfaces as a panic value, which
+// sim.Kernel.Run wraps (with %w) into the run error, so callers match it
+// with errors.As.
+type UnrecoverableError struct {
+	Reason string
+}
+
+func (e *UnrecoverableError) Error() string { return "core: unrecoverable fault: " + e.Reason }
+
+// Recovery rounds re-transfer chunks with tags disjoint from the normal
+// item tags (77/88 family), application tags, and collective tag blocks
+// (1<<20 and above), so messages of an aborted attempt can never match a
+// recovery receive. Each round gets its own stride so stale recovery
+// traffic cannot cross rounds either.
+const (
+	recoveryTagBase   = 1 << 18
+	recoveryRoundSpan = 1 << 15
+	recoveryChunkSpan = 64
+)
+
+func recoveryTag(round, itemIdx, chunk int) int {
+	if chunk >= recoveryChunkSpan {
+		panic(fmt.Sprintf("core: recovery chunk index %d exceeds the tag stride", chunk))
+	}
+	if itemIdx >= recoveryRoundSpan/recoveryChunkSpan {
+		panic(fmt.Sprintf("core: item index %d exceeds the recovery tag space", itemIdx))
+	}
+	return recoveryTagBase + round*recoveryRoundSpan + itemIdx*recoveryChunkSpan + chunk
+}
+
+// epochState is the shared coordination block of one resilient pass: soft
+// barriers (arrival sets keyed by label) and per-round abort flags. Like
+// crNamespaces it is keyed by world and matching context; the simulation is
+// single-threaded per kernel.
+type epochState struct {
+	arrived map[string]map[int]bool
+	abort   map[int]bool
+}
+
+var epochStates map[*mpi.World]map[int]*epochState
+
+func epochStateFor(w *mpi.World, ctxID int) *epochState {
+	if epochStates == nil {
+		epochStates = map[*mpi.World]map[int]*epochState{}
+	}
+	per := epochStates[w]
+	if per == nil {
+		per = map[int]*epochState{}
+		epochStates[w] = per
+	}
+	st := per[ctxID]
+	if st == nil {
+		st = &epochState{arrived: map[string]map[int]bool{}, abort: map[int]bool{}}
+		per[ctxID] = st
+	}
+	return st
+}
+
+// recordFault emits one instantaneous EvFault event for this rank.
+func recordFault(c *mpi.Ctx, op string, peer int) {
+	rec := c.World().Recorder()
+	if rec == nil {
+		return
+	}
+	now := c.Now()
+	rec.Record(trace.Event{
+		Kind: trace.EvFault, Rank: c.Proc().GID(), Start: now, End: now,
+		Peer: peer, Tag: -1, Comm: -1, Op: op, Phase: c.Phase(),
+	})
+}
+
+// fsIO pays the checkpoint-filesystem cost for n bytes and records it as a
+// compute span, so the analyzer sees local activity instead of an untraced
+// gap.
+func fsIO(c *mpi.Ctx, op string, n int64) {
+	machine := c.World().Machine()
+	fs := machine.FS()
+	start := c.Now()
+	c.Sleep(machine.FSLatency())
+	if n > 0 {
+		fs.Use(c.SimProc(), float64(n))
+	}
+	if rec := c.World().Recorder(); rec != nil {
+		rec.Record(trace.Event{
+			Kind: trace.EvCompute, Rank: c.Proc().GID(), Start: start, End: c.Now(),
+			Peer: -1, Tag: -1, Comm: -1, Bytes: n, Op: op, Phase: c.Phase(),
+		})
+	}
+}
+
+// passParticipants returns the world-unique ids of every process involved
+// in a pass over v's communicator: both groups of an inter-communicator,
+// the single group otherwise.
+func passParticipants(v *view) []int {
+	gids := make([]int, 0, v.comm.Size()+v.comm.RemoteSize())
+	for r := 0; r < v.comm.Size(); r++ {
+		gids = append(gids, v.comm.Member(r).GID())
+	}
+	for r := 0; r < v.comm.RemoteSize(); r++ {
+		gids = append(gids, v.comm.RemoteMember(r).GID())
+	}
+	sort.Ints(gids)
+	return gids
+}
+
+// resilientPass carries one rank's state through a fault-tolerant
+// redistribution pass.
+type resilientPass struct {
+	cfg    Config
+	v      *view
+	items  []Item
+	tagIdx []int
+	res    *Resilience
+
+	// recordSpans mirrors the withPhase/tagPhase split: surviving ranks
+	// record EvPhase spans, spawned targets only tag their traffic.
+	recordSpans bool
+
+	st    *epochState
+	parts []int
+	files *crFiles
+}
+
+// runResilientPass executes one redistribution pass under the recovery
+// protocol. All participants (sources and targets) must call it.
+func runResilientPass(c *mpi.Ctx, cfg Config, v *view, items []Item, tagIdx []int,
+	res *Resilience, recordSpans bool) {
+
+	if res.Detector == nil {
+		panic("core: Resilience requires a FailureDetector")
+	}
+	if c.World().Machine().FS() == nil {
+		panic("core: resilient redistribution needs a filesystem (cluster.Config.FSBandwidth) for the protect checkpoint")
+	}
+	rp := &resilientPass{
+		cfg: cfg, v: v, items: items, tagIdx: tagIdx, res: res,
+		recordSpans: recordSpans,
+		st:          epochStateFor(c.World(), v.comm.CtxID()),
+		parts:       passParticipants(v),
+		files:       crStoreFor(c, v),
+	}
+
+	// Protect: every source persists its pass items before the epoch, so a
+	// block lost to a crash (or overwritten by a Merge target's Prepare)
+	// can be re-read during recovery. The soft barrier keeps any reader
+	// from trusting a checkpoint its source has not finished.
+	rp.inPhase(c, trace.PhaseProtect, func() { rp.protect(c) })
+	rp.arrive(c, "protect")
+
+	// For the CR method the checkpoint IS the transfer: every round reads
+	// back from the protect files and no rank resends anything.
+	checkpointOnly := cfg.Comm == CR
+
+	for round := 0; ; round++ {
+		if round > res.maxRounds() {
+			panic(&UnrecoverableError{Reason: fmt.Sprintf(
+				"redistribution did not converge after %d recovery rounds", res.maxRounds())})
+		}
+		// The abort predicate is "a participant outside this snapshot
+		// failed", never a version comparison: a failure detected before
+		// the snapshot is part of the plan, one detected after it aborts
+		// the round.
+		failedAtPlan := rp.failedSet()
+		var abort string
+		switch {
+		case round == 0 && len(failedAtPlan) == 0 && !checkpointOnly:
+			rp.inPhase(c, trace.PhaseRedistVar, func() { abort = rp.attempt(c, failedAtPlan) })
+		case round == 0 && len(failedAtPlan) == 0:
+			rp.inPhase(c, trace.PhaseRedistVar, func() {
+				abort = rp.recoveryRound(c, round, failedAtPlan, true)
+			})
+		default:
+			recordFault(c, "replan", -1)
+			rp.inPhase(c, trace.PhaseRecovery, func() {
+				abort = rp.recoveryRound(c, round, failedAtPlan, checkpointOnly)
+			})
+		}
+		if abort != "" {
+			rp.st.abort[round] = true
+			recordFault(c, "abort", -1)
+			c.World().WakeAll()
+		}
+		// Commit barrier: the round succeeds only if nobody aborted. A
+		// completer that reaches the barrier still honors a peer's abort
+		// flag, so all survivors enter the next round together.
+		rp.arrive(c, fmt.Sprintf("commit:%d", round))
+		if !rp.st.abort[round] {
+			return
+		}
+	}
+}
+
+func (rp *resilientPass) inPhase(c *mpi.Ctx, phase string, fn func()) {
+	if rp.recordSpans {
+		withPhase(c, phase, fn)
+	} else {
+		tagPhase(c, phase, fn)
+	}
+}
+
+// protect writes this source's blocks of every pass item to the shared
+// checkpoint namespace and marks them complete.
+func (rp *resilientPass) protect(c *mpi.Ctx) {
+	if !rp.v.isSource() {
+		return
+	}
+	for i, it := range rp.items {
+		d := distFor(it, rp.v.ns)
+		lo, hi := d.Lo(rp.v.srcRank), d.Hi(rp.v.srcRank)
+		pl := it.Extract(lo, hi)
+		rp.files.blocks[crKey{item: i, src: rp.v.srcRank}] = mpi.Payload{
+			Size: pl.Size, Data: append([]byte(nil), pl.Data...),
+		}
+		fsIO(c, "cr-protect", pl.Size)
+	}
+	// The completion mark is what recovery trusts: a crash between the
+	// writes above and this line leaves the mark unset, and no rank will
+	// ever read the partial blocks.
+	rp.files.complete[rp.v.srcRank] = true
+}
+
+// failedSet snapshots which participants are currently detected as failed.
+func (rp *resilientPass) failedSet() map[int]bool {
+	out := map[int]bool{}
+	for _, g := range rp.parts {
+		if rp.res.Detector.Failed(g) {
+			out[g] = true
+		}
+	}
+	return out
+}
+
+// newFailure returns a participant detected as failed after the snapshot,
+// or -1.
+func (rp *resilientPass) newFailure(failedAtPlan map[int]bool) int {
+	for _, g := range rp.parts {
+		if rp.res.Detector.Failed(g) && !failedAtPlan[g] {
+			return g
+		}
+	}
+	return -1
+}
+
+// attempt drives the normal transfer non-blockingly so detection can
+// interleave. Both sides use progress(), which keeps the algorithm family
+// (scattered non-blocking) symmetric across sources and targets.
+func (rp *resilientPass) attempt(c *mpi.Ctx, failedAtPlan map[int]bool) string {
+	x := newXfer(rp.cfg.Comm, rp.v, rp.items, rp.tagIdx)
+	return rp.resilientDrive(c, failedAtPlan, func() bool { return x.progress(c) },
+		"redistribution epoch")
+}
+
+// resilientDrive advances step until it reports completion. It returns a
+// non-empty abort reason when a participant outside failedAtPlan fails, or
+// when the epoch deadline expires repeatedly (after probing the detector
+// and three extensions).
+func (rp *resilientPass) resilientDrive(c *mpi.Ctx, failedAtPlan map[int]bool,
+	step func() bool, what string) string {
+
+	det := rp.res.Detector
+	reason := ""
+	pred := func() bool {
+		if g := rp.newFailure(failedAtPlan); g >= 0 {
+			reason = fmt.Sprintf("g%d failed", g)
+			return true
+		}
+		return step()
+	}
+	desc := fmt.Sprintf("core: %s on comm %d", what, rp.v.comm.CtxID())
+	const maxExtensions = 3
+	for ext := 0; ; ext++ {
+		if c.WaitUntilDeadline(pred, desc, c.Now()+rp.res.timeout()) {
+			return reason
+		}
+		det.Probe()
+		if g := rp.newFailure(failedAtPlan); g >= 0 {
+			return fmt.Sprintf("g%d failed", g)
+		}
+		if ext >= maxExtensions {
+			return "timeout"
+		}
+	}
+}
+
+// recoveryRound re-transfers every chunk of the pass over the survivor
+// set. Pristine live sources resend their chunks point-to-point with
+// round-scoped tags; chunks whose source copy is gone are restored from
+// the protect checkpoint. With checkpointOnly (the CR method) everything
+// reads from the checkpoint.
+func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[int]bool,
+	checkpointOnly bool) string {
+
+	v := rp.v
+
+	// pristine reports whether source rank src still holds its original
+	// block in memory: it must be alive, and must not be a Merge rank that
+	// doubles as a target (its Prepare may already have resized the item
+	// in place).
+	pristine := func(src int) bool {
+		if checkpointOnly || failedAtPlan[v.sourceGID(src)] {
+			return false
+		}
+		if !v.inter && src < v.nt {
+			return false
+		}
+		return true
+	}
+
+	var reqs []mpi.Request
+	type pendingInstall struct {
+		item   int
+		lo, hi int64
+		rr     *mpi.RecvReq
+	}
+	var installs []pendingInstall
+
+	if v.isSource() && pristine(v.srcRank) {
+		occ := map[[2]int]int{}
+		for i, it := range rp.items {
+			for _, ch := range planFor(it, v.ns, v.nt).SendChunks(v.srcRank) {
+				k := [2]int{i, ch.Dst}
+				seq := occ[k]
+				occ[k]++
+				if failedAtPlan[v.targetGID(ch.Dst)] {
+					continue // no survivor to receive it
+				}
+				pl := it.Extract(ch.Lo, ch.Hi)
+				reqs = append(reqs, v.sendTo(c, ch.Dst, recoveryTag(round, rp.tagIdx[i], seq), pl))
+			}
+		}
+	}
+	if v.isTarget() {
+		for i, it := range rp.items {
+			lo, hi := targetRange(it, v.nt, v.tgtRank)
+			it.Prepare(lo, hi)
+			occ := map[[2]int]int{}
+			for _, ch := range planFor(it, v.ns, v.nt).RecvChunks(v.tgtRank) {
+				k := [2]int{i, ch.Src}
+				seq := occ[k]
+				occ[k]++
+				if pristine(ch.Src) {
+					rr := v.recvFrom(c, ch.Src, recoveryTag(round, rp.tagIdx[i], seq))
+					reqs = append(reqs, rr)
+					installs = append(installs, pendingInstall{item: i, lo: ch.Lo, hi: ch.Hi, rr: rr})
+				} else {
+					rp.readChunk(c, i, it, ch)
+				}
+			}
+		}
+	}
+
+	done := func() bool {
+		for _, r := range reqs {
+			if !r.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	if reason := rp.resilientDrive(c, failedAtPlan, done,
+		fmt.Sprintf("recovery round %d", round)); reason != "" {
+		return reason
+	}
+	for _, p := range installs {
+		it := rp.items[p.item]
+		want := it.WireBytes(p.lo, p.hi)
+		if got := p.rr.Payload().Size; got != want {
+			panic(fmt.Sprintf("core: recovery chunk of %q: got %d bytes, want %d",
+				it.Name(), got, want))
+		}
+		it.Install(p.lo, p.hi, p.rr.Payload())
+	}
+	return ""
+}
+
+// readChunk restores one chunk from the protect checkpoint, paying the
+// filesystem cost. A missing completion mark means the source crashed
+// mid-write and its in-memory copy is also gone: unrecoverable.
+func (rp *resilientPass) readChunk(c *mpi.Ctx, i int, it Item, ch partition.Chunk) {
+	if !rp.files.complete[ch.Src] {
+		panic(&UnrecoverableError{Reason: fmt.Sprintf(
+			"item %q: source %d crashed before completing its protect checkpoint", it.Name(), ch.Src)})
+	}
+	blk, ok := rp.files.blocks[crKey{item: i, src: ch.Src}]
+	if !ok {
+		panic(&UnrecoverableError{Reason: fmt.Sprintf(
+			"item %q: no checkpoint block for source %d", it.Name(), ch.Src)})
+	}
+	srcDist := distFor(it, rp.v.ns)
+	off := it.WireBytes(srcDist.Lo(ch.Src), ch.Lo)
+	n := it.WireBytes(ch.Lo, ch.Hi)
+	fsIO(c, "cr-restore", n)
+	if blk.Data == nil {
+		it.Install(ch.Lo, ch.Hi, mpi.Virtual(n))
+	} else {
+		it.Install(ch.Lo, ch.Hi, mpi.Payload{Size: n, Data: blk.Data[off : off+n]})
+	}
+}
+
+// arrive is a soft barrier: it completes once every participant has either
+// arrived at the same label or been detected as failed, so a crash can
+// never wedge the protocol the way a hardware barrier would.
+func (rp *resilientPass) arrive(c *mpi.Ctx, label string) {
+	set := rp.st.arrived[label]
+	if set == nil {
+		set = map[int]bool{}
+		rp.st.arrived[label] = set
+	}
+	set[c.Proc().GID()] = true
+	c.World().WakeAll()
+	det := rp.res.Detector
+	c.WaitUntil(func() bool {
+		for _, g := range rp.parts {
+			if !set[g] && !det.Failed(g) {
+				return false
+			}
+		}
+		return true
+	}, fmt.Sprintf("core: resilient barrier %q on comm %d", label, rp.v.comm.CtxID()))
+}

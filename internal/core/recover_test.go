@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// stubDetector is a minimal FailureDetector for core-level tests: a kernel
+// timer kills the victim and marks it failed in the same instant. The sim
+// kernel serializes all execution, so no locking is needed.
+type stubDetector struct {
+	w       *mpi.World
+	failed  map[int]bool
+	version int
+}
+
+func newStubDetector(w *mpi.World) *stubDetector {
+	return &stubDetector{w: w, failed: map[int]bool{}}
+}
+
+func (d *stubDetector) Failed(gid int) bool { return d.failed[gid] }
+func (d *stubDetector) Version() int        { return d.version }
+func (d *stubDetector) Probe()              {}
+
+// killAt schedules a crash of gid at virtual time at, detected immediately.
+func (d *stubDetector) killAt(gid int, at float64) {
+	d.w.Kernel().At(at, func() {
+		d.w.KillProcess(gid)
+		d.failed[gid] = true
+		d.version++
+		d.w.WakeAll()
+	})
+}
+
+// resilientRun executes one Merge ns->nt reconfiguration under the recovery
+// protocol, crashing victimGID at crashAt (no crash when crashAt < 0), and
+// returns the kernel error plus the recorded events. Victims mutate the
+// variable item before Wait, so surviving targets can verify byte-exact
+// restored content with verifyStore.
+func resilientRun(t *testing.T, cfg Config, ns, nt int, victimGID int, crashAt float64,
+	verify bool) (error, []trace.Event) {
+	t.Helper()
+	const n = 1000
+	w := testWorld(t)
+	rec := trace.NewRecorder()
+	w.SetRecorder(rec)
+	det := newStubDetector(w)
+	if crashAt >= 0 {
+		det.killAt(victimGID, crashAt)
+	}
+	res := &Resilience{Detector: det}
+
+	var mu sync.Mutex
+	verified := map[int]bool{}
+	w.Launch(ns, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		rank := comm.Rank(c)
+		st := buildStore(n, ns, rank)
+		r := StartReconfigRes(c, cfg, comm, nt, st,
+			func() *Store { return emptyStore(n) }, nil, res)
+		x := st.Item("x").(*DenseItem)
+		vals := x.Float64s()
+		lo, _ := x.Block()
+		for i := range vals {
+			vals[i] = globalValue(2, int(lo)+i) + sentinelOffset
+		}
+		copy(x.Data(), mpi.Float64s(vals).Data)
+		r.Wait(c)
+		if r.Continues() && verify {
+			tgt := r.NewComm().Rank(c)
+			verifyStore(t, fmt.Sprintf("recovered target %d", tgt), st, n, nt, tgt)
+			mu.Lock()
+			verified[tgt] = true
+			mu.Unlock()
+		}
+	})
+	err := w.Kernel().Run()
+	if verify && err == nil {
+		mu.Lock()
+		if len(verified) != nt {
+			t.Errorf("%d targets verified, want %d", len(verified), nt)
+		}
+		mu.Unlock()
+	}
+	return err, rec.Events()
+}
+
+// probeSpan locates the first event of the given kind/op/rank in a
+// fault-free probe run, returning its midpoint.
+func probeSpan(t *testing.T, events []trace.Event, kind trace.EventKind, op string, rank int) float64 {
+	t.Helper()
+	for _, ev := range events {
+		if ev.Kind == kind && ev.Op == op && (rank < 0 || ev.Rank == rank) {
+			if ev.End <= ev.Start {
+				t.Fatalf("%s/%s span on rank %d is empty", kind, op, rank)
+			}
+			return (ev.Start + ev.End) / 2
+		}
+	}
+	t.Fatalf("probe run recorded no %s/%s span for rank %d", kind, op, rank)
+	return 0
+}
+
+// TestCrashMidProtectIsUnrecoverable crashes a source in the middle of
+// writing its protect checkpoint, before the completion mark. No target may
+// read the partially written blocks: the run must fail with an
+// UnrecoverableError naming the missing checkpoint, not deliver data.
+func TestCrashMidProtectIsUnrecoverable(t *testing.T) {
+	cfg := Config{Spawn: Merge, Comm: P2P, Overlap: Sync}
+	const ns, nt, victim = 4, 2, 3
+
+	_, events := resilientRun(t, cfg, ns, nt, -1, -1, false)
+	crashAt := probeSpan(t, events, trace.EvCompute, "cr-protect", victim)
+
+	err, _ := resilientRun(t, cfg, ns, nt, victim, crashAt, false)
+	var ue *UnrecoverableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("run = %v, want *UnrecoverableError", err)
+	}
+	if !strings.Contains(ue.Reason, "checkpoint") || !strings.Contains(ue.Reason, "source 3") {
+		t.Fatalf("Reason = %q, want the incomplete checkpoint of source 3 named", ue.Reason)
+	}
+}
+
+// TestRecoveryRestoresExactData crashes a source mid-transfer, after the
+// protect checkpoint completed: the survivors must finish and every target
+// must hold byte-exact content, including the mutated variable values the
+// dead source never finished sending.
+func TestRecoveryRestoresExactData(t *testing.T) {
+	for _, comm := range []CommMethod{P2P, COL} {
+		cfg := Config{Spawn: Merge, Comm: comm, Overlap: Sync}
+		t.Run(cfg.String(), func(t *testing.T) {
+			const ns, nt, victim = 4, 2, 3
+			_, events := resilientRun(t, cfg, ns, nt, -1, -1, false)
+			crashAt := probeSpan(t, events, trace.EvPhase, trace.PhaseRedistVar, -1)
+			err, crashEvents := resilientRun(t, cfg, ns, nt, victim, crashAt, true)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			replans := 0
+			for _, ev := range crashEvents {
+				if ev.Kind == trace.EvFault && ev.Op == "replan" {
+					replans++
+				}
+			}
+			if replans == 0 {
+				t.Fatal("no replan event: the crash did not exercise recovery")
+			}
+		})
+	}
+}
+
+// TestResilientRejectsRMA documents that one-sided windows on a dead origin
+// are out of the protocol's scope.
+func TestResilientRejectsRMA(t *testing.T) {
+	w := testWorld(t)
+	det := newStubDetector(w)
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("resilient RMA did not panic")
+			}
+		}()
+		StartReconfigRes(c, Config{Spawn: Merge, Comm: RMA, Overlap: Sync},
+			comm, 4, buildStore(100, 2, comm.Rank(c)),
+			func() *Store { return emptyStore(100) }, nil,
+			&Resilience{Detector: det})
+	})
+	_ = w.Kernel().Run()
+}
+
+// TestResilienceRequiresDetector: a Resilience without a detector is a
+// programming error, caught at the call site.
+func TestResilienceRequiresDetector(t *testing.T) {
+	w := testWorld(t)
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil detector did not panic")
+			}
+		}()
+		StartReconfigRes(c, Config{Spawn: Merge, Comm: P2P, Overlap: Sync},
+			comm, 4, buildStore(100, 2, comm.Rank(c)),
+			func() *Store { return emptyStore(100) }, nil, &Resilience{})
+	})
+	_ = w.Kernel().Run()
+}

@@ -66,6 +66,24 @@ func (v *view) recvFrom(c *mpi.Ctx, s, tag int) *mpi.RecvReq {
 	return c.Irecv(v.comm, s, tag)
 }
 
+// sourceGID returns the world-unique id of source rank s under this view:
+// sources are the local group on their own inter-communicator view, the
+// remote group on the targets' view, and ranks [0, ns) under Merge.
+func (v *view) sourceGID(s int) int {
+	if v.inter && !v.isSource() {
+		return v.comm.RemoteMember(s).GID()
+	}
+	return v.comm.Member(s).GID()
+}
+
+// targetGID returns the world-unique id of target rank t under this view.
+func (v *view) targetGID(t int) int {
+	if v.inter && v.isSource() {
+		return v.comm.RemoteMember(t).GID()
+	}
+	return v.comm.Member(t).GID()
+}
+
 // peers returns the peer count of collective exchanges on the view's
 // communicator: the remote group size for Baseline, the joint size for
 // Merge.

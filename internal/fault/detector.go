@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Detector is the standard failure detector: it learns of crashes from the
+// injector, reports them after the detection latency (a heartbeat
+// timeout), and supports active probing, which detects a crashed process
+// immediately (a ping). It implements core.FailureDetector.
+type Detector struct {
+	w        *mpi.World
+	latency  float64
+	failed   map[int]float64 // gid -> crash time
+	detected map[int]bool
+	version  int
+}
+
+// NewDetector builds a detector for w with the given detection latency
+// (<= 0 selects DefaultDetectLatency).
+func NewDetector(w *mpi.World, latency float64) *Detector {
+	if latency <= 0 {
+		latency = DefaultDetectLatency
+	}
+	return &Detector{w: w, latency: latency,
+		failed: map[int]float64{}, detected: map[int]bool{}}
+}
+
+// Failed reports whether gid has been detected as failed.
+func (d *Detector) Failed(gid int) bool { return d.detected[gid] }
+
+// Version increases with every newly detected failure.
+func (d *Detector) Version() int { return d.version }
+
+// Probe actively pings: every crashed-but-undetected process is promoted
+// to detected immediately.
+func (d *Detector) Probe() {
+	pending := make([]int, 0, len(d.failed))
+	for gid := range d.failed {
+		if !d.detected[gid] {
+			pending = append(pending, gid)
+		}
+	}
+	sort.Ints(pending) // deterministic event order
+	for _, gid := range pending {
+		d.detect(gid)
+	}
+}
+
+// markCrashed notes that gid crashed now and schedules its passive
+// detection after the latency. Called by the injector from the crash
+// timer.
+func (d *Detector) markCrashed(gid int) {
+	if _, ok := d.failed[gid]; ok {
+		return
+	}
+	k := d.w.Kernel()
+	d.failed[gid] = k.Now()
+	k.At(k.Now()+d.latency, func() { d.detect(gid) })
+}
+
+func (d *Detector) detect(gid int) {
+	if d.detected[gid] {
+		return
+	}
+	d.detected[gid] = true
+	d.version++
+	if rec := d.w.Recorder(); rec != nil {
+		now := d.w.Kernel().Now()
+		rec.Record(trace.Event{
+			Kind: trace.EvFault, Rank: gid, Start: now, End: now,
+			Peer: -1, Tag: -1, Comm: -1, Op: "detect",
+		})
+	}
+	// Blocked ranks re-evaluate their wait predicates against the new
+	// failure knowledge.
+	d.w.WakeAll()
+}

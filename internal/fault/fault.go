@@ -1,0 +1,91 @@
+// Package fault provides deterministic fault injection for the
+// redistribution emulator: seeded fault plans (rank crashes, message drops
+// and delays, spawn failures, link degradation) injected through the
+// simulation kernel and the MPI layer's hooks, plus the failure detector
+// the recovery protocol in internal/core consumes.
+//
+// Everything is reproducible: the same plan and seed against the same
+// configuration yields a byte-identical event trace, because injection
+// points are scheduled on the virtual clock and the only randomness is the
+// plan's own seeded jitter.
+package fault
+
+import "fmt"
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// CrashRank kills the process with world-unique id GID at virtual time
+	// At: its goroutines unwind, it stops participating in any exchange,
+	// and the detector reports it failed after the detection latency.
+	CrashRank Kind = iota
+	// DropMsg silently discards matching sends (the sender sees immediate
+	// completion, the receiver nothing), up to Count times.
+	DropMsg
+	// DelayMsg adds Delay seconds of wire latency to matching sends, up to
+	// Count times.
+	DelayMsg
+	// FailSpawn makes the next MPI_Comm_spawn pay the spawn cost Attempts
+	// extra times before succeeding (failed runtime negotiations).
+	FailSpawn
+	// DegradeLink multiplies the NIC bandwidth of node Node by Factor
+	// (0 < Factor <= 1) from virtual time At on.
+	DegradeLink
+)
+
+func (k Kind) String() string {
+	switch k {
+	case CrashRank:
+		return "crash-rank"
+	case DropMsg:
+		return "drop-msg"
+	case DelayMsg:
+		return "delay-msg"
+	case FailSpawn:
+		return "fail-spawn"
+	case DegradeLink:
+		return "degrade-link"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Action is one fault in a plan. Only the fields relevant to its Kind are
+// read.
+type Action struct {
+	Kind Kind
+
+	// CrashRank, DegradeLink: injection time on the virtual clock.
+	At float64
+	// CrashRank: the victim's world-unique process id.
+	GID int
+
+	// DropMsg, DelayMsg: the match pattern. Src and Dst are world-unique
+	// ids, Tag an exact tag; -1 is a wildcard. Count limits how many sends
+	// the rule consumes (<= 0: unlimited).
+	Src, Dst, Tag int
+	Count         int
+	// DelayMsg: the extra latency.
+	Delay float64
+
+	// FailSpawn: failed attempts before the spawn succeeds (<= 0: one).
+	Attempts int
+
+	// DegradeLink: the node and the bandwidth factor in (0, 1].
+	Node   int
+	Factor float64
+}
+
+// DefaultDetectLatency is the heartbeat timeout separating a crash from
+// its detection: 10 simulated milliseconds.
+const DefaultDetectLatency = 0.01
+
+// Plan is a reproducible fault campaign: a seed, a detection latency, and
+// a list of actions. Timed actions fire at At plus a seeded jitter drawn
+// uniformly from [0, Jitter).
+type Plan struct {
+	Seed          int64
+	DetectLatency float64 // <= 0: DefaultDetectLatency
+	Jitter        float64
+	Actions       []Action
+}

@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// msgRule is one armed DropMsg/DelayMsg action.
+type msgRule struct {
+	kind          Kind
+	src, dst, tag int
+	remaining     int // < 0: unlimited
+	delay         float64
+}
+
+// Injector executes a Plan against one world: it schedules timed actions
+// on the simulation kernel and installs itself as the world's FaultHooks
+// for message and spawn interception. Every injected fault is recorded as
+// a trace.EvFault event when a recorder is attached.
+type Injector struct {
+	w     *mpi.World
+	plan  Plan
+	det   *Detector
+	rules []*msgRule
+	spawn []int // queued FailSpawn attempt counts, consumed in order
+	armed bool
+}
+
+// NewInjector builds an injector for w. The plan is not armed yet.
+func NewInjector(w *mpi.World, plan Plan) *Injector {
+	return &Injector{w: w, plan: plan, det: NewDetector(w, plan.DetectLatency)}
+}
+
+// Detector returns the failure detector fed by this injector's crashes.
+// Pass it to core.Resilience.
+func (in *Injector) Detector() *Detector { return in.det }
+
+// Arm schedules the plan's timed actions and installs the message/spawn
+// hooks. Call once, before the kernel runs. Jitter draws from a rand
+// stream seeded with Plan.Seed, so arming the same plan twice against
+// identically configured worlds injects at identical virtual times.
+func (in *Injector) Arm() {
+	if in.armed {
+		panic("fault: injector armed twice")
+	}
+	in.armed = true
+	k := in.w.Kernel()
+	rng := rand.New(rand.NewSource(in.plan.Seed))
+	for _, a := range in.plan.Actions {
+		a := a
+		at := a.At
+		if in.plan.Jitter > 0 {
+			at += rng.Float64() * in.plan.Jitter
+		}
+		if at <= k.Now() {
+			at = k.Now() + 1e-9
+		}
+		switch a.Kind {
+		case CrashRank:
+			k.At(at, func() { in.crash(a.GID) })
+		case DegradeLink:
+			if a.Factor <= 0 || a.Factor > 1 {
+				panic(fmt.Sprintf("fault: DegradeLink factor %g outside (0, 1]", a.Factor))
+			}
+			k.At(at, func() { in.degrade(a.Node, a.Factor) })
+		case DropMsg, DelayMsg:
+			count := a.Count
+			if count <= 0 {
+				count = -1
+			}
+			in.rules = append(in.rules, &msgRule{
+				kind: a.Kind, src: a.Src, dst: a.Dst, tag: a.Tag,
+				remaining: count, delay: a.Delay,
+			})
+		case FailSpawn:
+			n := a.Attempts
+			if n <= 0 {
+				n = 1
+			}
+			in.spawn = append(in.spawn, n)
+		default:
+			panic(fmt.Sprintf("fault: unknown action kind %v", a.Kind))
+		}
+	}
+	in.w.SetFaultHooks(in)
+}
+
+func (in *Injector) crash(gid int) {
+	p := in.w.ProcessByGID(gid)
+	if p == nil || p.Dead() {
+		return
+	}
+	in.record("crash", gid, -1)
+	in.w.KillProcess(gid)
+	in.det.markCrashed(gid)
+}
+
+func (in *Injector) degrade(node int, factor float64) {
+	in.w.Machine().Fabric().SetNodeDegradation(node, factor)
+	in.record("degrade", -1, node)
+}
+
+func matchID(pat, v int) bool { return pat < 0 || pat == v }
+
+// FilterSend implements mpi.FaultHooks: the first live rule matching
+// (src, dst, tag) decides the message's fate.
+func (in *Injector) FilterSend(src, dst *mpi.Process, tag int, comm *mpi.Comm, bytes int64) mpi.MsgVerdict {
+	for _, r := range in.rules {
+		if r.remaining == 0 {
+			continue
+		}
+		if !matchID(r.src, src.GID()) || !matchID(r.dst, dst.GID()) || !matchID(r.tag, tag) {
+			continue
+		}
+		if r.remaining > 0 {
+			r.remaining--
+		}
+		if r.kind == DropMsg {
+			in.record("drop", src.GID(), dst.GID())
+			return mpi.MsgVerdict{Drop: true}
+		}
+		in.record("delay", src.GID(), dst.GID())
+		return mpi.MsgVerdict{Delay: r.delay}
+	}
+	return mpi.MsgVerdict{}
+}
+
+// SpawnFailures implements mpi.FaultHooks: each call consumes the next
+// queued FailSpawn action.
+func (in *Injector) SpawnFailures(n int) int {
+	if len(in.spawn) == 0 {
+		return 0
+	}
+	f := in.spawn[0]
+	in.spawn = in.spawn[1:]
+	for i := 0; i < f; i++ {
+		in.record("spawn-fail", -1, -1)
+	}
+	return f
+}
+
+func (in *Injector) record(op string, rank, peer int) {
+	rec := in.w.Recorder()
+	if rec == nil {
+		return
+	}
+	now := in.w.Kernel().Now()
+	rec.Record(trace.Event{
+		Kind: trace.EvFault, Rank: rank, Start: now, End: now,
+		Peer: peer, Tag: -1, Comm: -1, Op: op,
+	})
+}

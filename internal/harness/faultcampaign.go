@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/stats"
+	"repro/internal/synthapp"
+	"repro/internal/trace"
+	"repro/internal/trace/analyze"
+)
+
+// FaultParams tunes one fault-injection campaign cell.
+type FaultParams struct {
+	// DetectLatency is the failure detector's heartbeat timeout (<= 0:
+	// fault.DefaultDetectLatency).
+	DetectLatency float64
+	// Timeout is the resilient epoch deadline (<= 0: core default).
+	Timeout float64
+	// CrashFrac positions the crash inside the redistribution window of the
+	// fault-free probe run: 0 is the window start, 1 its end. Zero value
+	// defaults to 0.5 (mid-redistribution).
+	CrashFrac float64
+}
+
+// FaultResult reports one fault-injection run against its fault-free
+// probe twin.
+type FaultResult struct {
+	// Survived is true when the faulted run completed (no deadlock, no
+	// unrecoverable error); Err carries the failure otherwise.
+	Survived bool
+	Err      string
+
+	// CrashAt is the injected crash time; VictimGID the killed process.
+	CrashAt   float64
+	VictimGID int
+
+	// ProbeTotal and TotalTime are the fault-free and faulted virtual
+	// application times; Overhead their difference.
+	ProbeTotal float64
+	TotalTime  float64
+	Overhead   float64
+
+	// RecoveryWindow is the recovery stage timer (earliest start to latest
+	// end of PhaseRecovery spans); RecoveryPath the critical-path recovery
+	// bucket of the faulted run.
+	RecoveryWindow float64
+	RecoveryPath   float64
+
+	// Faults counts injected/protocol fault events by op.
+	Faults map[string]int64
+}
+
+// phaseWindow returns the [earliest start, latest end] of the named
+// phase's EvPhase spans.
+func phaseWindow(events []trace.Event, phase string) (lo, hi float64, ok bool) {
+	for _, ev := range events {
+		if ev.Kind != trace.EvPhase || ev.Op != phase {
+			continue
+		}
+		if !ok || ev.Start < lo {
+			lo = ev.Start
+		}
+		if !ok || ev.End > hi {
+			hi = ev.End
+		}
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+// RunFaultCell executes one fault-injection cell: a fault-free probe run
+// under the recovery protocol locates the variable-data redistribution
+// window, then a second identically seeded run kills the last source rank
+// (a pure source under both Baseline and Merge shrinkage) inside that
+// window. The probe error aborts the cell; a faulted-run failure is data
+// (Survived = false), not an error.
+func (s Setup) RunFaultCell(p Pair, mal core.Config, rep int, fp FaultParams) (FaultResult, error) {
+	crashFrac := fp.CrashFrac
+	if crashFrac <= 0 || crashFrac >= 1 {
+		crashFrac = 0.5
+	}
+	run := func(plan fault.Plan) (synthapp.Result, *trace.Recorder, error) {
+		w := s.NewWorld(rep)
+		inj := fault.NewInjector(w, plan)
+		inj.Arm()
+		rec := trace.NewRecorder()
+		res, err := synthapp.Run(w, synthapp.RunParams{
+			Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT,
+			Recorder: rec,
+			Resilience: &core.Resilience{
+				Detector: inj.Detector(),
+				Timeout:  fp.Timeout,
+			},
+		})
+		return res, rec, err
+	}
+
+	base := fault.Plan{Seed: int64(rep + 1), DetectLatency: fp.DetectLatency}
+	probe, probeRec, err := run(base)
+	if err != nil {
+		return FaultResult{}, fmt.Errorf("fault-free probe run: %w", err)
+	}
+	lo, hi, ok := phaseWindow(probeRec.Events(), trace.PhaseRedistVar)
+	if !ok || hi <= lo {
+		return FaultResult{}, fmt.Errorf("probe run recorded no %s window", trace.PhaseRedistVar)
+	}
+
+	out := FaultResult{
+		CrashAt:    lo + crashFrac*(hi-lo),
+		VictimGID:  p.NS - 1, // launch assigns gid == world rank
+		ProbeTotal: probe.TotalTime,
+	}
+	plan := base
+	plan.Actions = []fault.Action{{Kind: fault.CrashRank, GID: out.VictimGID, At: out.CrashAt}}
+	res, rec, err := run(plan)
+	if err != nil {
+		out.Err = err.Error()
+		return out, nil
+	}
+	out.Survived = true
+	out.TotalTime = res.TotalTime
+	out.Overhead = res.TotalTime - probe.TotalTime
+	m := rec.Metrics()
+	out.RecoveryWindow = m.TRecovery
+	out.Faults = m.Faults
+	out.RecoveryPath = analyze.Analyze(rec.Events()).Path.Buckets.Recovery
+	return out, nil
+}
+
+// FaultCampaign sweeps the fault cell over configurations and reps,
+// reporting per-configuration survival and overhead. progress, when
+// non-nil, receives one line per completed cell.
+type FaultCampaignRow struct {
+	Config   core.Config
+	Runs     int
+	Survived int
+	// Medians over surviving runs.
+	Overhead     float64
+	RecoveryPath float64
+}
+
+// SurvivalRate returns the fraction of runs that survived.
+func (r FaultCampaignRow) SurvivalRate() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Survived) / float64(r.Runs)
+}
+
+// RunFaultCampaign executes reps repetitions of every configuration on one
+// (NS, NT) pair.
+func (s Setup) RunFaultCampaign(p Pair, configs []core.Config, fp FaultParams,
+	progress func(string)) ([]FaultCampaignRow, error) {
+
+	rows := make([]FaultCampaignRow, 0, len(configs))
+	for _, cfg := range configs {
+		row := FaultCampaignRow{Config: cfg, Runs: s.Reps}
+		var overheads, paths []float64
+		for rep := 0; rep < s.Reps; rep++ {
+			r, err := s.RunFaultCell(p, cfg, rep, fp)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %d->%d %s rep %d: %w", p.NS, p.NT, cfg, rep, err)
+			}
+			if r.Survived {
+				row.Survived++
+				overheads = append(overheads, r.Overhead)
+				paths = append(paths, r.RecoveryPath)
+			} else if progress != nil {
+				progress(fmt.Sprintf("%d->%d %-16s rep %d DIED: %s", p.NS, p.NT, cfg, rep, r.Err))
+			}
+		}
+		if len(overheads) > 0 {
+			row.Overhead = stats.Median(overheads)
+			row.RecoveryPath = stats.Median(paths)
+		}
+		rows = append(rows, row)
+		if progress != nil {
+			progress(fmt.Sprintf("%d->%d %-16s survived %d/%d  overhead=%.3fs  recovery-path=%.3fs",
+				p.NS, p.NT, cfg, row.Survived, row.Runs, row.Overhead, row.RecoveryPath))
+		}
+	}
+	return rows, nil
+}

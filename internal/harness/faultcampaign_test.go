@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFaultCampaignSurvivesSourceCrash is the subsystem's acceptance
+// criterion: killing one source rank mid-redistribution must complete (no
+// deadlock) under every {Baseline, Merge} × {P2P, COL} synchronous
+// configuration, with the recovery cost visible as its own critical-path
+// bucket.
+func TestFaultCampaignSurvivesSourceCrash(t *testing.T) {
+	s := quickSetup()
+	s.Reps = 1
+	p := Pair{NS: 8, NT: 4} // shrink: the victim is a pure source under Merge too
+	configs := []core.Config{
+		{Spawn: core.Baseline, Comm: core.P2P, Overlap: core.Sync},
+		{Spawn: core.Baseline, Comm: core.COL, Overlap: core.Sync},
+		{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Sync},
+		{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync},
+	}
+	for _, cfg := range configs {
+		r, err := s.RunFaultCell(p, cfg, 0, FaultParams{})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if !r.Survived {
+			t.Fatalf("%s: faulted run died: %s", cfg, r.Err)
+		}
+		if r.Faults["crash"] != 1 {
+			t.Errorf("%s: crash events = %d, want 1", cfg, r.Faults["crash"])
+		}
+		if r.Faults["detect"] == 0 {
+			t.Errorf("%s: no detect event", cfg)
+		}
+		if r.Faults["replan"] == 0 {
+			t.Errorf("%s: no replan event: recovery never ran", cfg)
+		}
+		if r.RecoveryPath <= 0 {
+			t.Errorf("%s: critical-path recovery bucket = %g, want > 0", cfg, r.RecoveryPath)
+		}
+		if r.TotalTime <= 0 || r.TotalTime < r.ProbeTotal {
+			t.Errorf("%s: faulted total %.4fs vs probe %.4fs", cfg, r.TotalTime, r.ProbeTotal)
+		}
+	}
+}
+
+// TestFaultCellCRRestoresFromCheckpoint exercises the CR family under the
+// protocol: the protect checkpoint doubles as the transfer, so a source
+// crash after protect costs a recovery round of re-reads but never data.
+func TestFaultCellCRRestoresFromCheckpoint(t *testing.T) {
+	s := quickSetup()
+	s.Reps = 1
+	cfg := core.Config{Spawn: core.Merge, Comm: core.CR, Overlap: core.Sync}
+	r, err := s.RunFaultCell(Pair{NS: 8, NT: 4}, cfg, 0, FaultParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Survived {
+		t.Fatalf("CR run died: %s", r.Err)
+	}
+}

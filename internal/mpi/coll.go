@@ -268,6 +268,25 @@ func (r *AlltoallvReq) Done() bool {
 	return true
 }
 
+func (r *AlltoallvReq) describe() string {
+	comm := -1
+	if len(r.recvs) > 0 {
+		comm = r.recvs[0].comm.ctxID
+	}
+	pendS, pendR := 0, 0
+	for _, s := range r.sends {
+		if !s.Done() {
+			pendS++
+		}
+	}
+	for _, rr := range r.recvs {
+		if !rr.Done() {
+			pendR++
+		}
+	}
+	return fmt.Sprintf("Ialltoallv comm=%d (%d sends, %d recvs pending)", comm, pendS, pendR)
+}
+
 // Result returns the received payloads indexed by peer rank. Valid once
 // Done.
 func (r *AlltoallvReq) Result() []Payload {

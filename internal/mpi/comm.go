@@ -83,6 +83,11 @@ func (c *Comm) RankOf(p *Process) int {
 // Member returns the local-group member at rank r.
 func (c *Comm) Member(r int) *Process { return c.localProc(r) }
 
+// RemoteMember returns the process point-to-point destination r addresses:
+// the remote-group member at rank r on an inter-communicator, the local
+// member otherwise.
+func (c *Comm) RemoteMember(r int) *Process { return c.peerProc(r) }
+
 func (c *Comm) localProc(r int) *Process {
 	if r < 0 || r >= len(c.local) {
 		panic(fmt.Sprintf("mpi: local rank %d out of range [0,%d)", r, len(c.local)))

@@ -32,6 +32,16 @@ func TestKilledRankHangsCollective(t *testing.T) {
 	if len(de.Blocked) != 3 {
 		t.Fatalf("blocked = %v, want the 3 survivors", de.Blocked)
 	}
+	// Each survivor's entry must name the pending operation, its peer, and
+	// the communicator — and flag the reserved collective tag range so the
+	// hang is readable as a stuck collective.
+	for _, b := range de.Blocked {
+		for _, want := range []string{"Irecv", "src=", "(coll)", "comm="} {
+			if !strings.Contains(b, want) {
+				t.Errorf("blocked entry %q missing %q", b, want)
+			}
+		}
+	}
 }
 
 // TestKilledSourceHangsRedistribution kills a source mid-transfer: the
@@ -57,8 +67,16 @@ func TestKilledSourceHangsRedistribution(t *testing.T) {
 	}
 	found := false
 	for _, b := range de.Blocked {
-		if strings.Contains(b, "rank1") {
-			found = true
+		if !strings.Contains(b, "rank1") {
+			continue
+		}
+		found = true
+		// The report must identify the exact rendezvous: operation, source
+		// rank, user tag, and communicator.
+		for _, want := range []string{"Irecv", "src=0", "tag=7", "comm="} {
+			if !strings.Contains(b, want) {
+				t.Errorf("blocked entry %q missing %q", b, want)
+			}
 		}
 	}
 	if !found {

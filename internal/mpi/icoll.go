@@ -8,8 +8,11 @@ import "repro/internal/trace"
 // offload, and the reason such operations still consume cycles.
 type GenReq struct {
 	reqState
+	op     string
 	result Payload
 }
+
+func (r *GenReq) describe() string { return r.op }
 
 // Result returns the operation's output payload (the broadcast value, the
 // reduction result); valid once Done.
@@ -19,7 +22,7 @@ func (r *GenReq) Result() Payload { return r.result }
 // its result. The progression thread inherits the issuing context's phase
 // tag, so collective traffic it generates stays attributed correctly.
 func (c *Ctx) startGeneric(name string, fn func(t *Ctx) Payload) *GenReq {
-	req := &GenReq{}
+	req := &GenReq{op: "I" + name}
 	proc := c.proc
 	phase := c.phase
 	if rec := proc.w.rec; rec != nil {

@@ -27,6 +27,8 @@ type Request interface {
 	// consumed marks/tests Waitany bookkeeping.
 	isConsumed() bool
 	setConsumed()
+	// describe names the pending operation for deadlock reports.
+	describe() string
 }
 
 type reqState struct {
@@ -37,12 +39,39 @@ type reqState struct {
 func (r *reqState) Done() bool       { return r.done }
 func (r *reqState) isConsumed() bool { return r.consumed }
 func (r *reqState) setConsumed()     { r.consumed = true }
+func (r *reqState) describe() string { return "request" }
+
+// wildName renders a source or tag wildcard for operation descriptions.
+func wildName(v int) string {
+	if v < 0 {
+		return "any"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// tagName renders a tag for operation descriptions, flagging the reserved
+// collective range so deadlock reports distinguish a hung collective from a
+// hung user-level exchange.
+func tagName(t int) string {
+	if t >= collTagBase {
+		return fmt.Sprintf("%d(coll)", t)
+	}
+	return wildName(t)
+}
 
 // SendReq is a pending send. It completes when the payload has been
 // delivered into the destination mailbox.
 type SendReq struct {
 	reqState
 	env *envelope
+}
+
+func (r *SendReq) describe() string {
+	if r.env == nil {
+		return "Isend (dropped)"
+	}
+	e := r.env
+	return fmt.Sprintf("Isend to g%d tag=%s comm=%d bytes=%d", e.dst.gid, tagName(e.tag), e.comm.ctxID, e.payload.Size)
 }
 
 // RecvReq is a pending receive.
@@ -56,6 +85,10 @@ type RecvReq struct {
 	payload Payload
 	handled bool
 	phase   string // posting context's phase tag, for the delivery event
+}
+
+func (r *RecvReq) describe() string {
+	return fmt.Sprintf("Irecv src=%s tag=%s comm=%d", wildName(r.src), tagName(r.tag), r.comm.ctxID)
 }
 
 // Handled reports whether MarkHandled was called; a convenience flag for
@@ -85,6 +118,8 @@ type envelope struct {
 	eager     bool
 	dataReady bool
 	queued    bool
+	lost      bool    // sender crashed before the payload arrived
+	delay     float64 // injected extra latency before the payload moves
 	flow      *netmodel.Flow
 	sreq      *SendReq
 	rreq      *RecvReq
@@ -127,6 +162,18 @@ func (c *Ctx) Isend(comm *Comm, dst, tag int, payload Payload) *SendReq {
 		})
 	}
 
+	var verdict MsgVerdict
+	if h := w.hooks; h != nil {
+		verdict = h.FilterSend(c.proc, dstProc, tag, comm, payload.Size)
+	}
+	if verdict.Drop {
+		// The message vanishes on the wire: the sender observes a normal
+		// local completion, the receiver never sees anything.
+		sreq := &SendReq{}
+		sreq.done = true
+		return sreq
+	}
+
 	env := &envelope{
 		comm:    comm,
 		sender:  c.proc,
@@ -135,9 +182,11 @@ func (c *Ctx) Isend(comm *Comm, dst, tag int, payload Payload) *SendReq {
 		tag:     tag,
 		payload: clonePayload(payload),
 		eager:   payload.Size <= w.opts.EagerThreshold,
+		delay:   verdict.Delay,
 	}
 	sreq := &SendReq{env: env}
 	env.sreq = sreq
+	c.proc.outEnvs[env] = true
 
 	// Matching follows MPI's non-overtaking rule: the envelope becomes
 	// visible to the receiver immediately, in send order.
@@ -192,9 +241,23 @@ func (e *envelope) launchFlow() {
 
 func (e *envelope) launchFlowNow() {
 	s := e.sender
+	if e.lost {
+		return
+	}
+	if d := e.delay; d > 0 {
+		e.delay = 0
+		s.w.k.After(d, e.launchFlowNow)
+		return
+	}
 	f := e.comm.w.machine.Fabric()
 	e.flow = f.Transfer(s.node, e.dst.node, e.payload.Size, func() {
+		if e.lost {
+			// The sender crashed mid-stream: the partial payload is garbage
+			// and the message never completes on either side.
+			return
+		}
 		e.dataReady = true
+		delete(s.outEnvs, e)
 		s.flowsActive--
 		s.drainFlowQueue()
 		// An eager send completes locally once the data has left, whether or
@@ -305,18 +368,30 @@ func (c *Ctx) Sendrecv(comm *Comm, dst, sendTag int, payload Payload, src, recvT
 
 // Wait blocks until the request completes.
 func (c *Ctx) Wait(r Request) {
-	c.waitUntil(r.Done)
+	c.waitUntilDesc(r.Done, func() string { return "Wait: " + r.describe() })
 }
 
 // Waitall blocks until every request completes.
 func (c *Ctx) Waitall(rs []Request) {
-	c.waitUntil(func() bool {
+	pred := func() bool {
 		for _, r := range rs {
 			if !r.Done() {
 				return false
 			}
 		}
 		return true
+	}
+	c.waitUntilDesc(pred, func() string {
+		pending, first := 0, ""
+		for _, r := range rs {
+			if !r.Done() {
+				if pending == 0 {
+					first = r.describe()
+				}
+				pending++
+			}
+		}
+		return fmt.Sprintf("Waitall: %d pending, next %s", pending, first)
 	})
 }
 
@@ -335,7 +410,7 @@ func (c *Ctx) Waitany(rs []Request) int {
 		return -1
 	}
 	idx := -1
-	c.waitUntil(func() bool {
+	c.waitUntilDesc(func() bool {
 		for i, r := range rs {
 			if r.Done() && !r.isConsumed() {
 				idx = i
@@ -343,6 +418,17 @@ func (c *Ctx) Waitany(rs []Request) int {
 			}
 		}
 		return false
+	}, func() string {
+		pending, first := 0, ""
+		for _, r := range rs {
+			if !r.Done() && !r.isConsumed() {
+				if pending == 0 {
+					first = r.describe()
+				}
+				pending++
+			}
+		}
+		return fmt.Sprintf("Waitany: %d pending, next %s", pending, first)
 	})
 	rs[idx].setConsumed()
 	return idx
@@ -366,11 +452,12 @@ func (c *Ctx) Iprobe(comm *Comm, src, tag int) (Status, bool) {
 // status without consuming it (MPI_Probe).
 func (c *Ctx) Probe(comm *Comm, src, tag int) Status {
 	var st Status
-	c.waitUntil(func() bool {
+	reason := fmt.Sprintf("Probe src=%s tag=%s comm=%d", wildName(src), wildName(tag), comm.ctxID)
+	c.waitUntilDesc(func() bool {
 		s, ok := c.Iprobe(comm, src, tag)
 		st = s
 		return ok
-	})
+	}, func() string { return reason })
 	return st
 }
 

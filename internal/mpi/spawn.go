@@ -52,6 +52,15 @@ func (c *Ctx) Spawn(comm *Comm, n int, nodeOf func(childRank int) int, fn func(c
 	}
 
 	if me == 0 {
+		// Injected spawn failures: each failed attempt pays the spawn cost
+		// again before the retry succeeds.
+		if h := w.hooks; h != nil {
+			for fails := h.SpawnFailures(n); fails > 0; fails-- {
+				end := c.span(trace.EvSpawn, comm.ctxID, "Comm_spawn_failed", 0)
+				c.Sleep(w.machine.SpawnCost(n))
+				end()
+			}
+		}
 		// Runtime negotiation plus fork/exec/wire-up of n processes.
 		end := c.span(trace.EvSpawn, comm.ctxID, "Comm_spawn", 0)
 		c.Sleep(w.machine.SpawnCost(n))
@@ -67,7 +76,7 @@ func (c *Ctx) Spawn(comm *Comm, n int, nodeOf func(childRank int) int, fn func(c
 			p := p
 			p.parent = childView
 			w.k.Spawn(fmt.Sprintf("spawned.g%d.r%d", p.gid, i), func(sp *sim.Proc) {
-				fn(&Ctx{proc: p, sp: sp}, childWorld)
+				fn(newCtx(p, sp), childWorld)
 			})
 		}
 	}

@@ -16,6 +16,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
@@ -100,6 +101,10 @@ type World struct {
 	wins     map[derivedKey]*Win     // one-sided windows by creation site
 	splits   map[derivedKey]*splitSt // pending Comm_split rendezvous
 
+	procs map[int]*Process // every process ever created, by gid
+
+	hooks FaultHooks // nil when fault injection is off
+
 	rec *trace.Recorder // nil when event tracing is off
 }
 
@@ -108,8 +113,32 @@ func NewWorld(m *cluster.Machine, opts Options) *World {
 	if opts.EagerThreshold < 0 {
 		panic("mpi: negative eager threshold")
 	}
-	return &World{machine: m, k: m.Kernel(), opts: opts, nextCtxID: 1}
+	return &World{machine: m, k: m.Kernel(), opts: opts, nextCtxID: 1, procs: make(map[int]*Process)}
 }
+
+// MsgVerdict is a fault hook's decision about one point-to-point message.
+type MsgVerdict struct {
+	// Drop makes the message vanish on the wire: the send completes locally
+	// (the data left the send buffer) but is never delivered.
+	Drop bool
+	// Delay adds extra seconds before the payload enters the network.
+	Delay float64
+}
+
+// FaultHooks intercepts runtime actions for deterministic fault injection.
+// Implementations live outside the mpi package (see internal/fault); a nil
+// hook set disables injection with a single pointer load per site.
+type FaultHooks interface {
+	// FilterSend is consulted once per Isend, after the send event is
+	// recorded and before the message becomes visible to the receiver.
+	FilterSend(src, dst *Process, tag int, comm *Comm, bytes int64) MsgVerdict
+	// SpawnFailures reports how many failed attempts precede a successful
+	// spawn of n processes; rank 0 pays the spawn cost once per failure.
+	SpawnFailures(n int) int
+}
+
+// SetFaultHooks attaches (or, with nil, detaches) the fault-injection hooks.
+func (w *World) SetFaultHooks(h FaultHooks) { w.hooks = h }
 
 // Machine returns the underlying cluster.
 func (w *World) Machine() *cluster.Machine { return w.machine }
@@ -149,6 +178,11 @@ type Process struct {
 
 	flowsActive int         // outgoing transfers currently on the wire
 	flowQueue   []*envelope // sends waiting for a pipeline slot
+
+	outEnvs map[*envelope]bool // sent envelopes whose payload has not yet arrived
+
+	simProcs []*sim.Proc // every execution context ever started for this rank
+	dead     bool        // set by KillProcess; the rank never executes again
 }
 
 // GID returns the process's world-unique id.
@@ -171,9 +205,73 @@ func (w *World) newProcess(node int) *Process {
 		gid:      w.nextGID,
 		node:     node,
 		progress: sim.NewSignal(fmt.Sprintf("mpi.progress.g%d", w.nextGID)),
+		outEnvs:  map[*envelope]bool{},
 	}
 	w.nextGID++
+	w.procs[p.gid] = p
 	return p
+}
+
+// ProcessByGID returns the process with the given world-unique id, or nil.
+func (w *World) ProcessByGID(gid int) *Process { return w.procs[gid] }
+
+// Dead reports whether the process was crashed by KillProcess.
+func (p *Process) Dead() bool { return p.dead }
+
+// KillProcess crashes the process with the given gid: every execution
+// context of the rank (main thread, auxiliary threads, progression threads)
+// unwinds immediately and never runs again. Messages whose payload already
+// reached the destination stay delivered, but anything still in flight —
+// rendezvous envelopes waiting for a match, queued sends, partially
+// streamed transfers — is lost with the sender, so a pending receive for it
+// never completes. It must be called from scheduler context (a kernel timer
+// callback), like sim.Kill.
+func (w *World) KillProcess(gid int) {
+	p := w.procs[gid]
+	if p == nil || p.dead {
+		return
+	}
+	p.dead = true
+	for _, sp := range p.simProcs {
+		w.k.Kill(sp)
+	}
+	for env := range p.outEnvs {
+		env.lost = true
+		// An unmatched envelope parked in the destination mailbox would
+		// otherwise match a later receive and then never deliver.
+		d := env.dst
+		for i, e2 := range d.inbox {
+			if e2 == env {
+				d.inbox = append(d.inbox[:i], d.inbox[i+1:]...)
+				break
+			}
+		}
+	}
+	p.outEnvs = nil
+	p.flowQueue = nil
+}
+
+// WakeAll broadcasts every process's progress signal, giving every blocked
+// wait a chance to re-evaluate its predicate. Failure detection uses it to
+// let survivors notice a dead peer without a message arriving. Broadcasts
+// run in gid order: map iteration here would leak scheduling
+// nondeterminism into otherwise fully deterministic runs.
+func (w *World) WakeAll() {
+	gids := make([]int, 0, len(w.procs))
+	for gid := range w.procs {
+		gids = append(gids, gid)
+	}
+	sort.Ints(gids)
+	for _, gid := range gids {
+		w.procs[gid].progress.Broadcast()
+	}
+}
+
+// newCtx builds an execution context for p on sp, registering sp so
+// KillProcess can unwind every context of the rank.
+func newCtx(p *Process, sp *sim.Proc) *Ctx {
+	p.simProcs = append(p.simProcs, sp)
+	return &Ctx{proc: p, sp: sp}
 }
 
 // Ctx is an execution context: a thread of an MPI process. All MPI
@@ -276,7 +374,7 @@ func (c *Ctx) chargeCopy(size int64) {
 func (c *Ctx) NewThread(name string, fn func(t *Ctx)) {
 	p := c.proc
 	p.w.k.Spawn(fmt.Sprintf("g%d.%s", p.gid, name), func(sp *sim.Proc) {
-		fn(&Ctx{proc: p, sp: sp})
+		fn(newCtx(p, sp))
 	})
 }
 
@@ -300,7 +398,7 @@ func (w *World) Launch(n int, nodeOf func(rank int) int, main func(c *Ctx, comm 
 		p := p
 		r := r
 		w.k.Spawn(fmt.Sprintf("rank%d", r), func(sp *sim.Proc) {
-			main(&Ctx{proc: p, sp: sp}, comm)
+			main(newCtx(p, sp), comm)
 		})
 	}
 	return comm
@@ -309,6 +407,13 @@ func (w *World) Launch(n int, nodeOf func(rank int) int, main func(c *Ctx, comm 
 // waitUntil blocks the context until pred holds, waking on the process's
 // progress signal. In polling mode the wait occupies a core.
 func (c *Ctx) waitUntil(pred func() bool) {
+	c.waitUntilDesc(pred, nil)
+}
+
+// waitUntilDesc blocks like waitUntil; when desc is non-nil it is
+// re-evaluated at every park so deadlock reports describe the operation
+// still pending rather than just the progress signal.
+func (c *Ctx) waitUntilDesc(pred func() bool, desc func() string) {
 	if pred() {
 		return
 	}
@@ -318,6 +423,52 @@ func (c *Ctx) waitUntil(pred func() bool) {
 		defer load.Stop()
 	}
 	for !pred() {
-		c.sp.Wait(c.proc.progress)
+		if desc == nil {
+			c.sp.Wait(c.proc.progress)
+		} else {
+			c.sp.WaitReason(c.proc.progress, desc())
+		}
+	}
+}
+
+// WaitUntil blocks the context until pred holds, waking on the process's
+// progress signal (any message delivery, send completion, or World.WakeAll).
+// reason is surfaced in deadlock reports. In polling mode the wait occupies
+// a core.
+func (c *Ctx) WaitUntil(pred func() bool, reason string) {
+	c.waitUntilDesc(pred, func() string { return reason })
+}
+
+// WaitUntilDeadline blocks like WaitUntil but gives up when the virtual
+// clock reaches deadline, reporting whether pred held on return. The
+// resilient redistribution protocol uses it to bound epochs: a false return
+// is the timeout that triggers failure probing.
+func (c *Ctx) WaitUntilDeadline(pred func() bool, reason string, deadline float64) bool {
+	if pred() {
+		return true
+	}
+	w := c.proc.w
+	if deadline <= w.k.Now() {
+		return false
+	}
+	expired := false
+	t := w.k.At(deadline, func() {
+		expired = true
+		c.proc.progress.Broadcast()
+	})
+	defer t.Cancel()
+	var load *ps.Task
+	if w.opts.WaitMode == PollingWait {
+		load = c.cpu().AddLoad()
+		defer load.Stop()
+	}
+	for {
+		if pred() {
+			return true
+		}
+		if expired || w.k.Now() >= deadline {
+			return pred()
+		}
+		c.sp.WaitReason(c.proc.progress, reason)
 	}
 }

@@ -40,6 +40,37 @@ type Params struct {
 	IntraPerFlow float64
 }
 
+// Validate checks the parameters for physical sanity: latencies must be
+// finite and non-negative, bandwidths finite and strictly positive, and the
+// per-flow cap finite and non-negative (zero disables it). Invalid values
+// would otherwise propagate silently as NaN or negative transfer times.
+func (p Params) Validate() error {
+	nonneg := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("netmodel: %s must be finite and >= 0, got %v", name, v)
+		}
+		return nil
+	}
+	positive := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("netmodel: %s must be finite and > 0, got %v", name, v)
+		}
+		return nil
+	}
+	for _, err := range []error{
+		nonneg("Latency", p.Latency),
+		positive("Bandwidth", p.Bandwidth),
+		nonneg("IntraLatency", p.IntraLatency),
+		positive("IntraBandwidth", p.IntraBandwidth),
+		nonneg("IntraPerFlow", p.IntraPerFlow),
+	} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Ethernet10G models the paper's 10 Gb/s Ethernet network
 // (MPICH CH3:Nemesis class latencies).
 func Ethernet10G() Params {
@@ -79,6 +110,10 @@ type Fabric struct {
 
 	// scratch per-node flow counters, reused across recomputes.
 	txCount, rxCount, memCount []int
+
+	// degrade scales each node's NIC bandwidth (fault injection of link
+	// degradation); nil means every node runs at full rate.
+	degrade []float64
 }
 
 // Flow is one in-flight transfer.
@@ -95,10 +130,14 @@ type Flow struct {
 	index     int // position in the fabric's flow list, -1 when detached
 }
 
-// NewFabric creates an interconnect joining nodes compute nodes.
+// NewFabric creates an interconnect joining nodes compute nodes. The
+// parameters must satisfy Params.Validate.
 func NewFabric(k *sim.Kernel, params Params, nodes int) *Fabric {
 	if nodes <= 0 {
 		panic(fmt.Sprintf("netmodel: fabric with %d nodes", nodes))
+	}
+	if err := params.Validate(); err != nil {
+		panic(err.Error())
 	}
 	return &Fabric{
 		k:        k,
@@ -118,6 +157,34 @@ func (f *Fabric) Nodes() int { return f.nodes }
 
 // InFlight reports the number of flows currently streaming (past latency).
 func (f *Fabric) InFlight() int { return len(f.flows) }
+
+// SetNodeDegradation scales node's NIC bandwidth (both directions) by
+// factor in (0, 1]. In-flight flows are re-rated from the current instant.
+func (f *Fabric) SetNodeDegradation(node int, factor float64) {
+	if node < 0 || node >= f.nodes {
+		panic(fmt.Sprintf("netmodel: degrade node %d outside fabric of %d nodes", node, f.nodes))
+	}
+	if math.IsNaN(factor) || factor <= 0 || factor > 1 {
+		panic(fmt.Sprintf("netmodel: degradation factor %v outside (0, 1]", factor))
+	}
+	if f.degrade == nil {
+		f.degrade = make([]float64, f.nodes)
+		for i := range f.degrade {
+			f.degrade[i] = 1
+		}
+	}
+	f.advance()
+	f.degrade[node] = factor
+	f.recompute()
+}
+
+// nicBandwidth returns node's effective NIC bandwidth after degradation.
+func (f *Fabric) nicBandwidth(node int) float64 {
+	if f.degrade == nil {
+		return f.params.Bandwidth
+	}
+	return f.params.Bandwidth * f.degrade[node]
+}
 
 // Transfer starts moving size bytes from node src to node dst and calls
 // done when the last byte arrives. A zero-size transfer still pays latency.
@@ -235,8 +302,8 @@ func (f *Fabric) recompute() {
 				rate = f.params.IntraPerFlow
 			}
 		} else {
-			txShare := f.params.Bandwidth / float64(tx[fl.src])
-			rxShare := f.params.Bandwidth / float64(rx[fl.dst])
+			txShare := f.nicBandwidth(fl.src) / float64(tx[fl.src])
+			rxShare := f.nicBandwidth(fl.dst) / float64(rx[fl.dst])
 			rate = math.Min(txShare, rxShare)
 		}
 		fl.rate = rate

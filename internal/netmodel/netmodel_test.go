@@ -266,3 +266,120 @@ func TestPropertyFanOutSharesFairly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"negative latency", func(p *Params) { p.Latency = -1 }},
+		{"NaN latency", func(p *Params) { p.Latency = math.NaN() }},
+		{"zero bandwidth", func(p *Params) { p.Bandwidth = 0 }},
+		{"negative bandwidth", func(p *Params) { p.Bandwidth = -5 }},
+		{"Inf bandwidth", func(p *Params) { p.Bandwidth = math.Inf(1) }},
+		{"zero intra bandwidth", func(p *Params) { p.IntraBandwidth = 0 }},
+		{"negative intra latency", func(p *Params) { p.IntraLatency = -1e-9 }},
+		{"NaN intra per-flow", func(p *Params) { p.IntraPerFlow = math.NaN() }},
+	}
+	for _, tc := range cases {
+		p := testParams()
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, p)
+		}
+	}
+	if err := testParams().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for _, p := range []Params{Ethernet10G(), InfinibandEDR()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %s rejected: %v", p.Name, err)
+		}
+	}
+}
+
+func TestNewFabricPanicsOnInvalidParams(t *testing.T) {
+	p := testParams()
+	p.Bandwidth = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFabric accepted zero bandwidth")
+		}
+	}()
+	NewFabric(sim.NewKernel(), p, 2)
+}
+
+func TestNodeDegradationSlowsOnlyThatNode(t *testing.T) {
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 4)
+	f.SetNodeDegradation(1, 0.5)
+	var dDeg, dClean float64
+	k.At(0, func() {
+		f.Transfer(0, 1, 1e6, func() { dDeg = k.Now() })   // into the degraded NIC
+		f.Transfer(2, 3, 1e6, func() { dClean = k.Now() }) // untouched pair
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Degraded rx NIC at 0.5 MB/s: 1 MB takes 2 s; the clean pair is unaffected.
+	if !near(dDeg, 1e-3+2) {
+		t.Fatalf("degraded flow done at %g, want %g", dDeg, 1e-3+2)
+	}
+	if !near(dClean, 1.001) {
+		t.Fatalf("clean flow done at %g, want 1.001", dClean)
+	}
+}
+
+func TestNodeDegradationMidFlowAndRestore(t *testing.T) {
+	// 2 MB at 1 MB/s; halve the NIC at t=1.001 (1 MB in): the second MB runs
+	// at 0.5 MB/s -> finishes at 1.001 + 1 + 2.
+	k := sim.NewKernel()
+	f := NewFabric(k, testParams(), 2)
+	var done float64
+	k.At(0, func() {
+		f.Transfer(0, 1, 2e6, func() { done = k.Now() })
+	})
+	k.At(1.001, func() { f.SetNodeDegradation(0, 0.5) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(done, 1e-3+1+2) {
+		t.Fatalf("done at %g, want %g", done, 1e-3+1+2)
+	}
+
+	// Factor 1 restores full bandwidth.
+	k2 := sim.NewKernel()
+	f2 := NewFabric(k2, testParams(), 2)
+	f2.SetNodeDegradation(0, 0.25)
+	f2.SetNodeDegradation(0, 1)
+	var d2 float64
+	k2.At(0, func() { f2.Transfer(0, 1, 1e6, func() { d2 = k2.Now() }) })
+	if err := k2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(d2, 1.001) {
+		t.Fatalf("restored flow done at %g, want 1.001", d2)
+	}
+}
+
+func TestSetNodeDegradationValidation(t *testing.T) {
+	f := NewFabric(sim.NewKernel(), testParams(), 2)
+	for _, factor := range []float64{0, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("factor %v accepted", factor)
+				}
+			}()
+			f.SetNodeDegradation(0, factor)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range node accepted")
+			}
+		}()
+		f.SetNodeDegradation(5, 0.5)
+	}()
+}

@@ -62,7 +62,13 @@ func (p *Proc) run(fn func(p *Proc)) {
 		var err error
 		if r != nil {
 			if _, killed := r.(procKilled); !killed {
-				err = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+				// Preserve typed error panic values so callers can unwrap
+				// them (errors.As) from Kernel.Run's return.
+				if perr, ok := r.(error); ok {
+					err = fmt.Errorf("sim: process %q panicked: %w\n%s", p.name, perr, debug.Stack())
+				} else {
+					err = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+				}
 			}
 		}
 		p.k.yield <- yieldMsg{proc: p, done: true, err: err}
@@ -178,6 +184,14 @@ func NewSignal(name string) *Signal { return &Signal{name: name} }
 func (p *Proc) Wait(s *Signal) {
 	s.waiters = append(s.waiters, p)
 	p.park("waiting on signal " + s.name)
+}
+
+// WaitReason blocks like Wait but surfaces reason (instead of the signal
+// name) in deadlock reports, so callers can describe the operation they are
+// actually blocked on.
+func (p *Proc) WaitReason(s *Signal, reason string) {
+	s.waiters = append(s.waiters, p)
+	p.park(reason)
 }
 
 // Broadcast wakes every process currently waiting on s. The waiters resume

@@ -25,6 +25,12 @@ type RunParams struct {
 	// trace export and derived metrics. Recording reads only the virtual
 	// clock, so results are identical with or without it.
 	Recorder *trace.Recorder
+
+	// Resilience, when non-nil, runs every reconfiguration under the fault
+	// recovery protocol (detect → abort → re-plan → resume). It forces the
+	// synchronous strategy: overlapped variants are downgraded by the core
+	// layer, which records the fallback as a fault event.
+	Resilience *core.Resilience
 }
 
 // StageMeasure records one reconfiguration of a multi-stage run.
@@ -89,6 +95,7 @@ type runState struct {
 	rowPtrs map[string][]int64
 	stages  []ReconfigStage
 	mon     *trace.Monitor
+	resil   *core.Resilience
 
 	agreeCount int
 	haltIter   int
@@ -128,7 +135,7 @@ func Run(w *mpi.World, p RunParams) (Result, error) {
 	}
 	w.SetRecorder(p.Recorder)
 	rs := &runState{cfg: p.Cfg, mal: p.Malleability, ns: p.NS, nt: p.NT,
-		rowPtrs: map[string][]int64{}, mon: p.Monitor}
+		rowPtrs: map[string][]int64{}, mon: p.Monitor, resil: p.Resilience}
 	for _, d := range p.Cfg.Data {
 		if d.Kind == SparseData {
 			rs.rowPtrs[d.Name] = rowPtrFor(d)
@@ -183,14 +190,16 @@ func (rs *runState) mainLoop(c *mpi.Ctx, comm *mpi.Comm, store *core.Store, iter
 		}
 		nextStage := stage + 1
 		reconStart := c.Now()
-		recon := core.StartReconfig(c, rs.mal, comm, nt, store,
+		recon := core.StartReconfigRes(c, rs.mal, comm, nt, store,
 			func() *core.Store { return rs.cfg.buildStore(nt, -1, rs.rowPtrs) },
 			func(ctx *mpi.Ctx, newComm *mpi.Comm, st *core.Store) {
 				rs.markStageEnd(ctx, nextStage-1)
 				rs.mainLoop(ctx, newComm, st, rs.haltIter, nextStage)
-			})
+			}, rs.resil)
 
-		if !rs.mal.Asynchronous() {
+		// Resilience forces the synchronous strategy inside core, so the
+		// overlap loop below would Test a synchronous reconfiguration.
+		if !rs.mal.Asynchronous() || rs.resil != nil {
 			rs.haltIter = iter
 			recon.Wait(c)
 		} else {

@@ -39,6 +39,10 @@ const (
 	Blocked
 	// Spawn is process-management time (EvSpawn spans, the paper's T_spawn).
 	Spawn
+	// Recovery is fault-recovery time: any critical-path segment produced
+	// inside a PhaseRecovery region (re-planning, re-transfers, checkpoint
+	// restores after an aborted epoch) regardless of its mechanical kind.
+	Recovery
 )
 
 func (b Bucket) String() string {
@@ -51,6 +55,8 @@ func (b Bucket) String() string {
 		return "blocked"
 	case Spawn:
 		return "spawn"
+	case Recovery:
+		return "recovery"
 	}
 	return fmt.Sprintf("Bucket(%d)", uint8(b))
 }
@@ -62,10 +68,11 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 
 // BucketTotals accumulates attributed time per bucket.
 type BucketTotals struct {
-	Compute float64 `json:"compute"`
-	Wire    float64 `json:"wire"`
-	Blocked float64 `json:"blocked"`
-	Spawn   float64 `json:"spawn"`
+	Compute  float64 `json:"compute"`
+	Wire     float64 `json:"wire"`
+	Blocked  float64 `json:"blocked"`
+	Spawn    float64 `json:"spawn"`
+	Recovery float64 `json:"recovery"`
 }
 
 // Add accumulates d seconds into bucket b.
@@ -79,11 +86,15 @@ func (t *BucketTotals) Add(b Bucket, d float64) {
 		t.Blocked += d
 	case Spawn:
 		t.Spawn += d
+	case Recovery:
+		t.Recovery += d
 	}
 }
 
 // Sum returns the total attributed time.
-func (t BucketTotals) Sum() float64 { return t.Compute + t.Wire + t.Blocked + t.Spawn }
+func (t BucketTotals) Sum() float64 {
+	return t.Compute + t.Wire + t.Blocked + t.Spawn + t.Recovery
+}
 
 // Segment is one contiguous stretch of the critical path on one rank.
 type Segment struct {

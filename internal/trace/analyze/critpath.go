@@ -24,10 +24,36 @@ func (d *dag) criticalPath(diags *Diagnostics) CriticalPath {
 	t := d.end
 	bound := len(d.byRank[cur])
 
+	// Recovery phase windows, for reclassifying untagged path segments
+	// (soft-barrier waits, untraced gaps) that fall inside them.
+	var recIvs []interval
+	for _, ev := range d.events {
+		if ev.Kind == trace.EvPhase && ev.Op == trace.PhaseRecovery {
+			recIvs = append(recIvs, interval{ev.Start, ev.End})
+		}
+	}
+	recIvs = mergeIntervals(recIvs)
+	inRecovery := func(lo, hi float64) bool {
+		mid := (lo + hi) / 2
+		for _, iv := range recIvs {
+			if mid >= iv.lo && mid < iv.hi {
+				return true
+			}
+		}
+		return false
+	}
+
 	var segs []Segment // built in reverse time order
 	emit := func(b Bucket, rank int, lo, hi float64, op, phase string) {
 		if hi <= lo {
 			return
+		}
+		// Recovery cost is its own bucket: whatever the segment's mechanical
+		// kind (wire, wait, compute), work tagged with the recovery phase —
+		// or falling inside a recovery window, for untagged waits — is time
+		// the run spent masking a fault.
+		if phase == trace.PhaseRecovery || inRecovery(lo, hi) {
+			b = Recovery
 		}
 		cp.Buckets.Add(b, hi-lo)
 		// Coalesce with the previously emitted (later-in-time) segment when

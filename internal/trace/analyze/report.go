@@ -21,27 +21,28 @@ func (a *Analysis) WriteReport(w io.Writer) error {
 	}
 	b := a.Path.Buckets
 	if _, err := fmt.Fprintf(w,
-		"critical path: compute %.6fs (%.1f%%)  wire %.6fs (%.1f%%)  blocked %.6fs (%.1f%%)  spawn %.6fs (%.1f%%)  [sum %.6fs]\n",
+		"critical path: compute %.6fs (%.1f%%)  wire %.6fs (%.1f%%)  blocked %.6fs (%.1f%%)  spawn %.6fs (%.1f%%)  recovery %.6fs (%.1f%%)  [sum %.6fs]\n",
 		b.Compute, pct(b.Compute), b.Wire, pct(b.Wire),
-		b.Blocked, pct(b.Blocked), b.Spawn, pct(b.Spawn), b.Sum()); err != nil {
+		b.Blocked, pct(b.Blocked), b.Spawn, pct(b.Spawn),
+		b.Recovery, pct(b.Recovery), b.Sum()); err != nil {
 		return err
 	}
 	if len(a.Phases) > 0 {
 		if _, err := fmt.Fprintf(w, "\n%-14s %10s %10s %6s %10s %10s  %s\n",
-			"phase", "window(s)", "skew(s)", "ranks", "straggler", "strag(s)", "path: compute/wire/blocked/spawn"); err != nil {
+			"phase", "window(s)", "skew(s)", "ranks", "straggler", "strag(s)", "path: compute/wire/blocked/spawn/recovery"); err != nil {
 			return err
 		}
 		for _, ph := range a.Phases {
-			if _, err := fmt.Fprintf(w, "%-14s %10.6f %10.6f %6d %10d %10.6f  %.4f/%.4f/%.4f/%.4f\n",
+			if _, err := fmt.Fprintf(w, "%-14s %10.6f %10.6f %6d %10d %10.6f  %.4f/%.4f/%.4f/%.4f/%.4f\n",
 				ph.Phase, ph.Duration, ph.Skew, ph.Ranks, ph.Straggler, ph.StragglerDur,
-				ph.Path.Compute, ph.Path.Wire, ph.Path.Blocked, ph.Path.Spawn); err != nil {
+				ph.Path.Compute, ph.Path.Wire, ph.Path.Blocked, ph.Path.Spawn, ph.Path.Recovery); err != nil {
 				return err
 			}
 		}
 		o := a.Path.Outside
-		if _, err := fmt.Fprintf(w, "%-14s %10.6f %10s %6s %10s %10s  %.4f/%.4f/%.4f/%.4f\n",
+		if _, err := fmt.Fprintf(w, "%-14s %10.6f %10s %6s %10s %10s  %.4f/%.4f/%.4f/%.4f/%.4f\n",
 			"application", o.Sum(), "-", "-", "-", "-",
-			o.Compute, o.Wire, o.Blocked, o.Spawn); err != nil {
+			o.Compute, o.Wire, o.Blocked, o.Spawn, o.Recovery); err != nil {
 			return err
 		}
 	}
@@ -146,10 +147,10 @@ func (d *DiffReport) Write(w io.Writer) error {
 		return err
 	}
 	if _, err := fmt.Fprintf(w,
-		"critical path A: compute %.4f wire %.4f blocked %.4f spawn %.4f\n"+
-			"critical path B: compute %.4f wire %.4f blocked %.4f spawn %.4f\n",
-		d.BucketsA.Compute, d.BucketsA.Wire, d.BucketsA.Blocked, d.BucketsA.Spawn,
-		d.BucketsB.Compute, d.BucketsB.Wire, d.BucketsB.Blocked, d.BucketsB.Spawn); err != nil {
+		"critical path A: compute %.4f wire %.4f blocked %.4f spawn %.4f recovery %.4f\n"+
+			"critical path B: compute %.4f wire %.4f blocked %.4f spawn %.4f recovery %.4f\n",
+		d.BucketsA.Compute, d.BucketsA.Wire, d.BucketsA.Blocked, d.BucketsA.Spawn, d.BucketsA.Recovery,
+		d.BucketsB.Compute, d.BucketsB.Wire, d.BucketsB.Blocked, d.BucketsB.Spawn, d.BucketsB.Recovery); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "\n%-14s %12s %12s %12s %10s %10s\n",

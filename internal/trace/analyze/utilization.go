@@ -8,7 +8,8 @@ import (
 
 // canonicalPhases is the reporting order of the paper's §4 stages.
 var canonicalPhases = []string{
-	trace.PhaseSpawn, trace.PhaseRedistConst, trace.PhaseRedistVar, trace.PhaseHalt,
+	trace.PhaseSpawn, trace.PhaseRedistConst, trace.PhaseProtect,
+	trace.PhaseRedistVar, trace.PhaseRecovery, trace.PhaseHalt,
 }
 
 // phaseWindows aggregates the EvPhase spans per stage: the window is the

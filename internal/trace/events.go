@@ -24,6 +24,11 @@ const (
 	// EvPhase is a reconfiguration stage span recorded by the core layer:
 	// its Op names the stage (spawn, redist-const, redist-var, halt).
 	EvPhase
+	// EvFault is a fault-injection or recovery action instant: its Op names
+	// the action (crash, detect, drop, delay, spawn-fail, degrade, abort,
+	// replan, overlap-fallback) and Peer the affected process where one
+	// applies.
+	EvFault
 )
 
 func (k EventKind) String() string {
@@ -42,6 +47,8 @@ func (k EventKind) String() string {
 		return "barrier"
 	case EvPhase:
 		return "phase"
+	case EvFault:
+		return "fault"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -60,6 +67,13 @@ const (
 	// PhaseHalt spans the source halt: from the instant iterations stop to
 	// the completed handover.
 	PhaseHalt = "halt"
+	// PhaseProtect is the pre-epoch checkpoint pass of the resilient
+	// protocol: sources persist their chunks before the transfer starts so a
+	// lost source copy can be re-read.
+	PhaseProtect = "protect"
+	// PhaseRecovery spans recovery work after a detected fault: the re-plan
+	// and the re-transfer rounds over the survivor set.
+	PhaseRecovery = "recovery"
 )
 
 // Event is one typed record of the message-level log. Instant events have

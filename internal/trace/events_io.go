@@ -57,7 +57,7 @@ func WriteEvents(w io.Writer, events []Event) error {
 
 // ParseEventKind resolves an EventKind from its String() name.
 func ParseEventKind(s string) (EventKind, bool) {
-	for k := EvSend; k <= EvPhase; k++ {
+	for k := EvSend; k <= EvFault; k++ {
 		if k.String() == s {
 			return k, true
 		}

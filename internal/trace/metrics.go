@@ -47,6 +47,14 @@ type RunMetrics struct {
 	TRedistConst float64 `json:"tRedistConst"`
 	TRedistVar   float64 `json:"tRedistVar"`
 	THalt        float64 `json:"tHalt"`
+	// TProtect and TRecovery span the resilient protocol's checkpoint pass
+	// and its post-fault recovery rounds; both are zero for fault-free runs.
+	TProtect  float64 `json:"tProtect,omitempty"`
+	TRecovery float64 `json:"tRecovery,omitempty"`
+
+	// Faults counts EvFault records by action name (crash, detect, drop,
+	// delay, spawn-fail, degrade, abort, replan, ...); nil when none occurred.
+	Faults map[string]int64 `json:"faults,omitempty"`
 
 	// BytesConst and BytesVar are the bytes redistributed asynchronously
 	// (while sources iterate) and with the sources halted; MsgsConst and
@@ -118,6 +126,11 @@ func (r *Recorder) Metrics() RunMetrics {
 				w.hi = ev.End
 			}
 			w.set = true
+		case EvFault:
+			if m.Faults == nil {
+				m.Faults = map[string]int64{}
+			}
+			m.Faults[ev.Op]++
 		}
 		if bytes, ok := onWire(ev); ok {
 			m.MsgsByOp[ev.Op]++
@@ -150,6 +163,8 @@ func (r *Recorder) Metrics() RunMetrics {
 	m.TRedistConst = stage(PhaseRedistConst)
 	m.TRedistVar = stage(PhaseRedistVar)
 	m.THalt = stage(PhaseHalt)
+	m.TProtect = stage(PhaseProtect)
+	m.TRecovery = stage(PhaseRecovery)
 
 	if pm, ok := perPhase[PhaseRedistConst]; ok {
 		m.BytesConst, m.MsgsConst = pm.Bytes, pm.Msgs
@@ -188,6 +203,8 @@ func (m RunMetrics) WriteCSV(w io.Writer) error {
 	row("run", "t_redist_const", fmt.Sprintf("%.9g", m.TRedistConst))
 	row("run", "t_redist_var", fmt.Sprintf("%.9g", m.TRedistVar))
 	row("run", "t_halt", fmt.Sprintf("%.9g", m.THalt))
+	row("run", "t_protect", fmt.Sprintf("%.9g", m.TProtect))
+	row("run", "t_recovery", fmt.Sprintf("%.9g", m.TRecovery))
 	row("run", "bytes_const", m.BytesConst)
 	row("run", "bytes_var", m.BytesVar)
 	row("run", "msgs_const", m.MsgsConst)
@@ -200,6 +217,14 @@ func (m RunMetrics) WriteCSV(w io.Writer) error {
 	sort.Strings(ops)
 	for _, op := range ops {
 		row("op:"+op, "msgs", m.MsgsByOp[op])
+	}
+	faults := make([]string, 0, len(m.Faults))
+	for op := range m.Faults {
+		faults = append(faults, op)
+	}
+	sort.Strings(faults)
+	for _, op := range faults {
+		row("fault:"+op, "count", m.Faults[op])
 	}
 	for _, pm := range m.Phases {
 		name := pm.Phase
