@@ -1,0 +1,175 @@
+package repro
+
+// BenchmarkSweepParallel measures the parallel sweep engine against the
+// sequential one on an identical cell grid and emits BENCH_sweep.json, the
+// regression record `tracetool validate-bench` gates CI on: wall-clock
+// speedup, byte-identical CSV output, allocations per cell, and the
+// payload-codec allocation diet versus the seed-era encode/decode path.
+//
+// REPRO_SWEEP_WORKERS overrides the parallel worker count (default: one
+// per CPU); REPRO_SWEEP_OUT the artifact path (default BENCH_sweep.json).
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/mpi"
+)
+
+func sweepWorkers() int {
+	if s := os.Getenv("REPRO_SWEEP_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return harness.DefaultWorkers()
+}
+
+func sweepOut() string {
+	if s := os.Getenv("REPRO_SWEEP_OUT"); s != "" {
+		return s
+	}
+	return "BENCH_sweep.json"
+}
+
+// sweepBenchGrid is a reduced grid of cheap cells: enough independent work
+// to expose the pool's scaling without making the smoke run minutes long.
+func sweepBenchGrid() []harness.Pair {
+	counts := []int{2, 10, 20, 40}
+	var out []harness.Pair
+	for _, ns := range counts {
+		for _, nt := range counts {
+			if ns != nt {
+				out = append(out, harness.Pair{NS: ns, NT: nt})
+			}
+		}
+	}
+	return out
+}
+
+// codecAllocs measures allocations per size-message encode/decode round
+// trip for the seed-era path (slice encode, full-slice decode) and the
+// scratch-buffer path core's hot loops use now.
+func codecAllocs() (seed, now float64) {
+	var sink int64
+	seed = testing.AllocsPerRun(200, func() {
+		pl := mpi.Int64s([]int64{4096})
+		sink = pl.AsInt64s()[0]
+	})
+	var scratch [8]byte
+	now = testing.AllocsPerRun(200, func() {
+		pl := mpi.Bytes(mpi.AppendInt64s(scratch[:0], 4096))
+		sink = pl.Int64At(0)
+	})
+	_ = sink
+	return seed, now
+}
+
+// BenchmarkSweepParallel emits BENCH_sweep.json. Like
+// BenchmarkTraceRegression it rides the `go test -bench` entry point CI
+// already runs; the regression signal is the validated artifact.
+func BenchmarkSweepParallel(b *testing.B) {
+	pairs := sweepBenchGrid()
+	configs := harness.SyncConfigs()
+	const reps = 1
+	workers := sweepWorkers()
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		// More workers than schedulable CPUs cannot speed anything up, and
+		// the validator's speedup gate would (rightly) reject the record.
+		b.Logf("clamping -j %d to GOMAXPROCS=%d", workers, max)
+		workers = max
+	}
+
+	run := func(w int) (time.Duration, []byte, uint64) {
+		setup := setupFor("ethernet")
+		setup.Reps = reps
+		setup.Workers = w
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		m, err := setup.Sweep(pairs, configs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		var buf bytes.Buffer
+		if err := harness.WriteCSV(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		return elapsed, buf.Bytes(), after.Mallocs - before.Mallocs
+	}
+
+	for i := 0; i < b.N; i++ {
+		seqTime, seqCSV, _ := run(1)
+		parTime, parCSV, mallocs := run(workers)
+		if i == 0 && printOnce(b.Name()) {
+			cells := len(pairs) * len(configs)
+			seedAllocs, nowAllocs := codecAllocs()
+			bs := harness.BenchSweep{
+				Schema:          harness.BenchSweepSchema,
+				Workers:         workers,
+				Cells:           cells,
+				Reps:            reps,
+				SeqSeconds:      seqTime.Seconds(),
+				ParSeconds:      parTime.Seconds(),
+				Speedup:         seqTime.Seconds() / parTime.Seconds(),
+				Identical:       bytes.Equal(seqCSV, parCSV),
+				AllocsPerCell:   float64(mallocs) / float64(cells*reps),
+				SeedCodecAllocs: seedAllocs,
+				CodecAllocs:     nowAllocs,
+			}
+			var buf bytes.Buffer
+			if err := bs.WriteJSON(&buf); err != nil {
+				b.Fatal(err)
+			}
+			// Validate before writing: CI must never archive a malformed or
+			// regressed record.
+			if _, err := harness.ValidateBenchSweep(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			out := sweepOut()
+			if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("wrote %s (%d cells, -j %d, speedup %.2fx, %.0f allocs/cell, codec %0.1f vs seed %.1f allocs)",
+				out, cells, workers, bs.Speedup, bs.AllocsPerCell, nowAllocs, seedAllocs)
+		}
+	}
+}
+
+// TestValidateBenchSweepRejectsMalformed is the CI gate's own test: broken
+// or regressed sweep records must fail loudly.
+func TestValidateBenchSweepRejectsMalformed(t *testing.T) {
+	good := `{"schema":"repro/bench-sweep/v1","workers":2,"cells":48,"reps":1,` +
+		`"seqSeconds":2,"parSeconds":1,"speedup":2,"identical":true,` +
+		`"allocsPerCell":1000,"seedCodecAllocs":3,"codecAllocs":0}`
+	if _, err := harness.ValidateBenchSweep(bytes.NewReader([]byte(good))); err != nil {
+		t.Fatalf("rejected valid record: %v", err)
+	}
+	for _, in := range []string{
+		`{}`,
+		`{"schema":"wrong/v9"}`,
+		// zero grid
+		`{"schema":"repro/bench-sweep/v1","workers":0,"cells":48,"reps":1,"seqSeconds":2,"parSeconds":1,"speedup":2,"identical":true}`,
+		// non-positive timing
+		`{"schema":"repro/bench-sweep/v1","workers":2,"cells":48,"reps":1,"seqSeconds":0,"parSeconds":1,"speedup":2,"identical":true}`,
+		// inconsistent speedup
+		`{"schema":"repro/bench-sweep/v1","workers":2,"cells":48,"reps":1,"seqSeconds":2,"parSeconds":1,"speedup":3,"identical":true}`,
+		// outputs differ
+		`{"schema":"repro/bench-sweep/v1","workers":2,"cells":48,"reps":1,"seqSeconds":2,"parSeconds":1,"speedup":2,"identical":false}`,
+		// no speedup with 2 workers
+		`{"schema":"repro/bench-sweep/v1","workers":2,"cells":48,"reps":1,"seqSeconds":1,"parSeconds":1,"speedup":1,"identical":true}`,
+		// codec allocation regression
+		`{"schema":"repro/bench-sweep/v1","workers":2,"cells":48,"reps":1,"seqSeconds":2,"parSeconds":1,"speedup":2,"identical":true,"seedCodecAllocs":3,"codecAllocs":2}`,
+	} {
+		if _, err := harness.ValidateBenchSweep(bytes.NewReader([]byte(in))); err == nil {
+			t.Fatalf("accepted malformed record: %s", in)
+		}
+	}
+}

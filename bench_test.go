@@ -35,11 +35,17 @@ func benchReps() int {
 	return 3
 }
 
-// cellCache memoizes simulation runs across benchmarks.
-var (
-	cellMu    sync.Mutex
-	cellCache = map[string]synthapp.Result{}
-)
+// cellCache memoizes simulation runs across benchmarks with per-key
+// singleflight: the first caller of a key simulates under that cell's own
+// sync.Once, so concurrent benchmarks never serialize on a global lock
+// while a cell runs, and each cell still runs exactly once per process.
+var cellCache sync.Map // key string -> *cellEntry
+
+type cellEntry struct {
+	once sync.Once
+	res  synthapp.Result
+	err  error
+}
 
 // printGate ensures each benchmark prints its figure exactly once, even
 // though the testing package re-invokes benchmark functions while
@@ -63,20 +69,13 @@ func printOnce(name string) bool {
 func runCellCached(b *testing.B, setup harness.Setup, p harness.Pair, cfg core.Config, rep int) synthapp.Result {
 	b.Helper()
 	key := fmt.Sprintf("%s|%d|%d|%s|%d", setup.Net.Name, p.NS, p.NT, cfg, rep)
-	cellMu.Lock()
-	res, ok := cellCache[key]
-	cellMu.Unlock()
-	if ok {
-		return res
+	v, _ := cellCache.LoadOrStore(key, &cellEntry{})
+	e := v.(*cellEntry)
+	e.once.Do(func() { e.res, e.err = setup.RunCell(p, cfg, rep) })
+	if e.err != nil {
+		b.Fatalf("%s: %v", key, e.err)
 	}
-	res, err := setup.RunCell(p, cfg, rep)
-	if err != nil {
-		b.Fatalf("%s: %v", key, err)
-	}
-	cellMu.Lock()
-	cellCache[key] = res
-	cellMu.Unlock()
-	return res
+	return e.res
 }
 
 func measure(b *testing.B, setup harness.Setup, pairs []harness.Pair, configs []core.Config) harness.Measurements {

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -29,6 +30,7 @@ func main() {
 	nt := flag.Int("nt", 4, "target process count (shrink pairs exercise pure-source crashes)")
 	netName := flag.String("net", "ethernet", "interconnect: ethernet or infiniband")
 	reps := flag.Int("reps", 3, "repetitions per configuration (distinct seeds)")
+	workers := flag.Int("j", harness.DefaultWorkers(), "worker count: cells simulated concurrently (1: sequential; output is identical at any -j)")
 	family := flag.String("family", "all", `overlap family: "sync" (S only) or "all" (S, A, T)`)
 	timeout := flag.Float64("timeout", 0, "resilient epoch deadline in seconds (0: runtime default)")
 	detect := flag.Float64("detect-latency", 0, "failure-detector latency in seconds (0: default)")
@@ -42,6 +44,7 @@ func main() {
 	}
 	setup := harness.DefaultSetup(net)
 	setup.Reps = *reps
+	setup.Workers = *workers
 	if *configPath != "" {
 		app, err := synthapp.LoadConfig(*configPath)
 		if err != nil {
@@ -75,8 +78,18 @@ func main() {
 	fmt.Printf("# fault campaign on %s: %d -> %d processes, app %q, %d rep(s), crash at %.0f%% of the redistribution window\n",
 		net.Name, *ns, *nt, setup.Cfg.Name, *reps, 100**crashFrac)
 
+	// One Step per per-config summary line with [done/total eta]; DIED
+	// lines are out-of-band notes. Completion callbacks arrive serialized
+	// in campaign order whatever -j is.
+	rep := harness.NewProgress(os.Stdout, len(configs))
 	rows, err := setup.RunFaultCampaign(harness.Pair{NS: *ns, NT: *nt}, configs, fp,
-		func(line string) { fmt.Println("  " + line) })
+		func(line string) {
+			if strings.Contains(line, " DIED: ") {
+				rep.Note("  " + line)
+			} else {
+				rep.Step(line)
+			}
+		})
 	if err != nil {
 		fail(err)
 	}

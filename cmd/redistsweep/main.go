@@ -29,6 +29,7 @@ func main() {
 	pairsName := flag.String("pairs", "plots", "pair family: plots (from/to 160), all (42 pairs), from160, to160")
 	configsName := flag.String("configs", "all", "configuration family: all, sync, async, rma, extended (all + RMA + CR)")
 	reps := flag.Int("reps", 5, "repetitions per cell")
+	workers := flag.Int("j", harness.DefaultWorkers(), "worker count: cells simulated concurrently (1: sequential; output is identical at any -j)")
 	out := flag.String("out", "", "CSV output path (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	tf := harness.RegisterTraceFlags(flag.CommandLine, "redistsweep_trace")
@@ -49,10 +50,16 @@ func main() {
 
 	setup := harness.DefaultSetup(net)
 	setup.Reps = *reps
+	setup.Workers = *workers
 
+	// The pool serializes completion callbacks in sweep order, so the
+	// [done/total eta] reporter needs no locking and its lines never
+	// interleave, whatever -j is.
+	cells := len(pairs) * len(configs)
+	rep := harness.NewProgress(os.Stderr, cells)
 	progress := func(line string) {
 		if !*quiet {
-			fmt.Fprintln(os.Stderr, line)
+			rep.Step(line)
 		}
 	}
 	start := time.Now()
@@ -60,8 +67,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "# sweep: %d cells x %d reps on %s in %s\n",
-		len(m), *reps, net.Name, time.Since(start).Round(time.Second))
+	fmt.Fprintf(os.Stderr, "# sweep: %d cells x %d reps on %s with -j %d in %s\n",
+		len(m), *reps, net.Name, *workers, time.Since(start).Round(time.Second))
 
 	w := os.Stdout
 	if *out != "" {
@@ -77,7 +84,12 @@ func main() {
 	}
 
 	if tf.Trace {
-		cells, lastRec, err := setup.SweepMetricsTraced(pairs, configs, 0, progress)
+		trep := harness.NewProgress(os.Stderr, cells)
+		cells, lastRec, err := setup.SweepMetricsTraced(pairs, configs, 0, func(line string) {
+			if !*quiet {
+				trep.Step(line)
+			}
+		})
 		if err != nil {
 			fail(err)
 		}

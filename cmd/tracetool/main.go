@@ -6,13 +6,14 @@
 //	tracetool analyze [-json] run.events.json
 //	tracetool diff [-json] cola.events.json cols.events.json
 //	tracetool top [-n 20] run.events.json
-//	tracetool validate-bench BENCH_trace.json
+//	tracetool validate-bench BENCH_trace.json|BENCH_sweep.json
 //
 // Inputs are auto-detected: the raw event log (<prefix>.events.json), a
 // bare JSON array of events, or the Chrome trace export (<prefix>.json).
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,7 +50,7 @@ func usage() {
   tracetool analyze [-json] <events-file>         critical path, phase windows, per-rank utilization
   tracetool diff [-json] <events-A> <events-B>    align two runs phase-by-phase, locate the delta
   tracetool top [-n N] <events-file>              largest critical-path contributors
-  tracetool validate-bench <BENCH_trace.json>     check a benchmark regression record
+  tracetool validate-bench <BENCH_*.json>         check a benchmark regression record (trace or sweep)
 
 <events-file> is a -trace output of malleasim or redistsweep: the raw
 event log (<prefix>.events.json) or the Chrome trace (<prefix>.json).
@@ -126,16 +127,33 @@ func cmdValidateBench(args []string) {
 	if fs.NArg() != 1 {
 		usage()
 	}
-	f, err := os.Open(fs.Arg(0))
+	raw, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fail(err)
 	}
-	defer f.Close()
-	bt, err := harness.ValidateBenchTrace(f)
-	if err != nil {
-		fail(err)
+	// Dispatch on the record's schema field: one validate-bench entry point
+	// covers every BENCH_*.json artifact CI archives.
+	var probe struct {
+		Schema string `json:"schema"`
 	}
-	fmt.Printf("%s: ok (%d cells, schema %s, reps %d)\n", fs.Arg(0), len(bt.Cells), bt.Schema, bt.Reps)
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		fail(fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
+	switch probe.Schema {
+	case harness.BenchSweepSchema:
+		bs, err := harness.ValidateBenchSweep(bytes.NewReader(raw))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: ok (schema %s, %d workers, %d cells, speedup %.2fx, codec allocs %.1f vs seed %.1f)\n",
+			fs.Arg(0), bs.Schema, bs.Workers, bs.Cells, bs.Speedup, bs.CodecAllocs, bs.SeedCodecAllocs)
+	default:
+		bt, err := harness.ValidateBenchTrace(bytes.NewReader(raw))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: ok (%d cells, schema %s, reps %d)\n", fs.Arg(0), len(bt.Cells), bt.Schema, bt.Reps)
+	}
 }
 
 func emitJSON(v any) {

@@ -41,6 +41,8 @@ type crKey struct {
 // context (both sides of a Baseline intercomm see the same one).
 func crStoreFor(c *mpi.Ctx, v *view) *crFiles {
 	w := c.World()
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if crNamespaces == nil {
 		crNamespaces = map[*mpi.World]map[int]*crFiles{}
 	}

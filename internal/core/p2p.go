@@ -57,8 +57,11 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 	type stagedSend struct {
 		dst, tag int
 		pl       mpi.Payload
+		size     int64 // size-message value, encoded at issue time
+		isSize   bool
 	}
 	var staged []stagedSend
+	var scratch [8]byte // size-message encode buffer; Isend clones synchronously
 	if t.v.isSource() {
 		for i, it := range t.items {
 			sizeTag, valueTag := itemTags(t.tagIdx[i])
@@ -73,7 +76,7 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 				}
 				pl := it.Extract(ch.Lo, ch.Hi)
 				staged = append(staged,
-					stagedSend{dst: ch.Dst, tag: sizeTag, pl: mpi.Int64s([]int64{pl.Size})},
+					stagedSend{dst: ch.Dst, tag: sizeTag, size: pl.Size, isSize: true},
 					stagedSend{dst: ch.Dst, tag: valueTag, pl: pl})
 			}
 		}
@@ -100,8 +103,14 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 	}
 
 	// Issue the staged sends (a pair of MPI_Isend per chunk, Algorithm 1).
+	// Size messages encode into one reusable scratch buffer: Isend clones
+	// the payload before returning, so the next iteration may overwrite it.
 	for _, s := range staged {
-		t.sendReqs = append(t.sendReqs, t.v.sendTo(c, s.dst, s.tag, s.pl))
+		pl := s.pl
+		if s.isSize {
+			pl = mpi.Bytes(mpi.AppendInt64s(scratch[:0], s.size))
+		}
+		t.sendReqs = append(t.sendReqs, t.v.sendTo(c, s.dst, s.tag, pl))
 	}
 }
 
@@ -146,7 +155,7 @@ func (t *p2pTransfer) handleRecv(c *mpi.Ctx, idx int, rr *mpi.RecvReq) {
 	rr.MarkHandled()
 	it := t.items[meta.item]
 	if meta.isSize {
-		size := rr.Payload().AsInt64s()[0]
+		size := rr.Payload().Int64At(0)
 		if want := it.WireBytes(meta.lo, meta.hi); size != want {
 			panic(fmt.Sprintf("core: %q size message %d from source %d, plan says %d",
 				it.Name(), size, meta.src, want))

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/mpi"
 	"repro/internal/partition"
@@ -125,7 +126,16 @@ type epochState struct {
 
 var epochStates map[*mpi.World]map[int]*epochState
 
+// registryMu guards the cross-world registries (crNamespaces, epochStates):
+// the parallel sweep engine simulates many worlds at once, and while each
+// world stays single-threaded under its kernel, the registry maps are
+// shared by all of them. The *crFiles/*epochState values themselves remain
+// lock-free — only the owning world's kernel touches them.
+var registryMu sync.Mutex
+
 func epochStateFor(w *mpi.World, ctxID int) *epochState {
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if epochStates == nil {
 		epochStates = map[*mpi.World]map[int]*epochState{}
 	}

@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// BenchSweepSchema versions the BENCH_sweep.json layout so CI consumers
+// can detect incompatible changes.
+const BenchSweepSchema = "repro/bench-sweep/v1"
+
+// BenchSweep is the machine-readable record BenchmarkSweepParallel emits as
+// BENCH_sweep.json: the parallel sweep engine's wall-clock speedup over the
+// sequential engine on the same cell grid, and the payload-codec
+// allocation diet, both regression-guarded by ValidateBenchSweep.
+type BenchSweep struct {
+	Schema string `json:"schema"`
+
+	// Workers is the parallel engine's worker count for this run; Cells and
+	// Reps describe the measured grid.
+	Workers int `json:"workers"`
+	Cells   int `json:"cells"`
+	Reps    int `json:"reps"`
+
+	// SeqSeconds and ParSeconds are the wall-clock times of the identical
+	// sweep at Workers == 1 and Workers == workers; Speedup is their ratio.
+	SeqSeconds float64 `json:"seqSeconds"`
+	ParSeconds float64 `json:"parSeconds"`
+	Speedup    float64 `json:"speedup"`
+
+	// Identical reports that the parallel sweep's CSV serialization was
+	// byte-identical to the sequential one — the determinism contract.
+	Identical bool `json:"identical"`
+
+	// AllocsPerCell is the heap allocation count per simulated cell of the
+	// parallel run (allocation diet trend metric).
+	AllocsPerCell float64 `json:"allocsPerCell"`
+
+	// SeedCodecAllocs and CodecAllocs count allocations per size-message
+	// encode/decode round trip: the seed-era path (slice encode + full
+	// decode) versus the scratch-buffer path the hot paths use now.
+	SeedCodecAllocs float64 `json:"seedCodecAllocs"`
+	CodecAllocs     float64 `json:"codecAllocs"`
+}
+
+// WriteJSON emits the record with a fixed field layout: deterministic
+// input produces bit-identical bytes.
+func (bs BenchSweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bs)
+}
+
+// ValidateBenchSweep parses a BENCH_sweep.json and checks its invariants:
+// known schema, sane grid, finite positive timings, a consistent speedup
+// that exceeds 1.2 whenever two or more workers ran, byte-identical
+// outputs, and a codec allocation count at most half the seed path's. It
+// is the CI gate against both malformed artifacts and perf regressions.
+func ValidateBenchSweep(r io.Reader) (BenchSweep, error) {
+	var bs BenchSweep
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&bs); err != nil {
+		return bs, fmt.Errorf("bench sweep: %w", err)
+	}
+	if bs.Schema != BenchSweepSchema {
+		return bs, fmt.Errorf("bench sweep: schema %q (want %q)", bs.Schema, BenchSweepSchema)
+	}
+	if bs.Workers < 1 || bs.Cells < 1 || bs.Reps < 1 {
+		return bs, fmt.Errorf("bench sweep: bad grid workers=%d cells=%d reps=%d", bs.Workers, bs.Cells, bs.Reps)
+	}
+	for name, v := range map[string]float64{
+		"seqSeconds": bs.SeqSeconds, "parSeconds": bs.ParSeconds, "speedup": bs.Speedup,
+		"allocsPerCell":   bs.AllocsPerCell,
+		"seedCodecAllocs": bs.SeedCodecAllocs, "codecAllocs": bs.CodecAllocs,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return bs, fmt.Errorf("bench sweep: %s = %v", name, v)
+		}
+	}
+	if bs.SeqSeconds <= 0 || bs.ParSeconds <= 0 {
+		return bs, fmt.Errorf("bench sweep: non-positive timings seq=%v par=%v", bs.SeqSeconds, bs.ParSeconds)
+	}
+	if got := bs.SeqSeconds / bs.ParSeconds; math.Abs(got-bs.Speedup) > 0.01*bs.Speedup+1e-9 {
+		return bs, fmt.Errorf("bench sweep: speedup %v inconsistent with seq/par = %v", bs.Speedup, got)
+	}
+	if !bs.Identical {
+		return bs, fmt.Errorf("bench sweep: parallel sweep output was not byte-identical to sequential")
+	}
+	if bs.Workers >= 2 && bs.Speedup <= 1.2 {
+		return bs, fmt.Errorf("bench sweep: speedup %.2f with %d workers (want > 1.2)", bs.Speedup, bs.Workers)
+	}
+	if bs.SeedCodecAllocs > 0 && bs.CodecAllocs > 0.5*bs.SeedCodecAllocs {
+		return bs, fmt.Errorf("bench sweep: codec allocs %.1f exceed half the seed path's %.1f",
+			bs.CodecAllocs, bs.SeedCodecAllocs)
+	}
+	return bs, nil
+}

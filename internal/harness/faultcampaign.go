@@ -150,25 +150,42 @@ func (r FaultCampaignRow) SurvivalRate() float64 {
 }
 
 // RunFaultCampaign executes reps repetitions of every configuration on one
-// (NS, NT) pair.
+// (NS, NT) pair, fanning the independent (config, rep) cells across
+// Setup.Workers cores. Rows, per-repetition DIED lines, and per-config
+// summaries appear in campaign order regardless of worker count.
 func (s Setup) RunFaultCampaign(p Pair, configs []core.Config, fp FaultParams,
 	progress func(string)) ([]FaultCampaignRow, error) {
 
+	reps := s.Reps
+	if reps <= 0 || len(configs) == 0 {
+		return []FaultCampaignRow{}, nil
+	}
+	n := len(configs) * reps
+	results := make([]FaultResult, n)
 	rows := make([]FaultCampaignRow, 0, len(configs))
-	for _, cfg := range configs {
-		row := FaultCampaignRow{Config: cfg, Runs: s.Reps}
+	err := ForEach(n, s.Workers, func(i int) error {
+		cfg, rep := configs[i/reps], i%reps
+		r, err := s.RunFaultCell(p, cfg, rep, fp)
+		if err != nil {
+			return fmt.Errorf("harness: %d->%d %s rep %d: %w", p.NS, p.NT, cfg, rep, err)
+		}
+		results[i] = r
+		return nil
+	}, func(i int) {
+		cfg, rep := configs[i/reps], i%reps
+		if !results[i].Survived && progress != nil {
+			progress(fmt.Sprintf("%d->%d %-16s rep %d DIED: %s", p.NS, p.NT, cfg, rep, results[i].Err))
+		}
+		if rep != reps-1 {
+			return
+		}
+		row := FaultCampaignRow{Config: cfg, Runs: reps}
 		var overheads, paths []float64
-		for rep := 0; rep < s.Reps; rep++ {
-			r, err := s.RunFaultCell(p, cfg, rep, fp)
-			if err != nil {
-				return nil, fmt.Errorf("harness: %d->%d %s rep %d: %w", p.NS, p.NT, cfg, rep, err)
-			}
-			if r.Survived {
+		for j := i + 1 - reps; j <= i; j++ {
+			if results[j].Survived {
 				row.Survived++
-				overheads = append(overheads, r.Overhead)
-				paths = append(paths, r.RecoveryPath)
-			} else if progress != nil {
-				progress(fmt.Sprintf("%d->%d %-16s rep %d DIED: %s", p.NS, p.NT, cfg, rep, r.Err))
+				overheads = append(overheads, results[j].Overhead)
+				paths = append(paths, results[j].RecoveryPath)
 			}
 		}
 		if len(overheads) > 0 {
@@ -180,6 +197,9 @@ func (s Setup) RunFaultCampaign(p Pair, configs []core.Config, fp FaultParams,
 			progress(fmt.Sprintf("%d->%d %-16s survived %d/%d  overhead=%.3fs  recovery-path=%.3fs",
 				p.NS, p.NT, cfg, row.Survived, row.Runs, row.Overhead, row.RecoveryPath))
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

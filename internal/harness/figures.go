@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
@@ -385,9 +386,12 @@ func allEqual(xs []float64) bool {
 // CSVHeader is the column layout of Measurements CSV files.
 const CSVHeader = "ns,nt,spawn,comm,overlap,rep,reconfig,total,overlapped,iter_before,iter_during,iter_after"
 
-// WriteCSV serializes measurements, one row per repetition.
+// WriteCSV serializes measurements, one row per repetition. Output is
+// buffered: each row is a handful of small writes, and w is typically a
+// file or pipe.
 func WriteCSV(w io.Writer, m Measurements) error {
-	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, CSVHeader); err != nil {
 		return err
 	}
 	keys := make([]CellKey, 0, len(m))
@@ -397,7 +401,7 @@ func WriteCSV(w io.Writer, m Measurements) error {
 	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
 	for _, k := range keys {
 		for rep, r := range m[k] {
-			_, err := fmt.Fprintf(w, "%d,%d,%s,%s,%s,%d,%.9g,%.9g,%d,%.9g,%.9g,%.9g\n",
+			_, err := fmt.Fprintf(bw, "%d,%d,%s,%s,%s,%d,%.9g,%.9g,%d,%.9g,%.9g,%.9g\n",
 				k.Pair.NS, k.Pair.NT, k.Config.Spawn, k.Config.Comm, k.Config.Overlap,
 				rep, r.ReconfigTime(), r.TotalTime, r.OverlappedIterations,
 				r.IterTimeBefore, r.IterTimeDuring, r.IterTimeAfter)
@@ -406,7 +410,7 @@ func WriteCSV(w io.Writer, m Measurements) error {
 			}
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
 // ParseCSV reads measurements written by WriteCSV.

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// The parallel sweep engine. Every measured cell — one (pair, config,
+// repetition) simulation — is an independent deterministic run on its own
+// kernel: seeds derive from the repetition index alone, never from
+// execution order, so fanning cells out across cores cannot change any
+// result. ForEach is the shared pool under Setup.Sweep, RunFaultCampaign,
+// the traced metric sweeps, and the CLI drivers; it guarantees the
+// sequential contract (ordered completion callbacks, first-error-wins)
+// so parallel output stays byte-identical to a -j 1 run.
+
+// DefaultWorkers is the worker count used when a Setup or CLI leaves -j
+// unset: one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs jobs 0..n-1 on up to workers goroutines (workers <= 0 means
+// DefaultWorkers). It preserves the observable semantics of the sequential
+// loop `for i := range n { run(i); complete(i) }`:
+//
+//   - complete(i) is called serially, in index order, exactly once per
+//     successful job, and never for or past the first failed index. Callers
+//     emit progress and assemble ordered output inside it without locking.
+//   - The returned error is the lowest-index failure (first-error-wins):
+//     because every cell is deterministic, that is the same error the
+//     sequential loop reports.
+//   - After the first failure no new jobs start; jobs already in flight run
+//     to completion (their results are discarded past the failed index).
+//   - A panic inside run is recovered into an error carrying the job index
+//     and stack, so one exploding cell fails the sweep instead of hanging
+//     the pool.
+//
+// Jobs are handed out in index order, so when job j fails every i < j has
+// already started and the lowest-index failure is well defined.
+func ForEach(n, workers int, run func(i int) error, complete func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// The sequential engine: no goroutines, no locks, the reference
+		// semantics the parallel path must reproduce.
+		for i := 0; i < n; i++ {
+			if err := runRecover(run, i); err != nil {
+				return err
+			}
+			if complete != nil {
+				complete(i)
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu     sync.Mutex
+		next   int // next job index to hand out
+		emit   int // next job index to emit complete() for
+		failed bool
+		done   = make([]bool, n)
+		errs   = make([]error, n)
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if failed || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				err := runRecover(run, i)
+
+				mu.Lock()
+				done[i] = true
+				errs[i] = err
+				if err != nil {
+					failed = true // cancel: no new jobs are scheduled
+				}
+				// Advance the ordered completion frontier. complete runs
+				// under the pool lock, which serializes it with job handout;
+				// callbacks are expected to be cheap (progress lines, result
+				// assembly).
+				for emit < n && done[emit] && errs[emit] == nil {
+					if complete != nil {
+						complete(emit)
+					}
+					emit++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}
+
+// runRecover invokes run(i), converting a panic into an error so a broken
+// cell surfaces instead of killing the pool's worker goroutine.
+func runRecover(run func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("harness: cell %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return run(i)
+}
+
+// Progress renders throttled "[done/total eta] line" progress for sweep
+// drivers. The pool serializes completion callbacks, so Step needs no lock
+// of its own; throttling keeps a many-core sweep from flooding the
+// terminal with one line per cell. The final step always prints.
+type Progress struct {
+	w      io.Writer
+	total  int
+	done   int
+	start  time.Time
+	last   time.Time
+	minGap time.Duration
+	now    func() time.Time
+}
+
+// NewProgress returns a reporter for total steps writing to w.
+func NewProgress(w io.Writer, total int) *Progress {
+	p := &Progress{w: w, total: total, minGap: 200 * time.Millisecond, now: time.Now}
+	p.start = p.now()
+	return p
+}
+
+// Step records one completed cell and prints the annotated line unless
+// throttled. The ETA extrapolates the mean cell wall-time so far.
+func (p *Progress) Step(line string) {
+	p.done++
+	now := p.now()
+	if p.done < p.total && now.Sub(p.last) < p.minGap {
+		return
+	}
+	p.last = now
+	eta := ""
+	if p.done < p.total {
+		elapsed := now.Sub(p.start)
+		remain := time.Duration(float64(elapsed) / float64(p.done) * float64(p.total-p.done))
+		eta = " eta " + remain.Round(time.Second).String()
+	}
+	fmt.Fprintf(p.w, "[%d/%d%s] %s\n", p.done, p.total, eta, line)
+}
+
+// Note prints an out-of-band line (e.g. a died repetition) immediately,
+// without counting a step or being throttled.
+func (p *Progress) Note(line string) {
+	fmt.Fprintln(p.w, line)
+}

@@ -66,6 +66,14 @@ type Setup struct {
 	Reps int
 	Cfg  *synthapp.Config
 
+	// Workers bounds the sweep engine's parallelism: how many independent
+	// (pair, config, rep) cells simulate concurrently. Zero means
+	// DefaultWorkers (one per CPU); 1 forces the sequential engine. Every
+	// cell runs on its own kernel with a seed derived from its repetition
+	// index, so the measured results — and the exported CSV bytes — are
+	// identical at any worker count (see DESIGN.md §11).
+	Workers int
+
 	// Cluster and runtime calibration; see DESIGN.md §5.
 	Cluster cluster.Config
 	MPIOpts mpi.Options
@@ -123,26 +131,51 @@ func (k CellKey) String() string {
 // Measurements maps cells to their per-repetition results.
 type Measurements map[CellKey][]synthapp.Result
 
-// Sweep runs reps repetitions of every (pair, config) cell. progress, when
-// non-nil, receives one line per completed cell.
+// Sweep runs reps repetitions of every (pair, config) cell, fanning the
+// independent cells across Workers cores. Cell seeds depend only on the
+// repetition index and results are assembled in sweep order, so the
+// Measurements — and any CSV serialized from them — are byte-identical to
+// a sequential (Workers == 1) sweep. progress, when non-nil, receives one
+// line per completed cell, in sweep order. On error the sweep cancels:
+// in-flight cells finish, no new cells start, and the lowest-index failure
+// is returned (the same error the sequential sweep reports).
 func (s Setup) Sweep(pairs []Pair, configs []core.Config, progress func(string)) (Measurements, error) {
+	reps := s.Reps
+	if reps <= 0 || len(pairs) == 0 || len(configs) == 0 {
+		return Measurements{}, nil
+	}
+	jobOf := func(i int) (Pair, core.Config, int) {
+		cell, rep := i/reps, i%reps
+		return pairs[cell/len(configs)], configs[cell%len(configs)], rep
+	}
+	n := len(pairs) * len(configs) * reps
+	results := make([]synthapp.Result, n)
 	m := make(Measurements, len(pairs)*len(configs))
-	for _, p := range pairs {
-		for _, cfg := range configs {
-			key := CellKey{Pair: p, Config: cfg}
-			for rep := 0; rep < s.Reps; rep++ {
-				res, err := s.RunCell(p, cfg, rep)
-				if err != nil {
-					return nil, fmt.Errorf("harness: %s rep %d: %w", key, rep, err)
-				}
-				m[key] = append(m[key], res)
-			}
-			if progress != nil {
-				med := MedianReconfig(m[key])
-				progress(fmt.Sprintf("%-28s reconfig=%.3fs total=%.2fs",
-					key, med, MedianTotal(m[key])))
-			}
+	err := ForEach(n, s.Workers, func(i int) error {
+		p, cfg, rep := jobOf(i)
+		res, err := s.RunCell(p, cfg, rep)
+		if err != nil {
+			return fmt.Errorf("harness: %s rep %d: %w", CellKey{Pair: p, Config: cfg}, rep, err)
 		}
+		results[i] = res
+		return nil
+	}, func(i int) {
+		p, cfg, rep := jobOf(i)
+		if rep != reps-1 {
+			return
+		}
+		// The ordered completion frontier guarantees every earlier
+		// repetition of this cell has finished; assemble and report.
+		key := CellKey{Pair: p, Config: cfg}
+		m[key] = append([]synthapp.Result(nil), results[i+1-reps:i+1]...)
+		if progress != nil {
+			med := MedianReconfig(m[key])
+			progress(fmt.Sprintf("%-28s reconfig=%.3fs total=%.2fs",
+				key, med, MedianTotal(m[key])))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }

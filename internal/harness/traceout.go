@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/synthapp"
@@ -82,30 +83,50 @@ func (s Setup) SweepMetricsTraced(pairs []Pair, configs []core.Config, rep int, 
 	return s.sweepMetrics(pairs, configs, rep, progress, true)
 }
 
+// recorderPool recycles trace recorders — and their preallocated event
+// slabs — across sweep cells and workers, so a traced sweep does not grow
+// a fresh multi-thousand-event slab per cell.
+var recorderPool = sync.Pool{New: func() any { return trace.NewRecorder() }}
+
 func (s Setup) sweepMetrics(pairs []Pair, configs []core.Config, rep int, progress func(string), keepLast bool) ([]CellMetrics, *trace.Recorder, error) {
-	var out []CellMetrics
-	rec := trace.NewRecorder()
-	last := len(pairs)*len(configs) - 1
-	n := 0
-	var lastRec *trace.Recorder
-	for _, p := range pairs {
-		for _, cfg := range configs {
-			key := CellKey{Pair: p, Config: cfg}
-			rec.Reset()
-			if _, err := s.RunCellRecorded(p, cfg, rep, rec); err != nil {
-				return nil, nil, fmt.Errorf("harness: traced %s rep %d: %w", key, rep, err)
-			}
-			m := rec.Metrics()
-			out = append(out, CellMetrics{Key: key, M: m})
-			if keepLast && n == last {
-				lastRec = rec
-			}
-			if progress != nil {
-				progress(fmt.Sprintf("%-28s bytes(const/var)=%d/%d msgs=%d/%d overlap=%.2f",
-					key, m.BytesConst, m.BytesVar, m.MsgsConst, m.MsgsVar, m.OverlapEfficiency))
-			}
-			n++
+	if len(pairs) == 0 || len(configs) == 0 {
+		return nil, nil, nil
+	}
+	n := len(pairs) * len(configs)
+	out := make([]CellMetrics, n)
+	var (
+		lastMu  sync.Mutex
+		lastRec *trace.Recorder
+	)
+	err := ForEach(n, s.Workers, func(i int) error {
+		p, cfg := pairs[i/len(configs)], configs[i%len(configs)]
+		key := CellKey{Pair: p, Config: cfg}
+		rec := recorderPool.Get().(*trace.Recorder)
+		rec.Reset()
+		if _, err := s.RunCellRecorded(p, cfg, rep, rec); err != nil {
+			recorderPool.Put(rec)
+			return fmt.Errorf("harness: traced %s rep %d: %w", key, rep, err)
 		}
+		// Metrics are derived per cell inside the worker, so only the last
+		// cell's raw event log (when requested) outlives its run.
+		out[i] = CellMetrics{Key: key, M: rec.Metrics()}
+		if keepLast && i == n-1 {
+			lastMu.Lock()
+			lastRec = rec
+			lastMu.Unlock()
+		} else {
+			recorderPool.Put(rec)
+		}
+		return nil
+	}, func(i int) {
+		if progress != nil {
+			m := out[i].M
+			progress(fmt.Sprintf("%-28s bytes(const/var)=%d/%d msgs=%d/%d overlap=%.2f",
+				out[i].Key, m.BytesConst, m.BytesVar, m.MsgsConst, m.MsgsVar, m.OverlapEfficiency))
+		}
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return out, lastRec, nil
 }

@@ -118,11 +118,36 @@ type envelope struct {
 	eager     bool
 	dataReady bool
 	queued    bool
+	launching bool    // transfer launched or deferred on a timer; never relaunch
 	lost      bool    // sender crashed before the payload arrived
 	delay     float64 // injected extra latency before the payload moves
 	flow      *netmodel.Flow
 	sreq      *SendReq
 	rreq      *RecvReq
+}
+
+// newEnvelope takes an envelope off the world's freelist or allocates one.
+// Envelopes are the per-message hot-path allocation; recycling them keeps a
+// sweep cell's steady-state garbage near zero. World code runs
+// single-threaded under its kernel, so the freelist needs no lock.
+func (w *World) newEnvelope() *envelope {
+	if n := len(w.envFree); n > 0 {
+		e := w.envFree[n-1]
+		w.envFree[n-1] = nil
+		w.envFree = w.envFree[:n-1]
+		return e
+	}
+	return &envelope{}
+}
+
+// freeEnvelope recycles a fully delivered envelope. Only complete() may
+// call it, after detaching the envelope from its SendReq: at that point the
+// payload and status have been handed to the receive request, the sender's
+// outEnvs entry is gone, and no mailbox or queue holds the pointer. Lost or
+// dropped envelopes are never recycled — the garbage collector takes them.
+func (w *World) freeEnvelope(e *envelope) {
+	*e = envelope{}
+	w.envFree = append(w.envFree, e)
 }
 
 func (e *envelope) matches(r *RecvReq) bool {
@@ -174,7 +199,8 @@ func (c *Ctx) Isend(comm *Comm, dst, tag int, payload Payload) *SendReq {
 		return sreq
 	}
 
-	env := &envelope{
+	env := w.newEnvelope()
+	*env = envelope{
 		comm:    comm,
 		sender:  c.proc,
 		dst:     dstProc,
@@ -206,7 +232,7 @@ func (c *Ctx) Isend(comm *Comm, dst, tag int, payload Payload) *SendReq {
 // startFlow launches the network transfer for the envelope's payload, or
 // queues it when the sender's pipeline is full.
 func (e *envelope) startFlow() {
-	if e.flow != nil || e.queued {
+	if e.flow != nil || e.queued || e.launching {
 		return
 	}
 	s := e.sender
@@ -220,6 +246,7 @@ func (e *envelope) startFlow() {
 
 func (e *envelope) launchFlow() {
 	s := e.sender
+	e.launching = true
 	s.flowsActive++
 	// Starting a transfer needs the sender's progress engine scheduled; on
 	// an oversubscribed node (Baseline reconfigurations, polling auxiliary
@@ -305,6 +332,11 @@ func (e *envelope) complete() {
 		e.sreq.done = true
 		e.sender.progress.Broadcast()
 	}
+	// The pair is finished on both sides; detach and recycle the envelope.
+	// describe() renders a nil env as "Isend (dropped)", and a done SendReq
+	// is never described anyway.
+	e.sreq.env = nil
+	e.comm.w.freeEnvelope(e)
 }
 
 // matchPosted scans the process's posted receives for the first match, in

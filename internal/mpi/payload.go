@@ -28,54 +28,104 @@ func Bytes(data []byte) Payload {
 	return Payload{Size: int64(len(data)), Data: data}
 }
 
+// AppendFloat64s appends the little-endian encoding of xs (8 bytes per
+// element) to dst and returns the extended buffer. Callers on hot paths
+// reuse one scratch buffer across messages (Isend clones the payload
+// synchronously, so the scratch may be overwritten as soon as Isend
+// returns) instead of allocating per message.
+func AppendFloat64s(dst []byte, xs ...float64) []byte {
+	var b [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
 // Float64s encodes a float64 slice as a real payload (8 bytes per element,
 // little endian).
 func Float64s(xs []float64) Payload {
-	data := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(data[8*i:], math.Float64bits(x))
-	}
+	data := AppendFloat64s(make([]byte, 0, 8*len(xs)), xs...)
 	return Payload{Size: int64(len(data)), Data: data}
 }
 
-// AsFloat64s decodes a real payload into float64s. It panics on virtual
+// Float64sInto decodes a real payload into dst, reusing its backing array
+// when capacity allows, and returns the decoded slice. It panics on virtual
 // payloads or sizes that are not multiples of 8.
+func (p Payload) Float64sInto(dst []float64) []float64 {
+	n := p.elems("AsFloat64s")
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(p.Data[8*i:]))
+	}
+	return dst
+}
+
+// AsFloat64s decodes a real payload into a fresh float64 slice. It panics
+// on virtual payloads or sizes that are not multiples of 8.
 func (p Payload) AsFloat64s() []float64 {
-	if p.Data == nil && p.Size > 0 {
-		panic("mpi: AsFloat64s on virtual payload")
+	return p.Float64sInto(nil)
+}
+
+// AppendInt64s appends the little-endian encoding of xs to dst and returns
+// the extended buffer; the int64 counterpart of AppendFloat64s.
+func AppendInt64s(dst []byte, xs ...int64) []byte {
+	var b [8]byte
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(b[:], uint64(x))
+		dst = append(dst, b[:]...)
 	}
-	if len(p.Data)%8 != 0 {
-		panic(fmt.Sprintf("mpi: payload size %d not a multiple of 8", len(p.Data)))
-	}
-	xs := make([]float64, len(p.Data)/8)
-	for i := range xs {
-		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(p.Data[8*i:]))
-	}
-	return xs
+	return dst
 }
 
 // Int64s encodes an int64 slice as a real payload.
 func Int64s(xs []int64) Payload {
-	data := make([]byte, 8*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint64(data[8*i:], uint64(x))
-	}
+	data := AppendInt64s(make([]byte, 0, 8*len(xs)), xs...)
 	return Payload{Size: int64(len(data)), Data: data}
 }
 
-// AsInt64s decodes a real payload into int64s.
+// Int64sInto decodes a real payload into dst, reusing its backing array
+// when capacity allows, and returns the decoded slice.
+func (p Payload) Int64sInto(dst []int64) []int64 {
+	n := p.elems("AsInt64s")
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = int64(binary.LittleEndian.Uint64(p.Data[8*i:]))
+	}
+	return dst
+}
+
+// AsInt64s decodes a real payload into a fresh int64 slice.
 func (p Payload) AsInt64s() []int64 {
+	return p.Int64sInto(nil)
+}
+
+// Int64At decodes element i of an int64-encoded payload without
+// allocating — the decode half of the scratch-buffer idiom control
+// messages use (see AppendInt64s).
+func (p Payload) Int64At(i int) int64 {
+	n := p.elems("Int64At")
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("mpi: Int64At(%d) of %d elements", i, n))
+	}
+	return int64(binary.LittleEndian.Uint64(p.Data[8*i:]))
+}
+
+// elems validates an 8-byte-element payload and returns its element count.
+func (p Payload) elems(op string) int {
 	if p.Data == nil && p.Size > 0 {
-		panic("mpi: AsInt64s on virtual payload")
+		panic("mpi: " + op + " on virtual payload")
 	}
 	if len(p.Data)%8 != 0 {
 		panic(fmt.Sprintf("mpi: payload size %d not a multiple of 8", len(p.Data)))
 	}
-	xs := make([]int64, len(p.Data)/8)
-	for i := range xs {
-		xs[i] = int64(binary.LittleEndian.Uint64(p.Data[8*i:]))
-	}
-	return xs
+	return len(p.Data) / 8
 }
 
 // IsVirtual reports whether the payload carries no real bytes.

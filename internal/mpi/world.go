@@ -106,6 +106,8 @@ type World struct {
 	hooks FaultHooks // nil when fault injection is off
 
 	rec *trace.Recorder // nil when event tracing is off
+
+	envFree []*envelope // recycled envelopes; see newEnvelope/freeEnvelope
 }
 
 // NewWorld creates a world on machine m.

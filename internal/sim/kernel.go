@@ -25,6 +25,7 @@ type Kernel struct {
 	now    float64
 	seq    uint64
 	events eventHeap
+	free   []*event // recycled events; see newEvent/recycle
 
 	current *Proc
 	yield   chan yieldMsg
@@ -56,6 +57,7 @@ type event struct {
 	fn       func()
 	canceled bool
 	index    int // heap index, -1 when popped
+	gen      uint32
 }
 
 type eventHeap []*event
@@ -99,15 +101,18 @@ func NewKernel() *Kernel {
 func (k *Kernel) Now() float64 { return k.now }
 
 // Timer is a handle to a scheduled event. Cancel prevents a pending event
-// from firing.
+// from firing. Fired events are recycled, so the Timer snapshots the
+// event's generation: a stale handle (its event already fired and was
+// reused for a later schedule) can never cancel the new occupant.
 type Timer struct {
-	k  *Kernel
-	ev *event
+	ev   *event
+	gen  uint32
+	when float64
 }
 
 // Cancel stops the timer. It reports whether the event was still pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.canceled {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.canceled {
 		return false
 	}
 	pending := t.ev.index >= 0
@@ -116,7 +121,32 @@ func (t *Timer) Cancel() bool {
 }
 
 // When reports the virtual time the timer fires at.
-func (t *Timer) When() float64 { return t.ev.at }
+func (t *Timer) When() float64 { return t.when }
+
+// newEvent takes an event off the freelist (or allocates one) and stamps
+// the next sequence number on it.
+func (k *Kernel) newEvent(at float64, fn func()) *event {
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		e.at, e.fn, e.canceled = at, fn, false
+	} else {
+		e = &event{at: at, fn: fn}
+	}
+	e.seq = k.seq
+	k.seq++
+	return e
+}
+
+// recycle returns a popped event to the freelist, bumping its generation
+// so outstanding Timer handles go stale.
+func (k *Kernel) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	k.free = append(k.free, e)
+}
 
 // At schedules fn to run at virtual time at. Scheduling in the past is an
 // error and panics: it would break causality.
@@ -124,10 +154,9 @@ func (k *Kernel) At(at float64, fn func()) *Timer {
 	if at < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", at, k.now))
 	}
-	e := &event{at: at, seq: k.seq, fn: fn}
-	k.seq++
+	e := k.newEvent(at, fn)
 	heap.Push(&k.events, e)
-	return &Timer{k: k, ev: e}
+	return &Timer{ev: e, gen: e.gen, when: at}
 }
 
 // After schedules fn to run d seconds of virtual time from now.
@@ -161,10 +190,13 @@ func (k *Kernel) Run() error {
 	for k.events.Len() > 0 {
 		e := heap.Pop(&k.events).(*event)
 		if e.canceled {
+			k.recycle(e)
 			continue
 		}
 		k.now = e.at
-		e.fn()
+		fn := e.fn
+		k.recycle(e) // before fn: the callback may schedule and reuse it
+		fn()
 		if k.failure != nil {
 			k.shutdown()
 			return k.failure

@@ -1,6 +1,7 @@
 package analyze
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"sort"
@@ -8,7 +9,16 @@ import (
 
 // WriteReport renders the analysis as a human-readable summary: makespan
 // attribution, phase windows with stragglers, and per-rank utilization.
+// Output is buffered (one small write per rank/phase row otherwise).
 func (a *Analysis) WriteReport(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := a.writeReport(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (a *Analysis) writeReport(w io.Writer) error {
 	pct := func(x float64) float64 {
 		if a.Makespan <= 0 {
 			return 0
@@ -78,8 +88,16 @@ func (a *Analysis) writeDiags(w io.Writer) error {
 }
 
 // WriteTop renders the n largest critical-path contributors, both as raw
-// segments and aggregated by (bucket, op).
+// segments and aggregated by (bucket, op). Output is buffered.
 func (a *Analysis) WriteTop(w io.Writer, n int) error {
+	bw := bufio.NewWriter(w)
+	if err := a.writeTop(bw, n); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (a *Analysis) writeTop(w io.Writer, n int) error {
 	if n <= 0 {
 		n = 10
 	}
@@ -140,8 +158,16 @@ func (a *Analysis) WriteTop(w io.Writer, n int) error {
 	return nil
 }
 
-// Write renders the diff report.
+// Write renders the diff report. Output is buffered.
 func (d *DiffReport) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := d.write(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (d *DiffReport) write(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "makespan: A %.6fs  B %.6fs  delta %+.6fs\n",
 		d.MakespanA, d.MakespanB, d.Delta); err != nil {
 		return err

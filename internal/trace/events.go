@@ -105,8 +105,19 @@ type Recorder struct {
 	events []Event
 }
 
-// NewRecorder returns an empty event log.
-func NewRecorder() *Recorder { return &Recorder{} }
+// recorderSlab is NewRecorder's initial event capacity. Even the smallest
+// traced cell records hundreds of events, so growing from zero costs a
+// dozen reallocating appends per run; one up-front slab removes them.
+const recorderSlab = 4096
+
+// NewRecorder returns an empty event log with a preallocated slab.
+func NewRecorder() *Recorder { return NewRecorderCap(recorderSlab) }
+
+// NewRecorderCap returns an empty event log with capacity for n events,
+// for callers that know their run's event count (or want a tiny recorder).
+func NewRecorderCap(n int) *Recorder {
+	return &Recorder{events: make([]Event, 0, n)}
+}
 
 // Record appends one event.
 func (r *Recorder) Record(ev Event) { r.events = append(r.events, ev) }

@@ -9,6 +9,7 @@
 package trace
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -165,17 +166,19 @@ func (m *Monitor) Summary() []SummaryRow {
 	return out
 }
 
-// WriteSummary renders the aggregate table.
+// WriteSummary renders the aggregate table. Output is buffered: the table
+// is one small write per row.
 func (m *Monitor) WriteSummary(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "%-14s %-16s %6s %10s %10s %10s %10s\n",
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%-14s %-16s %6s %10s %10s %10s %10s\n",
 		"module", "name", "count", "total", "mean", "min", "max"); err != nil {
 		return err
 	}
 	for _, r := range m.Summary() {
-		if _, err := fmt.Fprintf(w, "%-14s %-16s %6d %10.4f %10.4f %10.4f %10.4f\n",
+		if _, err := fmt.Fprintf(bw, "%-14s %-16s %6d %10.4f %10.4f %10.4f %10.4f\n",
 			r.Module, r.Name, r.Count, r.Total, r.Mean, r.Min, r.Max); err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
