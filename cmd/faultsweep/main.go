@@ -12,15 +12,30 @@
 // requires the synchronous strategy, so the A and T variants are downgraded
 // to S by the runtime (visible as an overlap-fallback fault event); they
 // stay in the sweep to show that the downgrade is survivable, not silent.
+//
+// Chaos mode replaces the fixed crash with seeded randomized fault plans
+// (crashes, windowed drops/delays, spawn failures, link degradation) and
+// shrinks any failing plan to a minimal re-runnable reproducer:
+//
+//	faultsweep -chaos [-chaos-seed 1] [-chaos-plans 4] [-chaos-faults 3]
+//	           [-chaos-out DIR]
+//
+// A reproducer (or any hand-written plan file) replays with:
+//
+//	faultsweep -plan plan.json
+//
+// which exits 0 when the run fails as recorded and 1 when it survives.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/synthapp"
 )
@@ -36,6 +51,12 @@ func main() {
 	detect := flag.Float64("detect-latency", 0, "failure-detector latency in seconds (0: default)")
 	crashFrac := flag.Float64("crash-frac", 0.5, "crash position inside the redistribution window (0..1)")
 	configPath := flag.String("config", "", "synthetic application configuration (JSON); default: built-in CG emulation")
+	chaos := flag.Bool("chaos", false, "chaos mode: seeded randomized fault plans instead of the fixed crash")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos campaign master seed")
+	chaosPlans := flag.Int("chaos-plans", 4, "chaos plans per configuration")
+	chaosFaults := flag.Int("chaos-faults", 3, "maximum faults per chaos plan")
+	chaosOut := flag.String("chaos-out", "", "directory for minimal-reproducer plan files of failing chaos plans")
+	planPath := flag.String("plan", "", "replay a plan file (as emitted by -chaos-out) and exit")
 	flag.Parse()
 
 	net, err := harness.ParseNet(*netName)
@@ -75,6 +96,19 @@ func main() {
 		Timeout:       *timeout,
 		CrashFrac:     *crashFrac,
 	}
+
+	if *planPath != "" {
+		replayPlan(setup, configs, fp, *planPath)
+		return
+	}
+	if *chaos {
+		runChaos(setup, harness.Pair{NS: *ns, NT: *nt}, configs, harness.ChaosParams{
+			Seed: *chaosSeed, Plans: *chaosPlans, MaxFaults: *chaosFaults,
+			FaultParams: fp,
+		}, *chaosOut)
+		return
+	}
+
 	fmt.Printf("# fault campaign on %s: %d -> %d processes, app %q, %d rep(s), crash at %.0f%% of the redistribution window\n",
 		net.Name, *ns, *nt, setup.Cfg.Name, *reps, 100**crashFrac)
 
@@ -98,6 +132,91 @@ func main() {
 	for _, row := range rows {
 		fmt.Printf("%-18s %7d/%-2d %12.4f %14.4f\n",
 			row.Config.String(), row.Survived, row.Runs, row.Overhead, row.RecoveryPath)
+	}
+}
+
+// runChaos executes the chaos campaign, writes minimal reproducers for
+// failing plans into outDir (when set), and exits nonzero if any plan
+// failed.
+func runChaos(setup harness.Setup, p harness.Pair, configs []core.Config,
+	cp harness.ChaosParams, outDir string) {
+
+	fmt.Printf("# chaos campaign: %d -> %d processes, %d configs x %d plans, seed %d, <= %d faults/plan\n",
+		p.NS, p.NT, len(configs), cp.Plans, cp.Seed, cp.MaxFaults)
+	rep := harness.NewProgress(os.Stdout, len(configs)*cp.Plans)
+	outcomes, err := setup.RunChaosCampaign(p, configs, cp, rep.Step)
+	if err != nil {
+		fail(err)
+	}
+	failed := 0
+	for _, o := range outcomes {
+		if o.Survived {
+			continue
+		}
+		failed++
+		if outDir == "" {
+			continue
+		}
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fail(err)
+		}
+		name := fmt.Sprintf("%s-plan%d.json",
+			strings.ReplaceAll(o.Config.String(), " ", "-"), o.PlanIndex)
+		path := filepath.Join(outDir, name)
+		pf := &fault.PlanFile{
+			Config: o.Config.String(), NS: p.NS, NT: p.NT,
+			Net: setup.Net.Name, Rep: 0,
+			Failure: o.MinimalErr, Plan: *o.MinimalPlan,
+		}
+		if err := fault.WritePlanFile(path, pf); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote minimal reproducer %s (%d of %d actions)\n",
+			path, len(o.MinimalPlan.Actions), len(o.Plan.Actions))
+	}
+	fmt.Printf("\nchaos: %d/%d plans survived\n", len(outcomes)-failed, len(outcomes))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// replayPlan re-runs an emitted plan file. Exit 0: the failure reproduces
+// (any failure — the recorded message is printed for comparison); exit 1:
+// the run unexpectedly survives.
+func replayPlan(setup harness.Setup, configs []core.Config, fp harness.FaultParams, path string) {
+	pf, err := fault.LoadPlanFile(path)
+	if err != nil {
+		fail(err)
+	}
+	var cfg *core.Config
+	for i := range configs {
+		if configs[i].String() == pf.Config {
+			cfg = &configs[i]
+			break
+		}
+	}
+	if cfg == nil {
+		fail(fmt.Errorf("plan file names config %q, not in this sweep (try -family all)", pf.Config))
+	}
+	if pf.Net != "" && pf.Net != setup.Net.Name {
+		net, err := harness.ParseNet(pf.Net)
+		if err != nil {
+			fail(fmt.Errorf("plan file names network %q: %w", pf.Net, err))
+		}
+		reps, workers, app := setup.Reps, setup.Workers, setup.Cfg
+		setup = harness.DefaultSetup(net)
+		setup.Reps, setup.Workers, setup.Cfg = reps, workers, app
+	}
+	fmt.Printf("# replaying %s: %d -> %d %s rep %d, %d action(s)\n",
+		path, pf.NS, pf.NT, pf.Config, pf.Rep, len(pf.Plan.Actions))
+	ok, msg := setup.RunPlan(harness.Pair{NS: pf.NS, NT: pf.NT}, *cfg, pf.Rep, fp, pf.Plan)
+	if ok {
+		fmt.Println("replay SURVIVED — the plan does not reproduce its recorded failure")
+		os.Exit(1)
+	}
+	fmt.Printf("replay failed as expected: %s\n", msg)
+	if pf.Failure != "" && pf.Failure != msg {
+		fmt.Printf("note: recorded failure differs: %s\n", pf.Failure)
 	}
 }
 

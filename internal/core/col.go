@@ -24,7 +24,16 @@ type colTransfer struct {
 	sizesReq *mpi.AlltoallvReq
 	valsReq  *mpi.AlltoallvReq
 	sizes    [][]int64 // received size vectors, indexed by peer then item
+
+	// hooks is the recovery ladder's bookkeeping (nil outside resilient
+	// passes). The COL path acks chunks at install time and ticks on phase
+	// completions, but records no RTT samples: a collective completion is not
+	// a per-flow time.
+	hooks *ladderHooks
 }
+
+// setLadderHooks wires the transfer into a resilient pass.
+func (t *colTransfer) setLadderHooks(h *ladderHooks) { t.hooks = h }
 
 // newCOLTransfer plans an Algorithm 2 pass for items on view v.
 func newCOLTransfer(v *view, items []Item) *colTransfer {
@@ -56,9 +65,11 @@ func (t *colTransfer) stage(c *mpi.Ctx) {
 					if copyRate > 0 {
 						c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
 					}
+					t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo})
 					continue
 				}
 				pl := it.Extract(ch.Lo, ch.Hi)
+				t.hooks.retain(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}, pl)
 				sizeVecs[ch.Dst][i] += pl.Size
 				perPeer[ch.Dst] = append(perPeer[ch.Dst], pl)
 			}
@@ -126,6 +137,7 @@ func (t *colTransfer) progress(c *mpi.Ctx) bool {
 		}
 		t.decodeSizes(t.sizesReq.Result())
 		t.prepareTargets()
+		t.hooks.tick()
 		t.valsReq = c.Ialltoallv(t.v.comm, t.sendVals)
 		t.phase = 2
 		return false
@@ -134,6 +146,7 @@ func (t *colTransfer) progress(c *mpi.Ctx) bool {
 			return false
 		}
 		t.installValues(t.valsReq.Result())
+		t.hooks.tick()
 		t.phase = 3
 		return true
 	default:
@@ -174,9 +187,10 @@ func (t *colTransfer) prepareTargets() {
 	if !t.v.isTarget() {
 		return
 	}
-	for _, it := range t.items {
+	for i, it := range t.items {
 		lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
 		it.Prepare(lo, hi)
+		t.hooks.markPrepared(i)
 	}
 }
 
@@ -211,7 +225,7 @@ func (t *colTransfer) installValues(recv []mpi.Payload) {
 			}
 		}
 		var off int64
-		for _, it := range t.items {
+		for i, it := range t.items {
 			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
 				if ch.Src != p || t.v.selfChunk(ch.Src, ch.Dst) {
 					continue
@@ -219,6 +233,7 @@ func (t *colTransfer) installValues(recv []mpi.Payload) {
 				n := it.WireBytes(ch.Lo, ch.Hi)
 				it.Install(ch.Lo, ch.Hi, pl.Slice(off, off+n))
 				off += n
+				t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo})
 			}
 		}
 		if off != pl.Size {

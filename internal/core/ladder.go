@@ -1,0 +1,210 @@
+package core
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// The graduated recovery ladder. Instead of one abort-everything rung, the
+// resilient pass escalates only as far as the fault demands:
+//
+//	rung 0  selective retransmission: a timed-out epoch resends only the
+//	        chunks no target acknowledged, from retained in-memory copies.
+//	rung 1  adaptive deadlines: RTT-driven epoch extensions with bounded
+//	        exponential backoff (per-rank, transient; see resilientDrive).
+//	rung 2  partial re-plan over survivors: only chunks whose source copy
+//	        died reroute; everything acked stays put.
+//	rung 3  checkpoint restore: the selective path itself is compromised,
+//	        every chunk re-reads from the protect files.
+//	rung 4  UnrecoverableError: data whose only copy is gone, or the round
+//	        budget is exhausted.
+//
+// Rungs 0/2/3 are pass-global (agreed at the commit barrier); rung 1 is a
+// per-rank deadline policy inside one epoch. Every transition is recorded
+// as an EvFault event: Op "escalate" with Tag = rung for the pass-global
+// rungs, Op "extend" with Tag = 1 for each rung-1 deadline extension.
+const (
+	rungRetransmit    = 0
+	rungAdaptive      = 1
+	rungReplan        = 2
+	rungCheckpoint    = 3
+	rungUnrecoverable = 4
+)
+
+// chunkKey names one planned chunk of a pass: the item's position in the
+// pass item slice plus the plan's (source rank, target rank, lo) triple.
+// Both sides enumerate the same deterministic plan, so the key needs no
+// per-pair sequence number.
+type chunkKey struct {
+	item     int
+	src, dst int
+	lo       int64
+}
+
+// chunkState is the shared delivery state of one chunk.
+type chunkState struct {
+	// acked is set when the target installed the chunk (any path: normal
+	// tag, recovery tag, local copy, or checkpoint read).
+	acked bool
+	// retained is the source's staged extraction, kept so a later selective
+	// round can resend without touching the (possibly re-Prepared) item.
+	// Extracted slices stay valid because Prepare allocates fresh storage.
+	retained    mpi.Payload
+	hasRetained bool
+}
+
+// ackTracker is the pass-wide chunk acknowledgement map, shared by all
+// ranks of one resilient pass through its epochState. Like the rest of the
+// epoch coordination block it is only ever touched under the owning
+// world's single-threaded kernel.
+type ackTracker struct {
+	chunks map[chunkKey]*chunkState
+}
+
+func newAckTracker() *ackTracker {
+	return &ackTracker{chunks: map[chunkKey]*chunkState{}}
+}
+
+func (a *ackTracker) state(k chunkKey) *chunkState {
+	st := a.chunks[k]
+	if st == nil {
+		st = &chunkState{}
+		a.chunks[k] = st
+	}
+	return st
+}
+
+// retain keeps the source's staged payload for possible retransmission.
+func (a *ackTracker) retain(k chunkKey, pl mpi.Payload) {
+	st := a.state(k)
+	if !st.hasRetained {
+		st.retained = pl
+		st.hasRetained = true
+	}
+}
+
+// ack marks the chunk delivered and drops the retained copy (it can never
+// be resent again, so the bytes need not be held).
+func (a *ackTracker) ack(k chunkKey) {
+	st := a.state(k)
+	st.acked = true
+	st.retained = mpi.Payload{}
+	st.hasRetained = false
+}
+
+func (a *ackTracker) acked(k chunkKey) bool {
+	st := a.chunks[k]
+	return st != nil && st.acked
+}
+
+// retainedCopy returns the source's staged payload, if one is held.
+func (a *ackTracker) retainedCopy(k chunkKey) (mpi.Payload, bool) {
+	st := a.chunks[k]
+	if st == nil || !st.hasRetained {
+		return mpi.Payload{}, false
+	}
+	return st.retained, true
+}
+
+// ladderHooks threads the ladder's bookkeeping into a transfer: the shared
+// ack map, the rank-local Prepare ledger (so a selective round never
+// re-Prepares — and thereby wipes — an item holding installed chunks), the
+// RTT estimator, and the progress counter the adaptive deadline watches.
+// All methods tolerate a nil receiver, which is the non-resilient path.
+type ladderHooks struct {
+	acks     *ackTracker
+	prepared map[int]bool
+	rtt      *RTTEstimator
+	ticks    *int
+}
+
+// retain records a source-side staged chunk for retransmission.
+func (h *ladderHooks) retain(k chunkKey, pl mpi.Payload) {
+	if h == nil {
+		return
+	}
+	h.acks.retain(k, pl)
+}
+
+// ack marks a chunk installed and counts it as epoch progress.
+func (h *ladderHooks) ack(k chunkKey) {
+	if h == nil {
+		return
+	}
+	h.acks.ack(k)
+	*h.ticks++
+}
+
+// sample feeds one flow-completion time to the RTT estimator and counts it
+// as epoch progress.
+func (h *ladderHooks) sample(d float64) {
+	if h == nil {
+		return
+	}
+	h.rtt.Observe(d)
+	*h.ticks++
+}
+
+// tick notes forward progress without an RTT sample (size messages, COL
+// phase completions).
+func (h *ladderHooks) tick() {
+	if h == nil {
+		return
+	}
+	*h.ticks++
+}
+
+// markPrepared notes that item i's target block has been Prepared.
+func (h *ladderHooks) markPrepared(i int) {
+	if h == nil {
+		return
+	}
+	h.prepared[i] = true
+}
+
+// isPrepared reports whether item i's target block has been Prepared.
+func (h *ladderHooks) isPrepared(i int) bool { return h != nil && h.prepared[i] }
+
+// ackAware is implemented by transfers that participate in the ladder's
+// chunk acknowledgement tracking; the resilient pass type-asserts it on
+// the xfer it drives. Non-resilient passes never call it, so transfers
+// behave identically with nil hooks.
+type ackAware interface {
+	setLadderHooks(h *ladderHooks)
+}
+
+// reaper is implemented by transfers that can harvest receives which
+// completed after the epoch aborted, so an already-delivered chunk is not
+// resent by the next recovery round.
+type reaper interface {
+	reap(c *mpi.Ctx)
+}
+
+// recordEscalation emits the typed rung-transition event: an instant
+// EvFault with Op "escalate" and Tag carrying the rung index, which is how
+// the trace analyzer attributes recovery cost per rung.
+func recordEscalation(c *mpi.Ctx, rung int) {
+	rec := c.World().Recorder()
+	if rec == nil {
+		return
+	}
+	now := c.Now()
+	rec.Record(trace.Event{
+		Kind: trace.EvFault, Rank: c.Proc().GID(), Start: now, End: now,
+		Peer: -1, Tag: rung, Comm: -1, Op: "escalate", Phase: c.Phase(),
+	})
+}
+
+// recordExtend emits the per-rank rung-1 event: one EvFault with Op
+// "extend" and Tag 1 per fruitless deadline extension.
+func recordExtend(c *mpi.Ctx) {
+	rec := c.World().Recorder()
+	if rec == nil {
+		return
+	}
+	now := c.Now()
+	rec.Record(trace.Event{
+		Kind: trace.EvFault, Rank: c.Proc().GID(), Start: now, End: now,
+		Peer: -1, Tag: rungAdaptive, Comm: -1, Op: "extend", Phase: c.Phase(),
+	})
+}

@@ -23,6 +23,10 @@ type p2pTransfer struct {
 	numRcv   int // value messages still pending
 	prepared map[int]bool
 
+	// hooks is the recovery ladder's bookkeeping (nil outside resilient
+	// passes): chunk retention/acknowledgement, RTT samples, progress ticks.
+	hooks *ladderHooks
+
 	started bool
 }
 
@@ -31,6 +35,17 @@ type p2pRecvMeta struct {
 	src    int
 	lo, hi int64
 	isSize bool
+	posted float64 // post time, for the ladder's RTT samples
+}
+
+// setLadderHooks wires the transfer into a resilient pass. The pass's
+// Prepare ledger replaces the local one so a later selective recovery round
+// knows which items round 0 already Prepared.
+func (t *p2pTransfer) setLadderHooks(h *ladderHooks) {
+	t.hooks = h
+	if h != nil && h.prepared != nil {
+		t.prepared = h.prepared
+	}
 }
 
 // newP2PTransfer plans an Algorithm 1 pass on view v; tagIdx gives each
@@ -68,13 +83,16 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 			for _, ch := range planFor(it, t.v.ns, t.v.nt).SendChunks(t.v.srcRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
 					// memcpy path: Prepare preserves the local overlap; only
-					// the copy cost is charged here.
+					// the copy cost is charged here. Delivered by construction,
+					// so the ladder acks it at stage time.
 					if copyRate > 0 {
 						c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
 					}
+					t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo})
 					continue
 				}
 				pl := it.Extract(ch.Lo, ch.Hi)
+				t.hooks.retain(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}, pl)
 				staged = append(staged,
 					stagedSend{dst: ch.Dst, tag: sizeTag, size: pl.Size, isSize: true},
 					stagedSend{dst: ch.Dst, tag: valueTag, pl: pl})
@@ -87,16 +105,18 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 	// values can stream immediately.
 	if t.v.isTarget() {
 		for i, it := range t.items {
-			lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
-			it.Prepare(lo, hi)
-			t.prepared[i] = true
+			if !t.prepared[i] {
+				lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
+				it.Prepare(lo, hi)
+				t.prepared[i] = true
+			}
 			sizeTag, _ := itemTags(t.tagIdx[i])
 			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
 					continue // local copy handled on the send side
 				}
 				t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, ch.Src, sizeTag))
-				t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: i, src: ch.Src, lo: ch.Lo, hi: ch.Hi, isSize: true})
+				t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: i, src: ch.Src, lo: ch.Lo, hi: ch.Hi, isSize: true, posted: c.Now()})
 				t.numRcv++
 			}
 		}
@@ -160,11 +180,28 @@ func (t *p2pTransfer) handleRecv(c *mpi.Ctx, idx int, rr *mpi.RecvReq) {
 			panic(fmt.Sprintf("core: %q size message %d from source %d, plan says %d",
 				it.Name(), size, meta.src, want))
 		}
+		t.hooks.tick()
 		_, valueTag := itemTags(t.tagIdx[meta.item])
 		t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, meta.src, valueTag))
-		t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: meta.item, src: meta.src, lo: meta.lo, hi: meta.hi})
+		t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: meta.item, src: meta.src, lo: meta.lo, hi: meta.hi, posted: c.Now()})
 		return
 	}
 	it.Install(meta.lo, meta.hi, rr.Payload())
 	t.numRcv--
+	t.hooks.sample(c.Now() - meta.posted)
+	t.hooks.ack(chunkKey{item: meta.item, src: meta.src, dst: t.v.tgtRank, lo: meta.lo})
+}
+
+// reap harvests value receives that completed after the epoch aborted, so
+// their chunks are acked before the next recovery round plans resends. Size
+// messages are skipped: handling one would post a fresh value receive into
+// an epoch that is already over.
+func (t *p2pTransfer) reap(c *mpi.Ctx) {
+	for idx := range t.recvReqs {
+		rr, ok := t.recvReqs[idx].(*mpi.RecvReq)
+		if !ok || t.recvMeta[idx].isSize || !rr.Done() || rr.Handled() {
+			continue
+		}
+		t.handleRecv(c, idx, rr)
+	}
 }

@@ -51,18 +51,62 @@ type FailureDetector interface {
 }
 
 // Resilience configures fault-tolerant redistribution. A nil *Resilience
-// disables the protocol entirely.
+// disables the protocol entirely. All durations are in simulated seconds.
 type Resilience struct {
 	// Detector supplies failure notifications; required.
 	Detector FailureDetector
-	// Timeout bounds one redistribution epoch before the rank probes the
-	// detector; after three fruitless extensions the epoch aborts. Default
-	// 2 simulated seconds.
+	// Timeout is the baseline epoch deadline and the upper clamp of the
+	// adaptive (RTT-derived) deadline, in simulated seconds. Default 2.
 	Timeout float64
+	// MinTimeout floors the adaptive deadline so a burst of fast samples
+	// cannot shrink the window below the detector's reaction time, in
+	// simulated seconds. Default Timeout/8.
+	MinTimeout float64
 	// MaxRounds bounds recovery attempts before the pass gives up with
 	// UnrecoverableError. Default 8, capped at 15 by the recovery tag
 	// space.
 	MaxRounds int
+	// MaxExtensions bounds consecutive fruitless deadline extensions within
+	// one epoch before the rank aborts the round (extensions reset whenever
+	// the epoch makes progress). Default 3, replacing the formerly
+	// hard-coded three-extension limit.
+	MaxExtensions int
+	// BackoffFactor multiplies the deadline after each fruitless extension
+	// (bounded exponential backoff). Must be >= 1 when set; default 2.
+	BackoffFactor float64
+	// BackoffCap bounds one extended deadline, in simulated seconds.
+	// Default 4x Timeout.
+	BackoffCap float64
+	// SpawnRetry is the retry policy for injected spawn failures during the
+	// reconfiguration's process-management stage. The zero value selects
+	// DefaultSpawnRetry.
+	SpawnRetry mpi.SpawnRetry
+}
+
+// DefaultSpawnRetry is the spawn retry policy of resilient
+// reconfigurations: capped exponential backoff starting at 20 simulated
+// milliseconds, doubling per failed attempt, capped at half a second,
+// unlimited attempts (the simulator's spawn failures are always finite).
+var DefaultSpawnRetry = mpi.SpawnRetry{Backoff: 0.02, Factor: 2, Cap: 0.5}
+
+// validate panics on unit errors in the configured fields; called at the
+// resilient entry points so mistakes surface at the call site.
+func (r *Resilience) validate() {
+	if r.Detector == nil {
+		panic("core: Resilience requires a FailureDetector")
+	}
+	if r.Timeout < 0 || r.MinTimeout < 0 || r.BackoffCap < 0 {
+		panic("core: Resilience durations must be non-negative simulated seconds")
+	}
+	if r.MinTimeout > 0 && r.MinTimeout > r.timeout() {
+		panic("core: Resilience.MinTimeout exceeds the epoch Timeout")
+	}
+	if r.BackoffFactor != 0 && r.BackoffFactor < 1 {
+		panic("core: Resilience.BackoffFactor must be >= 1")
+	}
+	if r.MaxRounds < 0 || r.MaxExtensions < 0 {
+		panic("core: Resilience round/extension budgets must be non-negative")
+	}
 }
 
 func (r *Resilience) timeout() float64 {
@@ -70,6 +114,13 @@ func (r *Resilience) timeout() float64 {
 		return r.Timeout
 	}
 	return 2
+}
+
+func (r *Resilience) minTimeout() float64 {
+	if r.MinTimeout > 0 {
+		return r.MinTimeout
+	}
+	return r.timeout() / 8
 }
 
 func (r *Resilience) maxRounds() int {
@@ -81,6 +132,34 @@ func (r *Resilience) maxRounds() int {
 		n = 15 // recovery tags must stay below the collective tag space
 	}
 	return n
+}
+
+func (r *Resilience) maxExtensions() int {
+	if r.MaxExtensions > 0 {
+		return r.MaxExtensions
+	}
+	return 3
+}
+
+func (r *Resilience) backoffFactor() float64 {
+	if r.BackoffFactor >= 1 {
+		return r.BackoffFactor
+	}
+	return 2
+}
+
+func (r *Resilience) backoffCap() float64 {
+	if r.BackoffCap > 0 {
+		return r.BackoffCap
+	}
+	return 4 * r.timeout()
+}
+
+func (r *Resilience) spawnRetry() mpi.SpawnRetry {
+	if r.SpawnRetry == (mpi.SpawnRetry{}) {
+		return DefaultSpawnRetry
+	}
+	return r.SpawnRetry
 }
 
 // UnrecoverableError reports a fault the recovery protocol cannot mask:
@@ -116,12 +195,25 @@ func recoveryTag(round, itemIdx, chunk int) int {
 }
 
 // epochState is the shared coordination block of one resilient pass: soft
-// barriers (arrival sets keyed by label) and per-round abort flags. Like
+// barriers (arrival sets keyed by label), per-round abort flags, the chunk
+// acknowledgement map, and the recovery ladder's agreed rung. Like
 // crNamespaces it is keyed by world and matching context; the simulation is
 // single-threaded per kernel.
 type epochState struct {
 	arrived map[string]map[int]bool
 	abort   map[int]bool
+
+	// acks is the pass-wide chunk delivery state driving selective
+	// retransmission (rung 0/2).
+	acks *ackTracker
+	// rung is the highest recovery rung proposed so far (-1 before any
+	// escalation). Proposals land before the round's commit barrier, so
+	// every survivor reads the same agreed rung when planning the next
+	// round.
+	rung int
+	// escalated marks rungs whose escalation event has been emitted, so the
+	// ladder records exactly one "escalate" event per reached rung per pass.
+	escalated map[int]bool
 }
 
 var epochStates map[*mpi.World]map[int]*epochState
@@ -146,7 +238,10 @@ func epochStateFor(w *mpi.World, ctxID int) *epochState {
 	}
 	st := per[ctxID]
 	if st == nil {
-		st = &epochState{arrived: map[string]map[int]bool{}, abort: map[int]bool{}}
+		st = &epochState{
+			arrived: map[string]map[int]bool{}, abort: map[int]bool{},
+			acks: newAckTracker(), rung: -1, escalated: map[int]bool{},
+		}
 		per[ctxID] = st
 	}
 	return st
@@ -215,6 +310,17 @@ type resilientPass struct {
 	st    *epochState
 	parts []int
 	files *crFiles
+
+	// Ladder state. acks is shared pass-wide (st.acks); hooks, rtt, ticks
+	// and prepared are rank-local.
+	acks     *ackTracker
+	hooks    *ladderHooks
+	rtt      *RTTEstimator
+	ticks    int
+	prepared map[int]bool
+	// x is the rank's round-0 attempt transfer, kept so recovery rounds can
+	// reap receives that completed after the abort.
+	x xfer
 }
 
 // runResilientPass executes one redistribution pass under the recovery
@@ -222,9 +328,7 @@ type resilientPass struct {
 func runResilientPass(c *mpi.Ctx, cfg Config, v *view, items []Item, tagIdx []int,
 	res *Resilience, recordSpans bool) {
 
-	if res.Detector == nil {
-		panic("core: Resilience requires a FailureDetector")
-	}
+	res.validate()
 	if c.World().Machine().FS() == nil {
 		panic("core: resilient redistribution needs a filesystem (cluster.Config.FSBandwidth) for the protect checkpoint")
 	}
@@ -234,7 +338,11 @@ func runResilientPass(c *mpi.Ctx, cfg Config, v *view, items []Item, tagIdx []in
 		st:          epochStateFor(c.World(), v.comm.CtxID()),
 		parts:       passParticipants(v),
 		files:       crStoreFor(c, v),
+		rtt:         &RTTEstimator{},
+		prepared:    map[int]bool{},
 	}
+	rp.acks = rp.st.acks
+	rp.hooks = &ladderHooks{acks: rp.acks, prepared: rp.prepared, rtt: rp.rtt, ticks: &rp.ticks}
 
 	// Protect: every source persists its pass items before the epoch, so a
 	// block lost to a crash (or overwritten by a Merge target's Prepare)
@@ -244,11 +352,13 @@ func runResilientPass(c *mpi.Ctx, cfg Config, v *view, items []Item, tagIdx []in
 	rp.arrive(c, "protect")
 
 	// For the CR method the checkpoint IS the transfer: every round reads
-	// back from the protect files and no rank resends anything.
+	// back from the protect files and no rank resends anything — the pass
+	// starts on rung 3's data path.
 	checkpointOnly := cfg.Comm == CR
 
 	for round := 0; ; round++ {
 		if round > res.maxRounds() {
+			rp.escalateTo(c, rungUnrecoverable)
 			panic(&UnrecoverableError{Reason: fmt.Sprintf(
 				"redistribution did not converge after %d recovery rounds", res.maxRounds())})
 		}
@@ -266,23 +376,84 @@ func runResilientPass(c *mpi.Ctx, cfg Config, v *view, items []Item, tagIdx []in
 				abort = rp.recoveryRound(c, round, failedAtPlan, true)
 			})
 		default:
+			// A participant died before this round was planned: at least
+			// rung 2 (re-plan over survivors). The selective round below
+			// still skips every acked chunk, so only lost or undelivered
+			// data moves.
+			if len(failedAtPlan) > 0 {
+				rp.escalateTo(c, rungReplan)
+			}
 			recordFault(c, "replan", -1)
+			full := checkpointOnly || rp.st.rung >= rungCheckpoint
 			rp.inPhase(c, trace.PhaseRecovery, func() {
-				abort = rp.recoveryRound(c, round, failedAtPlan, checkpointOnly)
+				rp.reapAttempt(c)
+				abort = rp.recoveryRound(c, round, failedAtPlan, full)
 			})
 		}
 		if abort != "" {
 			rp.st.abort[round] = true
 			recordFault(c, "abort", -1)
+			rp.proposeRung(c, round, failedAtPlan)
 			c.World().WakeAll()
 		}
 		// Commit barrier: the round succeeds only if nobody aborted. A
 		// completer that reaches the barrier still honors a peer's abort
-		// flag, so all survivors enter the next round together.
-		rp.arrive(c, fmt.Sprintf("commit:%d", round))
+		// flag, so all survivors enter the next round together. Rung
+		// proposals land before the barrier, so the ladder state is agreed
+		// when the next round is planned. A recovery round's barrier wait is
+		// time spent masking the fault — a selective round can be instant for
+		// a rank with nothing to resend while its peers restore from the
+		// checkpoint — so it stays inside the recovery phase window.
+		commit := func() { rp.arrive(c, fmt.Sprintf("commit:%d", round)) }
+		if round == 0 {
+			commit()
+		} else {
+			rp.inPhase(c, trace.PhaseRecovery, commit)
+		}
 		if !rp.st.abort[round] {
 			return
 		}
+	}
+}
+
+// escalateTo proposes rung r for the pass. The shared rung only moves up,
+// and the transition event is emitted once per reached rung per pass
+// (whichever rank gets there first, deterministic under the kernel).
+func (rp *resilientPass) escalateTo(c *mpi.Ctx, rung int) {
+	if rung > rp.st.rung {
+		rp.st.rung = rung
+	}
+	if !rp.st.escalated[rung] {
+		rp.st.escalated[rung] = true
+		recordEscalation(c, rung)
+	}
+}
+
+// proposeRung translates an abort into the next ladder rung, before the
+// commit barrier publishes the decision.
+func (rp *resilientPass) proposeRung(c *mpi.Ctx, round int, failedAtPlan map[int]bool) {
+	switch {
+	case rp.newFailure(failedAtPlan) >= 0:
+		// A participant died mid-round: survivors must re-plan around it.
+		rp.escalateTo(c, rungReplan)
+	case round > 0 && rp.st.rung >= rungRetransmit:
+		// A recovery round itself timed out with nobody newly dead: the
+		// selective resend path is compromised, fall back to the
+		// checkpoint.
+		rp.escalateTo(c, rungCheckpoint)
+	default:
+		// Pure timeout with every participant alive: selective
+		// retransmission of the unacked remainder.
+		rp.escalateTo(c, rungRetransmit)
+	}
+}
+
+// reapAttempt harvests receives of the aborted round-0 attempt that
+// completed after the abort, so already-delivered chunks are acked before
+// the recovery round plans its resends.
+func (rp *resilientPass) reapAttempt(c *mpi.Ctx) {
+	if r, ok := rp.x.(reaper); ok {
+		r.reap(c)
 	}
 }
 
@@ -339,17 +510,45 @@ func (rp *resilientPass) newFailure(failedAtPlan map[int]bool) int {
 
 // attempt drives the normal transfer non-blockingly so detection can
 // interleave. Both sides use progress(), which keeps the algorithm family
-// (scattered non-blocking) symmetric across sources and targets.
+// (scattered non-blocking) symmetric across sources and targets. The
+// transfer is wired into the ladder's ack tracking so a later selective
+// round knows exactly which chunks landed.
 func (rp *resilientPass) attempt(c *mpi.Ctx, failedAtPlan map[int]bool) string {
 	x := newXfer(rp.cfg.Comm, rp.v, rp.items, rp.tagIdx)
+	if aa, ok := x.(ackAware); ok {
+		aa.setLadderHooks(rp.hooks)
+	}
+	rp.x = x
 	return rp.resilientDrive(c, failedAtPlan, func() bool { return x.progress(c) },
 		"redistribution epoch")
 }
 
-// resilientDrive advances step until it reports completion. It returns a
-// non-empty abort reason when a participant outside failedAtPlan fails, or
-// when the epoch deadline expires repeatedly (after probing the detector
-// and three extensions).
+// deadline computes the epoch deadline: the Jacobson RTO over observed
+// flow completions, scaled by a pipelining safety factor (several flows
+// are in flight back to back) and clamped to [MinTimeout, Timeout]. With
+// no samples yet — the first epoch, or the COL path, which only observes
+// phase-level completions — it is the configured fixed Timeout.
+func (rp *resilientPass) deadline() float64 {
+	if rp.rtt.Samples() == 0 {
+		return rp.res.timeout()
+	}
+	d := 4 * rp.rtt.RTO()
+	if min := rp.res.minTimeout(); d < min {
+		return min
+	}
+	if max := rp.res.timeout(); d > max {
+		return max
+	}
+	return d
+}
+
+// resilientDrive advances step until it reports completion, under the
+// ladder's rung-1 deadline policy. It returns a non-empty abort reason
+// when a participant outside failedAtPlan fails, or when the adaptive
+// deadline expires MaxExtensions times in a row without observed progress
+// (each fruitless expiry probes the detector, records an "extend" event,
+// and backs the window off exponentially up to BackoffCap; any progress
+// resets both the extension budget and the window).
 func (rp *resilientPass) resilientDrive(c *mpi.Ctx, failedAtPlan map[int]bool,
 	step func() bool, what string) string {
 
@@ -363,28 +562,50 @@ func (rp *resilientPass) resilientDrive(c *mpi.Ctx, failedAtPlan map[int]bool,
 		return step()
 	}
 	desc := fmt.Sprintf("core: %s on comm %d", what, rp.v.comm.CtxID())
-	const maxExtensions = 3
-	for ext := 0; ; ext++ {
-		if c.WaitUntilDeadline(pred, desc, c.Now()+rp.res.timeout()) {
+	d := rp.deadline()
+	for ext := 0; ; {
+		ticksBefore := rp.ticks
+		if c.WaitUntilDeadline(pred, desc, c.Now()+d) {
 			return reason
 		}
 		det.Probe()
 		if g := rp.newFailure(failedAtPlan); g >= 0 {
 			return fmt.Sprintf("g%d failed", g)
 		}
-		if ext >= maxExtensions {
+		if rp.ticks != ticksBefore {
+			// Flows completed inside the window: the epoch is progressing,
+			// re-arm without spending the extension budget.
+			ext = 0
+			d = rp.deadline()
+			continue
+		}
+		if ext >= rp.res.maxExtensions() {
 			return "timeout"
+		}
+		ext++
+		recordExtend(c)
+		d *= rp.res.backoffFactor()
+		if cap := rp.res.backoffCap(); d > cap {
+			d = cap
 		}
 	}
 }
 
-// recoveryRound re-transfers every chunk of the pass over the survivor
-// set. Pristine live sources resend their chunks point-to-point with
-// round-scoped tags; chunks whose source copy is gone are restored from
-// the protect checkpoint. With checkpointOnly (the CR method) everything
-// reads from the checkpoint.
+// recoveryRound re-transfers the chunks the previous rounds did not land,
+// over the survivor set and with round-scoped tags.
+//
+// Selective mode (full == false; rungs 0 and 2): chunks the ack tracker
+// marks delivered are skipped on both sides. For the rest, a live source
+// resends from its retained staging copy when it holds one, re-extracts
+// when its in-memory block is still pristine, and otherwise the target
+// restores the chunk from the protect checkpoint. Both sides consult the
+// same shared ack map — stable between the previous round's commit barrier
+// and this round's sends — so their plans agree without extra messages.
+//
+// Full mode (full == true; rung 3 and the CR method) ignores the ack state
+// and restores every chunk from the checkpoint.
 func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[int]bool,
-	checkpointOnly bool) string {
+	full bool) string {
 
 	v := rp.v
 
@@ -393,7 +614,7 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 	// doubles as a target (its Prepare may already have resized the item
 	// in place).
 	pristine := func(src int) bool {
-		if checkpointOnly || failedAtPlan[v.sourceGID(src)] {
+		if full || failedAtPlan[v.sourceGID(src)] {
 			return false
 		}
 		if !v.inter && src < v.nt {
@@ -407,51 +628,85 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 		item   int
 		lo, hi int64
 		rr     *mpi.RecvReq
+		key    chunkKey
 	}
 	var installs []pendingInstall
 
-	if v.isSource() && pristine(v.srcRank) {
+	if v.isSource() && !full && !failedAtPlan[v.sourceGID(v.srcRank)] {
 		occ := map[[2]int]int{}
 		for i, it := range rp.items {
 			for _, ch := range planFor(it, v.ns, v.nt).SendChunks(v.srcRank) {
 				k := [2]int{i, ch.Dst}
 				seq := occ[k]
 				occ[k]++
+				key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}
+				if rp.acks.acked(key) {
+					continue // already delivered
+				}
 				if failedAtPlan[v.targetGID(ch.Dst)] {
 					continue // no survivor to receive it
 				}
-				pl := it.Extract(ch.Lo, ch.Hi)
+				var pl mpi.Payload
+				if cp, ok := rp.acks.retainedCopy(key); ok {
+					pl = cp
+				} else if pristine(v.srcRank) {
+					pl = it.Extract(ch.Lo, ch.Hi)
+				} else {
+					continue // copy gone: the target reads the checkpoint
+				}
 				reqs = append(reqs, v.sendTo(c, ch.Dst, recoveryTag(round, rp.tagIdx[i], seq), pl))
 			}
 		}
 	}
 	if v.isTarget() {
 		for i, it := range rp.items {
-			lo, hi := targetRange(it, v.nt, v.tgtRank)
-			it.Prepare(lo, hi)
+			// Re-Prepare only when nothing of this item may survive: a
+			// selective round must not wipe chunks earlier rounds installed.
+			if full || (!rp.prepared[i] && !rp.hooks.isPrepared(i)) {
+				lo, hi := targetRange(it, v.nt, v.tgtRank)
+				it.Prepare(lo, hi)
+				rp.prepared[i] = true
+			}
 			occ := map[[2]int]int{}
 			for _, ch := range planFor(it, v.ns, v.nt).RecvChunks(v.tgtRank) {
 				k := [2]int{i, ch.Src}
 				seq := occ[k]
 				occ[k]++
-				if pristine(ch.Src) {
+				key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}
+				if !full && rp.acks.acked(key) {
+					continue // already delivered
+				}
+				resendable := false
+				if !full && !failedAtPlan[v.sourceGID(ch.Src)] {
+					_, hasCopy := rp.acks.retainedCopy(key)
+					resendable = hasCopy || pristine(ch.Src)
+				}
+				if resendable {
 					rr := v.recvFrom(c, ch.Src, recoveryTag(round, rp.tagIdx[i], seq))
 					reqs = append(reqs, rr)
-					installs = append(installs, pendingInstall{item: i, lo: ch.Lo, hi: ch.Hi, rr: rr})
+					installs = append(installs, pendingInstall{item: i, lo: ch.Lo, hi: ch.Hi, rr: rr, key: key})
 				} else {
 					rp.readChunk(c, i, it, ch)
+					rp.acks.ack(key)
 				}
 			}
 		}
 	}
 
+	seenDone := 0
 	done := func() bool {
+		n := 0
 		for _, r := range reqs {
-			if !r.Done() {
-				return false
+			if r.Done() {
+				n++
 			}
 		}
-		return true
+		if n > seenDone {
+			// Completions are epoch progress for the adaptive deadline.
+			rp.ticks += n - seenDone
+			seenDone = n
+		}
+		return n == len(reqs)
 	}
 	if reason := rp.resilientDrive(c, failedAtPlan, done,
 		fmt.Sprintf("recovery round %d", round)); reason != "" {
@@ -465,6 +720,7 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 				it.Name(), got, want))
 		}
 		it.Install(p.lo, p.hi, p.rr.Payload())
+		rp.acks.ack(p.key)
 	}
 	return ""
 }
@@ -474,11 +730,13 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 // mid-write and its in-memory copy is also gone: unrecoverable.
 func (rp *resilientPass) readChunk(c *mpi.Ctx, i int, it Item, ch partition.Chunk) {
 	if !rp.files.complete[ch.Src] {
+		rp.escalateTo(c, rungUnrecoverable)
 		panic(&UnrecoverableError{Reason: fmt.Sprintf(
 			"item %q: source %d crashed before completing its protect checkpoint", it.Name(), ch.Src)})
 	}
 	blk, ok := rp.files.blocks[crKey{item: i, src: ch.Src}]
 	if !ok {
+		rp.escalateTo(c, rungUnrecoverable)
 		panic(&UnrecoverableError{Reason: fmt.Sprintf(
 			"item %q: no checkpoint block for source %d", it.Name(), ch.Src)})
 	}

@@ -2,9 +2,7 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"strings"
-	"sync"
 	"testing"
 
 	"repro/internal/mpi"
@@ -42,52 +40,12 @@ func (d *stubDetector) killAt(gid int, at float64) {
 // protocol, crashing victimGID at crashAt (no crash when crashAt < 0), and
 // returns the kernel error plus the recorded events. Victims mutate the
 // variable item before Wait, so surviving targets can verify byte-exact
-// restored content with verifyStore.
+// restored content with verifyStore. See ladderRun (ladder_test.go) for the
+// generalized variant with custom Resilience and message-fault hooks.
 func resilientRun(t *testing.T, cfg Config, ns, nt int, victimGID int, crashAt float64,
 	verify bool) (error, []trace.Event) {
 	t.Helper()
-	const n = 1000
-	w := testWorld(t)
-	rec := trace.NewRecorder()
-	w.SetRecorder(rec)
-	det := newStubDetector(w)
-	if crashAt >= 0 {
-		det.killAt(victimGID, crashAt)
-	}
-	res := &Resilience{Detector: det}
-
-	var mu sync.Mutex
-	verified := map[int]bool{}
-	w.Launch(ns, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
-		rank := comm.Rank(c)
-		st := buildStore(n, ns, rank)
-		r := StartReconfigRes(c, cfg, comm, nt, st,
-			func() *Store { return emptyStore(n) }, nil, res)
-		x := st.Item("x").(*DenseItem)
-		vals := x.Float64s()
-		lo, _ := x.Block()
-		for i := range vals {
-			vals[i] = globalValue(2, int(lo)+i) + sentinelOffset
-		}
-		copy(x.Data(), mpi.Float64s(vals).Data)
-		r.Wait(c)
-		if r.Continues() && verify {
-			tgt := r.NewComm().Rank(c)
-			verifyStore(t, fmt.Sprintf("recovered target %d", tgt), st, n, nt, tgt)
-			mu.Lock()
-			verified[tgt] = true
-			mu.Unlock()
-		}
-	})
-	err := w.Kernel().Run()
-	if verify && err == nil {
-		mu.Lock()
-		if len(verified) != nt {
-			t.Errorf("%d targets verified, want %d", len(verified), nt)
-		}
-		mu.Unlock()
-	}
-	return err, rec.Events()
+	return ladderRun(t, cfg, ns, nt, &Resilience{}, nil, victimGID, crashAt, verify)
 }
 
 // probeSpan locates the first event of the given kind/op/rank in a

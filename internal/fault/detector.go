@@ -36,13 +36,19 @@ func (d *Detector) Failed(gid int) bool { return d.detected[gid] }
 func (d *Detector) Version() int { return d.version }
 
 // Probe actively pings: every crashed-but-undetected process is promoted
-// to detected immediately.
+// to detected immediately. Version moves only on new detections — a probe
+// with nothing pending is a no-op, never a spurious version bump (the
+// recovery protocol probes on every fruitless deadline expiry, and a bump
+// here would read as a phantom failure).
 func (d *Detector) Probe() {
 	pending := make([]int, 0, len(d.failed))
 	for gid := range d.failed {
 		if !d.detected[gid] {
 			pending = append(pending, gid)
 		}
+	}
+	if len(pending) == 0 {
+		return
 	}
 	sort.Ints(pending) // deterministic event order
 	for _, gid := range pending {

@@ -10,7 +10,10 @@
 // plan's own seeded jitter.
 package fault
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // Kind enumerates the injectable fault classes.
 type Kind int
@@ -50,6 +53,35 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// MarshalJSON writes the kind as its string name, so plan files stay
+// readable and stable if the enum is ever reordered.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts both the string names and legacy numeric values.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		for _, c := range []Kind{CrashRank, DropMsg, DelayMsg, FailSpawn, DegradeLink} {
+			if c.String() == s {
+				*k = c
+				return nil
+			}
+		}
+		return fmt.Errorf("fault: unknown kind %q", s)
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("fault: kind must be a name or number: %s", b)
+	}
+	if n < int(CrashRank) || n > int(DegradeLink) {
+		return fmt.Errorf("fault: kind %d out of range", n)
+	}
+	*k = Kind(n)
+	return nil
+}
+
 // Action is one fault in a plan. Only the fields relevant to its Kind are
 // read.
 type Action struct {
@@ -67,6 +99,11 @@ type Action struct {
 	Count         int
 	// DelayMsg: the extra latency.
 	Delay float64
+	// DropMsg, DelayMsg: the rule's live window on the virtual clock. A
+	// send matches only when After <= now, and now < Before when Before is
+	// set (0 leaves that bound open). Chaos plans use the window to confine
+	// wildcard rules to the redistribution phase.
+	After, Before float64
 
 	// FailSpawn: failed attempts before the spawn succeeds (<= 0: one).
 	Attempts int

@@ -2,6 +2,7 @@ package fault_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/cluster"
@@ -98,6 +99,113 @@ func TestFailSpawnRetries(t *testing.T) {
 	}
 	if failedSpans != 2 {
 		t.Errorf("Comm_spawn_failed spans = %d, want 2 (each failed attempt pays the spawn cost)", failedSpans)
+	}
+}
+
+// TestSpawnRetryPolicy: a non-zero retry policy records one "spawn-retry"
+// event per failed attempt (Tag = attempt ordinal) and pays capped
+// exponential backoff between attempts.
+func TestSpawnRetryPolicy(t *testing.T) {
+	w := newWorld(1)
+	inj := fault.NewInjector(w, fault.Plan{Actions: []fault.Action{
+		{Kind: fault.FailSpawn, Attempts: 3},
+	}})
+	inj.Arm()
+	rec := trace.NewRecorder()
+	w.SetRecorder(rec)
+	var elapsed float64
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		start := c.Now()
+		c.SpawnWithRetry(comm, 2, nil, func(child *mpi.Ctx, childWorld *mpi.Comm) {},
+			mpi.SpawnRetry{MaxAttempts: 5, Backoff: 0.1, Factor: 2, Cap: 0.3})
+		if comm.Rank(c) == 0 {
+			elapsed = c.Now() - start
+		}
+	})
+	if err := w.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	if n := countFaults(events, "spawn-retry"); n != 3 {
+		t.Errorf("spawn-retry events = %d, want 3", n)
+	}
+	wantTag := 1
+	for _, ev := range events {
+		if ev.Kind != trace.EvFault || ev.Op != "spawn-retry" {
+			continue
+		}
+		if ev.Tag != wantTag {
+			t.Errorf("spawn-retry Tag = %d, want attempt ordinal %d", ev.Tag, wantTag)
+		}
+		wantTag++
+	}
+	// Backoff waits: 0.1 + 0.2 + 0.3 (doubled, capped at 0.3) on top of the
+	// four spawn-cost spans.
+	if elapsed < 0.6 {
+		t.Errorf("spawn with 3 failures took %.3fs, want >= 0.6s of backoff", elapsed)
+	}
+}
+
+// TestSpawnRetryBudgetExhausted: more injected failures than MaxAttempts
+// surfaces as *mpi.SpawnError through the run error.
+func TestSpawnRetryBudgetExhausted(t *testing.T) {
+	w := newWorld(1)
+	inj := fault.NewInjector(w, fault.Plan{Actions: []fault.Action{
+		{Kind: fault.FailSpawn, Attempts: 3},
+	}})
+	inj.Arm()
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		c.SpawnWithRetry(comm, 2, nil, func(child *mpi.Ctx, childWorld *mpi.Comm) {},
+			mpi.SpawnRetry{MaxAttempts: 2, Backoff: 0.01})
+	})
+	err := w.Kernel().Run()
+	var se *mpi.SpawnError
+	if !errors.As(err, &se) {
+		t.Fatalf("run = %v, want *mpi.SpawnError", err)
+	}
+	if se.Attempts != 2 {
+		t.Errorf("SpawnError.Attempts = %d, want the 2-attempt budget", se.Attempts)
+	}
+}
+
+// TestProbeVersionSemantics pins the detector's contract: Version moves only
+// on new detections. The recovery protocol probes on every fruitless
+// deadline expiry, so a spurious bump would read as a phantom failure and
+// abort healthy epochs.
+func TestProbeVersionSemantics(t *testing.T) {
+	w := newWorld(1)
+	inj := fault.NewInjector(w, fault.Plan{
+		DetectLatency: 100, // passive detection far beyond the test horizon
+		Actions: []fault.Action{
+			{Kind: fault.CrashRank, GID: 1, At: 0.1},
+		},
+	})
+	inj.Arm()
+	det := inj.Detector()
+	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		if comm.Rank(c) != 0 {
+			c.Sleep(10) // victim: killed at 0.1
+			return
+		}
+		det.Probe()
+		if v := det.Version(); v != 0 {
+			t.Errorf("Probe with nothing pending bumped Version to %d", v)
+		}
+		c.Sleep(0.2) // past the crash, well before the passive latency
+		if det.Failed(1) {
+			t.Error("passive detection fired before its latency")
+		}
+		det.Probe()
+		if !det.Failed(1) || det.Version() != 1 {
+			t.Errorf("after probe: Failed(1)=%v Version=%d, want true/1", det.Failed(1), det.Version())
+		}
+		det.Probe()
+		if v := det.Version(); v != 1 {
+			t.Errorf("repeated Probe bumped Version to %d", v)
+		}
+	})
+	if err := w.Kernel().Run(); err != nil {
+		t.Fatal(err)
 	}
 }
 

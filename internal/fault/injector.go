@@ -14,6 +14,7 @@ type msgRule struct {
 	src, dst, tag int
 	remaining     int // < 0: unlimited
 	delay         float64
+	after, before float64 // live window; before == 0 means open-ended
 }
 
 // Injector executes a Plan against one world: it schedules timed actions
@@ -74,6 +75,7 @@ func (in *Injector) Arm() {
 			in.rules = append(in.rules, &msgRule{
 				kind: a.Kind, src: a.Src, dst: a.Dst, tag: a.Tag,
 				remaining: count, delay: a.Delay,
+				after: a.After, before: a.Before,
 			})
 		case FailSpawn:
 			n := a.Attempts
@@ -108,8 +110,12 @@ func matchID(pat, v int) bool { return pat < 0 || pat == v }
 // FilterSend implements mpi.FaultHooks: the first live rule matching
 // (src, dst, tag) decides the message's fate.
 func (in *Injector) FilterSend(src, dst *mpi.Process, tag int, comm *mpi.Comm, bytes int64) mpi.MsgVerdict {
+	now := in.w.Kernel().Now()
 	for _, r := range in.rules {
 		if r.remaining == 0 {
+			continue
+		}
+		if now < r.after || (r.before > 0 && now >= r.before) {
 			continue
 		}
 		if !matchID(r.src, src.GID()) || !matchID(r.dst, dst.GID()) || !matchID(r.tag, tag) {

@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// PlanFile is a re-runnable fault plan on disk: the plan itself plus the
+// cell it must run against (configuration name, rank counts, network,
+// repetition). The chaos campaign emits one per failing plan — shrunk to
+// the minimal reproducer — and `faultsweep -plan` replays it.
+type PlanFile struct {
+	// Version is the file-format version; currently 1.
+	Version int `json:"version"`
+	// Config is the configuration's display name (core.Config.String()).
+	Config string `json:"config"`
+	// NS and NT are the source and target rank counts of the cell.
+	NS int `json:"ns"`
+	NT int `json:"nt"`
+	// Net names the network model the cell ran under.
+	Net string `json:"net,omitempty"`
+	// Rep is the repetition index (selects the world seed).
+	Rep int `json:"rep"`
+	// Failure records the error the plan reproduced, for the reader.
+	Failure string `json:"failure,omitempty"`
+	// Plan is the fault plan itself.
+	Plan Plan `json:"plan"`
+}
+
+// Marshal renders the plan file as deterministic, human-readable JSON
+// (two-space indent, trailing newline): byte-identical for equal values,
+// which is what the shrink-determinism guarantee is stated over.
+func (pf *PlanFile) Marshal() ([]byte, error) {
+	if pf.Version == 0 {
+		pf.Version = 1
+	}
+	b, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WritePlanFile writes pf to path.
+func WritePlanFile(path string, pf *PlanFile) error {
+	b, err := pf.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadPlanFile reads a plan file written by WritePlanFile.
+func LoadPlanFile(path string) (*PlanFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var pf PlanFile
+	if err := json.Unmarshal(b, &pf); err != nil {
+		return nil, fmt.Errorf("fault: parsing plan file %s: %w", path, err)
+	}
+	if pf.Version != 1 {
+		return nil, fmt.Errorf("fault: plan file %s has unsupported version %d", path, pf.Version)
+	}
+	return &pf, nil
+}

@@ -82,19 +82,7 @@ func (s Setup) RunFaultCell(p Pair, mal core.Config, rep int, fp FaultParams) (F
 		crashFrac = 0.5
 	}
 	run := func(plan fault.Plan) (synthapp.Result, *trace.Recorder, error) {
-		w := s.NewWorld(rep)
-		inj := fault.NewInjector(w, plan)
-		inj.Arm()
-		rec := trace.NewRecorder()
-		res, err := synthapp.Run(w, synthapp.RunParams{
-			Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT,
-			Recorder: rec,
-			Resilience: &core.Resilience{
-				Detector: inj.Detector(),
-				Timeout:  fp.Timeout,
-			},
-		})
-		return res, rec, err
+		return s.runWithPlan(p, mal, rep, fp, plan)
 	}
 
 	base := fault.Plan{Seed: int64(rep + 1), DetectLatency: fp.DetectLatency}
@@ -127,6 +115,28 @@ func (s Setup) RunFaultCell(p Pair, mal core.Config, rep int, fp FaultParams) (F
 	out.Faults = m.Faults
 	out.RecoveryPath = analyze.Analyze(rec.Events()).Path.Buckets.Recovery
 	return out, nil
+}
+
+// runWithPlan executes one resilient run of the cell under an arbitrary
+// fault plan: a fresh identically-seeded world, the plan armed through an
+// injector whose detector feeds the recovery protocol, a recorder for the
+// analysis. Shared by the crash cell, the chaos campaign, and plan replay.
+func (s Setup) runWithPlan(p Pair, mal core.Config, rep int, fp FaultParams,
+	plan fault.Plan) (synthapp.Result, *trace.Recorder, error) {
+
+	w := s.NewWorld(rep)
+	inj := fault.NewInjector(w, plan)
+	inj.Arm()
+	rec := trace.NewRecorder()
+	res, err := synthapp.Run(w, synthapp.RunParams{
+		Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT,
+		Recorder: rec,
+		Resilience: &core.Resilience{
+			Detector: inj.Detector(),
+			Timeout:  fp.Timeout,
+		},
+	})
+	return res, rec, err
 }
 
 // FaultCampaign sweeps the fault cell over configurations and reps,

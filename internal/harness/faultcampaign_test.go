@@ -1,9 +1,14 @@
 package harness
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/trace"
+	"repro/internal/trace/analyze"
 )
 
 // TestFaultCampaignSurvivesSourceCrash is the subsystem's acceptance
@@ -44,6 +49,66 @@ func TestFaultCampaignSurvivesSourceCrash(t *testing.T) {
 		if r.TotalTime <= 0 || r.TotalTime < r.ProbeTotal {
 			t.Errorf("%s: faulted total %.4fs vs probe %.4fs", cfg, r.TotalTime, r.ProbeTotal)
 		}
+	}
+}
+
+// TestRecoveryPathAttributedPerRung runs a real crash cell and checks the
+// analyzer's per-rung split of the recovery bucket: the rung keys are
+// well-formed, their times sum to the whole bucket, and the crash's
+// rung-2 escalation owns recovery time.
+func TestRecoveryPathAttributedPerRung(t *testing.T) {
+	s := quickSetup()
+	s.Reps = 1
+	p := Pair{NS: 8, NT: 4}
+	cfg := core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Sync}
+
+	base := fault.Plan{Seed: 1}
+	_, probeRec, err := s.runWithPlan(p, cfg, 0, FaultParams{}, base)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	lo, hi, ok := phaseWindow(probeRec.Events(), trace.PhaseRedistVar)
+	if !ok || hi <= lo {
+		t.Fatalf("probe recorded no %s window", trace.PhaseRedistVar)
+	}
+
+	plan := base
+	plan.Actions = []fault.Action{{Kind: fault.CrashRank, GID: p.NS - 1, At: lo + 0.5*(hi-lo)}}
+	_, rec, err := s.runWithPlan(p, cfg, 0, FaultParams{}, plan)
+	if err != nil {
+		t.Fatalf("faulted run died: %v", err)
+	}
+
+	a := analyze.Analyze(rec.Events())
+	if a.Path.Buckets.Recovery <= 0 {
+		t.Fatalf("no recovery bucket: %+v", a.Path.Buckets)
+	}
+	if len(a.Path.RecoveryByRung) == 0 {
+		t.Fatal("recovery bucket not split per rung")
+	}
+	var sum float64
+	for key, v := range a.Path.RecoveryByRung {
+		if len(key) != 5 || key[:4] != "rung" || key[4] < '0' || key[4] > '4' {
+			t.Errorf("malformed rung key %q", key)
+		}
+		if v <= 0 {
+			t.Errorf("rung %s billed %g, want > 0", key, v)
+		}
+		sum += v
+	}
+	if rel := math.Abs(sum - a.Path.Buckets.Recovery); rel > 1e-9*a.Path.Buckets.Recovery {
+		t.Errorf("per-rung sum %.9f != recovery bucket %.9f", sum, a.Path.Buckets.Recovery)
+	}
+	if a.Path.RecoveryByRung["rung2"] <= 0 {
+		t.Errorf("crash did not bill rung2: %v", a.Path.RecoveryByRung)
+	}
+
+	var report strings.Builder
+	if err := a.WriteReport(&report); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	if !strings.Contains(report.String(), "recovery by rung:") {
+		t.Error("report omits the per-rung recovery breakdown")
 	}
 }
 

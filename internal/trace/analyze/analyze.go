@@ -122,6 +122,12 @@ type CriticalPath struct {
 	// Outside is the share of the path outside every reconfiguration phase
 	// window: the steady-state application time.
 	Outside BucketTotals `json:"outsidePhases"`
+	// RecoveryByRung splits the Recovery bucket across the recovery
+	// ladder's rungs ("rung0".."rung4"), attributing each recovery segment
+	// to the highest rung escalated to (EvFault Op "escalate", Tag = rung)
+	// at the segment's midpoint; "rung0" also covers recovery before any
+	// escalation event. Empty when the path has no recovery time.
+	RecoveryByRung map[string]float64 `json:"recoveryByRung,omitempty"`
 	// Segments lists the path in forward time order.
 	Segments []Segment `json:"segments"`
 }

@@ -1,6 +1,11 @@
 package analyze
 
-import "repro/internal/trace"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
 
 // criticalPath walks backward from the run's last event end, at every step
 // following the edge that enabled progress:
@@ -43,6 +48,34 @@ func (d *dag) criticalPath(diags *Diagnostics) CriticalPath {
 		return false
 	}
 
+	// Ladder escalation marks, for splitting recovery cost per rung: a
+	// recovery segment belongs to the highest rung escalated to by its
+	// midpoint (rung 0 before any mark — selective retransmission is the
+	// ladder's ground state).
+	type rungMark struct {
+		t    float64
+		rung int
+	}
+	var marks []rungMark
+	for _, ev := range d.events {
+		if ev.Kind == trace.EvFault && ev.Op == "escalate" {
+			marks = append(marks, rungMark{t: ev.Start, rung: ev.Tag})
+		}
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i].t < marks[j].t })
+	rungAt := func(t float64) int {
+		r := 0
+		for _, m := range marks {
+			if m.t > t {
+				break
+			}
+			if m.rung > r {
+				r = m.rung
+			}
+		}
+		return r
+	}
+
 	var segs []Segment // built in reverse time order
 	emit := func(b Bucket, rank int, lo, hi float64, op, phase string) {
 		if hi <= lo {
@@ -54,6 +87,10 @@ func (d *dag) criticalPath(diags *Diagnostics) CriticalPath {
 		// the run spent masking a fault.
 		if phase == trace.PhaseRecovery || inRecovery(lo, hi) {
 			b = Recovery
+			if cp.RecoveryByRung == nil {
+				cp.RecoveryByRung = map[string]float64{}
+			}
+			cp.RecoveryByRung[fmt.Sprintf("rung%d", rungAt((lo+hi)/2))] += hi - lo
 		}
 		cp.Buckets.Add(b, hi-lo)
 		// Coalesce with the previously emitted (later-in-time) segment when

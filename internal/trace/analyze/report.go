@@ -37,6 +37,22 @@ func (a *Analysis) writeReport(w io.Writer) error {
 		b.Recovery, pct(b.Recovery), b.Sum()); err != nil {
 		return err
 	}
+	if b.Recovery > 0 && len(a.Path.RecoveryByRung) > 0 {
+		if _, err := fmt.Fprintf(w, "recovery by rung:"); err != nil {
+			return err
+		}
+		for r := 0; r <= 4; r++ {
+			key := fmt.Sprintf("rung%d", r)
+			if v, ok := a.Path.RecoveryByRung[key]; ok {
+				if _, err := fmt.Fprintf(w, "  %s %.6fs (%.1f%%)", key, v, pct(v)); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
 	if len(a.Phases) > 0 {
 		if _, err := fmt.Fprintf(w, "\n%-14s %10s %10s %6s %10s %10s  %s\n",
 			"phase", "window(s)", "skew(s)", "ranks", "straggler", "strag(s)", "path: compute/wire/blocked/spawn/recovery"); err != nil {

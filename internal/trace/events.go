@@ -25,9 +25,12 @@ const (
 	// its Op names the stage (spawn, redist-const, redist-var, halt).
 	EvPhase
 	// EvFault is a fault-injection or recovery action instant: its Op names
-	// the action (crash, detect, drop, delay, spawn-fail, degrade, abort,
-	// replan, overlap-fallback) and Peer the affected process where one
-	// applies.
+	// the action (crash, detect, drop, delay, spawn-fail, spawn-retry,
+	// degrade, abort, replan, escalate, extend, overlap-fallback) and Peer
+	// the affected process where one applies. Ladder events carry the rung
+	// in Tag: "escalate" marks the pass reaching that rung, "extend" one
+	// rung-1 adaptive deadline extension, "spawn-retry" a failed spawn
+	// attempt's ordinal.
 	EvFault
 )
 
