@@ -8,10 +8,12 @@
 //	           [-timeout 2] [-detect-latency 0.01] [-crash-frac 0.5]
 //	           [-config cg.json]
 //
-// The sweep covers {Baseline, Merge} x {P2P, COL} x {S, A, T}. Resilience
-// requires the synchronous strategy, so the A and T variants are downgraded
-// to S by the runtime (visible as an overlap-fallback fault event); they
-// stay in the sweep to show that the downgrade is survivable, not silent.
+// The sweep covers the full resilient matrix {Baseline, Merge} x
+// {P2P, COL, RMA} x {S, A, T} — 18 configurations (-family rma restricts
+// to the six one-sided ones). Resilience requires the synchronous
+// strategy, so the A and T variants are downgraded to S by the runtime
+// (visible as an overlap-fallback fault event); they stay in the sweep to
+// show that the downgrade is survivable, not silent.
 //
 // Chaos mode replaces the fixed crash with seeded randomized fault plans
 // (crashes, windowed drops/delays, spawn failures, link degradation) and
@@ -46,7 +48,7 @@ func main() {
 	netName := flag.String("net", "ethernet", "interconnect: ethernet or infiniband")
 	reps := flag.Int("reps", 3, "repetitions per configuration (distinct seeds)")
 	workers := flag.Int("j", harness.DefaultWorkers(), "worker count: cells simulated concurrently (1: sequential; output is identical at any -j)")
-	family := flag.String("family", "all", `overlap family: "sync" (S only) or "all" (S, A, T)`)
+	family := flag.String("family", "all", `config family: "all" (18 configs), "sync" (S only), or "rma" (one-sided only)`)
 	timeout := flag.Float64("timeout", 0, "resilient epoch deadline in seconds (0: runtime default)")
 	detect := flag.Float64("detect-latency", 0, "failure-detector latency in seconds (0: default)")
 	crashFrac := flag.Float64("crash-frac", 0.5, "crash position inside the redistribution window (0..1)")
@@ -74,21 +76,9 @@ func main() {
 		setup.Cfg = app
 	}
 
-	overlaps := []core.Overlap{core.Sync}
-	switch *family {
-	case "sync":
-	case "all":
-		overlaps = append(overlaps, core.NonBlocking, core.Thread)
-	default:
-		fail(fmt.Errorf("unknown -family %q (want sync or all)", *family))
-	}
-	var configs []core.Config
-	for _, spawn := range []core.SpawnMethod{core.Baseline, core.Merge} {
-		for _, comm := range []core.CommMethod{core.P2P, core.COL} {
-			for _, ov := range overlaps {
-				configs = append(configs, core.Config{Spawn: spawn, Comm: comm, Overlap: ov})
-			}
-		}
+	configs, err := harness.FaultConfigs(*family)
+	if err != nil {
+		fail(err)
 	}
 
 	fp := harness.FaultParams{

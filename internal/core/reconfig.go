@@ -179,7 +179,7 @@ func StartReconfig(c *mpi.Ctx, cfg Config, appComm *mpi.Comm, nt int,
 // re-plan → resume protocol (see recover.go). Resilience requires the
 // synchronous strategy; asynchronous configurations are downgraded to Sync
 // (recorded as an "overlap-fallback" fault event) because an overlapped
-// epoch cannot abort cleanly mid-iteration. RMA is not supported.
+// epoch cannot abort cleanly mid-iteration.
 func StartReconfigRes(c *mpi.Ctx, cfg Config, appComm *mpi.Comm, nt int,
 	store *Store, makeStore func() *Store, target TargetFunc, res *Resilience) *Reconfig {
 
@@ -192,9 +192,6 @@ func StartReconfigRes(c *mpi.Ctx, cfg Config, appComm *mpi.Comm, nt int,
 	}
 	if res != nil {
 		res.validate()
-		if cfg.Comm == RMA {
-			panic("core: resilient redistribution does not support RMA")
-		}
 		if cfg.Overlap != Sync {
 			cfg.Overlap = Sync
 			recordFault(c, "overlap-fallback", -1)

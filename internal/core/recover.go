@@ -19,7 +19,7 @@ import (
 //     the shared filesystem (the same namespace the CR method uses) and
 //     marks the checkpoint complete. A soft barrier separates the writes
 //     from any read, so a partially written block is never trusted.
-//  2. Attempt with detection. The normal transfer (P2P or COL) is driven
+//  2. Attempt with detection. The normal transfer (P2P, COL, or RMA) is driven
 //     non-blockingly under a deadline. When the failure detector reports a
 //     participant that was alive when the round was planned, or the epoch
 //     times out repeatedly, the rank aborts the round.
@@ -604,8 +604,16 @@ func (rp *resilientPass) resilientDrive(c *mpi.Ctx, failedAtPlan map[int]bool,
 //
 // Full mode (full == true; rung 3 and the CR method) ignores the ack state
 // and restores every chunk from the checkpoint.
+//
+// The one-sided method has its own selective path (no sources participate
+// in a re-pull); full mode is already comm-agnostic — checkpoint reads
+// only — so RMA shares it.
 func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[int]bool,
 	full bool) string {
+
+	if rp.cfg.Comm == RMA && !full {
+		return rp.rmaRecoveryRound(c, round, failedAtPlan)
+	}
 
 	v := rp.v
 

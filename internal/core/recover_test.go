@@ -90,7 +90,7 @@ func TestCrashMidProtectIsUnrecoverable(t *testing.T) {
 // must hold byte-exact content, including the mutated variable values the
 // dead source never finished sending.
 func TestRecoveryRestoresExactData(t *testing.T) {
-	for _, comm := range []CommMethod{P2P, COL} {
+	for _, comm := range []CommMethod{P2P, COL, RMA} {
 		cfg := Config{Spawn: Merge, Comm: comm, Overlap: Sync}
 		t.Run(cfg.String(), func(t *testing.T) {
 			const ns, nt, victim = 4, 2, 3
@@ -113,23 +113,89 @@ func TestRecoveryRestoresExactData(t *testing.T) {
 	}
 }
 
-// TestResilientRejectsRMA documents that one-sided windows on a dead origin
-// are out of the protocol's scope.
-func TestResilientRejectsRMA(t *testing.T) {
-	w := testWorld(t)
-	det := newStubDetector(w)
-	w.Launch(2, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
-		defer func() {
-			if recover() == nil {
-				t.Error("resilient RMA did not panic")
-			}
-		}()
-		StartReconfigRes(c, Config{Spawn: Merge, Comm: RMA, Overlap: Sync},
-			comm, 4, buildStore(100, 2, comm.Rank(c)),
-			func() *Store { return emptyStore(100) }, nil,
-			&Resilience{Detector: det})
-	})
-	_ = w.Kernel().Run()
+// TestRMACrashedWindowOwnerRecoversAtRungTwo crashes a pure source — under
+// RMA, exactly a window owner — in the middle of the one-sided transfer
+// epoch. The survivors must escalate no higher than rung 2: fresh windows
+// over the pristine survivors plus checkpoint reads for the lost source,
+// never the rung-3 full restore. Data must come back byte-exact.
+func TestRMACrashedWindowOwnerRecoversAtRungTwo(t *testing.T) {
+	cfg := Config{Spawn: Merge, Comm: RMA, Overlap: Sync}
+	const ns, nt, victim = 4, 2, 3
+
+	_, probeEvents := resilientRun(t, cfg, ns, nt, -1, -1, false)
+	crashAt := probeSpan(t, probeEvents, trace.EvPhase, trace.PhaseRedistVar, -1)
+
+	err, events := resilientRun(t, cfg, ns, nt, victim, crashAt, true)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if n := countFaultEvents(events, "escalate", rungReplan); n != 1 {
+		t.Errorf("rung-2 escalations = %d, want exactly 1", n)
+	}
+	for r := rungCheckpoint; r <= rungUnrecoverable; r++ {
+		if n := countFaultEvents(events, "escalate", r); n != 0 {
+			t.Errorf("rung-%d escalations = %d, want 0: a crashed window owner must recover at rung <= 2", r, n)
+		}
+	}
+	if n := countComputeOps(events, "cr-restore"); n == 0 {
+		t.Error("no checkpoint reads: the dead window owner's undelivered chunks must restore from the protect files")
+	}
+}
+
+// TestRMADroppedGetStaysOnRungZero drops exactly one RDMA read on the wire.
+// The epoch times out, stays on rung 0, and the recovery round re-issues
+// only the lost Get against the still-exposed snapshot: no window is
+// re-created, no checkpoint is read, no source participates, and the data
+// arrives byte-exact.
+func TestRMADroppedGetStaysOnRungZero(t *testing.T) {
+	cfg := Config{Spawn: Merge, Comm: RMA, Overlap: Sync}
+	const ns, nt = 4, 2
+	hooks := &testMsgFaults{rules: []*msgFault{
+		// One-sided Gets carry the RMA sentinel tag -1.
+		{srcGID: -1, minTag: -1, maxTag: -1, count: 1, drop: true},
+	}}
+	err, events := ladderRun(t, cfg, ns, nt, &Resilience{Timeout: 0.5}, hooks, -1, -1, true)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if n := countFaultEvents(events, "escalate", rungRetransmit); n != 1 {
+		t.Errorf("rung-0 escalations = %d, want exactly 1", n)
+	}
+	for r := rungReplan; r <= rungUnrecoverable; r++ {
+		if n := countFaultEvents(events, "escalate", r); n != 0 {
+			t.Errorf("rung-%d escalations = %d, want 0: one dropped Get must stay on rung 0", r, n)
+		}
+	}
+	if n := countComputeOps(events, "cr-restore"); n != 0 {
+		t.Errorf("checkpoint reads = %d, want 0: rung 0 re-pulls from the exposed snapshot", n)
+	}
+}
+
+// TestRMADelayedGetExtendsDeadline delays one RDMA read past the baseline
+// deadline. The Get-completion RTT samples gathered from the quick
+// transfers drive the rung-1 adaptive policy: the epoch extends (recording
+// "extend" events) until the straggler lands, without aborting and without
+// escalating.
+func TestRMADelayedGetExtendsDeadline(t *testing.T) {
+	cfg := Config{Spawn: Merge, Comm: RMA, Overlap: Sync}
+	const ns, nt = 4, 2
+	hooks := &testMsgFaults{rules: []*msgFault{
+		{srcGID: -1, minTag: -1, maxTag: -1, count: 1, delay: 1.5},
+	}}
+	res := &Resilience{Timeout: 0.5, MinTimeout: 0.2, MaxExtensions: 8}
+	err, events := ladderRun(t, cfg, ns, nt, res, hooks, -1, -1, true)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if n := countFaultEvents(events, "extend", -1); n == 0 {
+		t.Error("no extend events: the delayed Get should have forced deadline extensions")
+	}
+	if n := countFaultEvents(events, "abort", -1); n != 0 {
+		t.Errorf("abort events = %d, want 0: extensions alone must absorb the delay", n)
+	}
+	if n := countFaultEvents(events, "escalate", -1); n != 0 {
+		t.Errorf("escalate events = %d, want 0: rung 1 is a deadline policy, not an escalation", n)
+	}
 }
 
 // TestResilienceRequiresDetector: a Resilience without a detector is a

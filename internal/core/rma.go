@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/mpi"
 )
 
@@ -24,16 +26,37 @@ type rmaTransfer struct {
 
 	phase     int // 0 = not started, 1 = pulling, 2 = done
 	installed bool
+
+	// hooks is the recovery ladder's bookkeeping (nil outside resilient
+	// passes). With hooks attached, completed Gets install incrementally so
+	// an aborted epoch's delivered chunks are already acked when the next
+	// recovery round plans its re-pulls; without hooks the install stays a
+	// single bulk pass, preserving the non-resilient timing exactly.
+	hooks    *ladderHooks
+	prepared map[int]bool
 }
 
 type rmaMeta struct {
-	item   int
-	lo, hi int64
+	item    int
+	lo, hi  int64
+	key     chunkKey
+	posted  float64 // Get issue time, for the ladder's RTT samples
+	handled bool    // installed and acked
 }
 
 func newRMATransfer(v *view, items []Item) *rmaTransfer {
 	requireItems(items, "rma")
-	return &rmaTransfer{v: v, items: items}
+	return &rmaTransfer{v: v, items: items, prepared: map[int]bool{}}
+}
+
+// setLadderHooks wires the transfer into a resilient pass. The pass's
+// Prepare ledger replaces the local one so a later selective recovery round
+// knows which items round 0 already Prepared.
+func (t *rmaTransfer) setLadderHooks(h *ladderHooks) {
+	t.hooks = h
+	if h != nil && h.prepared != nil {
+		t.prepared = h.prepared
+	}
 }
 
 // setup exposes source blocks and issues the target-side Gets.
@@ -52,9 +75,13 @@ func (t *rmaTransfer) setup(c *mpi.Ctx) {
 			lo, hi := d.Lo(t.v.srcRank), d.Hi(t.v.srcRank)
 			exposures[i] = it.Extract(lo, hi)
 			// Account the local share of a Merge rank now, as P2P/COL do.
+			// Delivered by construction, so the ladder acks it at setup time.
 			for _, ch := range planFor(it, t.v.ns, t.v.nt).SendChunks(t.v.srcRank) {
-				if t.v.selfChunk(ch.Src, ch.Dst) && copyRate > 0 {
-					c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
+				if t.v.selfChunk(ch.Src, ch.Dst) {
+					if copyRate > 0 {
+						c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
+					}
+					t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo})
 				}
 			}
 		}
@@ -70,8 +97,11 @@ func (t *rmaTransfer) setup(c *mpi.Ctx) {
 	// Targets prepare new blocks and pull their chunks.
 	if t.v.isTarget() {
 		for i, it := range t.items {
-			lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
-			it.Prepare(lo, hi)
+			if !t.prepared[i] {
+				lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
+				it.Prepare(lo, hi)
+				t.prepared[i] = true
+			}
 			srcDist := distFor(it, t.v.ns)
 			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
@@ -81,7 +111,11 @@ func (t *rmaTransfer) setup(c *mpi.Ctx) {
 				off := it.WireBytes(sLo, ch.Lo)
 				n := it.WireBytes(ch.Lo, ch.Hi)
 				t.gets = append(t.gets, c.Get(t.wins[i], ch.Src, off, off+n))
-				t.meta = append(t.meta, rmaMeta{item: i, lo: ch.Lo, hi: ch.Hi})
+				t.meta = append(t.meta, rmaMeta{
+					item: i, lo: ch.Lo, hi: ch.Hi,
+					key:    chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo},
+					posted: c.Now(),
+				})
 			}
 		}
 	}
@@ -98,27 +132,40 @@ func (t *rmaTransfer) getsDone() bool {
 	return true
 }
 
+// installOne stores one fetched chunk, feeds the ladder an RTT sample, and
+// acks it.
+func (t *rmaTransfer) installOne(c *mpi.Ctx, i int) {
+	m := &t.meta[i]
+	if m.handled {
+		return
+	}
+	m.handled = true
+	g := t.gets[i]
+	it := t.items[m.item]
+	it.Install(m.lo, m.hi, g.Payload())
+	if copyRate := c.World().Options().CopyRate; copyRate > 0 {
+		c.Compute(float64(g.Payload().Size) / copyRate)
+	}
+	t.hooks.sample(c.Now() - m.posted)
+	t.hooks.ack(m.key)
+}
+
 // install stores the fetched chunks once.
 func (t *rmaTransfer) install(c *mpi.Ctx) {
 	if t.installed {
 		return
 	}
 	t.installed = true
-	copyRate := c.World().Options().CopyRate
-	for i, g := range t.gets {
-		m := t.meta[i]
-		it := t.items[m.item]
-		it.Install(m.lo, m.hi, g.Payload())
-		if copyRate > 0 {
-			c.Compute(float64(g.Payload().Size) / copyRate)
-		}
+	for i := range t.gets {
+		t.installOne(c, i)
 	}
 	t.phase = 2
 }
 
 // progress advances without blocking (beyond the one-time collective
 // window creation) and reports completion. Sources are passive: their data
-// is snapshotted in the window, so their side completes at setup.
+// is snapshotted in the window, so their side completes at setup. Under a
+// resilient pass (hooks attached) each completed Get installs as it lands.
 func (t *rmaTransfer) progress(c *mpi.Ctx) bool {
 	if t.phase == 0 {
 		t.setup(c)
@@ -130,11 +177,37 @@ func (t *rmaTransfer) progress(c *mpi.Ctx) bool {
 		t.phase = 2
 		return true
 	}
+	if t.hooks != nil {
+		all := true
+		for i, g := range t.gets {
+			if !g.Done() {
+				all = false
+				continue
+			}
+			t.installOne(c, i)
+		}
+		if all {
+			t.installed = true
+			t.phase = 2
+		}
+		return all
+	}
 	if t.getsDone() {
 		t.install(c)
 		return true
 	}
 	return false
+}
+
+// reap harvests Gets that completed after the epoch aborted, installing
+// and acking their chunks so the next recovery round does not re-pull
+// already-landed data.
+func (t *rmaTransfer) reap(c *mpi.Ctx) {
+	for i, g := range t.gets {
+		if g.Done() {
+			t.installOne(c, i)
+		}
+	}
 }
 
 // runBlockingAll performs the fenced epoch: expose, pull, fence.
@@ -176,3 +249,138 @@ type rmaXfer struct{ *rmaTransfer }
 
 func (x rmaXfer) runBlockingAll(c *mpi.Ctx) { x.rmaTransfer.runBlockingAll(c) }
 func (x rmaXfer) drain(c *mpi.Ctx)          { x.rmaTransfer.drain(c) }
+
+// rmaRecoveryRound is the selective recovery path of the one-sided method
+// (rungs 0 and 2); rung 3's full checkpoint restore reuses the generic
+// comm-agnostic path.
+//
+// Rung 0 (nobody newly dead): the attempt's windows still hold every
+// source's snapshot — exposure clones at WinCreate — so targets simply
+// re-issue the lost Gets against the same windows. No source participates:
+// one-sided recovery needs no source CPU, the defining RMA property.
+//
+// Rung 2 (a participant died): the dead rank can never join another
+// exposure epoch, so every survivor collectively creates fresh windows —
+// sources whose in-memory block is still pristine re-expose their full
+// block, everyone else exposes nothing — and targets pull only
+// lost-source chunks from the protect checkpoint instead.
+//
+// Both sides consult the shared ack map and the pass's agreed rung, stable
+// since the previous round's commit barrier, so their plans agree without
+// extra messages. Get completions feed the rung-1 RTT estimator, which in
+// turn drives the next epoch's adaptive deadline.
+func (rp *resilientPass) rmaRecoveryRound(c *mpi.Ctx, round int, failedAtPlan map[int]bool) string {
+	v := rp.v
+	replan := rp.st.rung >= rungReplan
+
+	// pristine reports whether source rank src still holds its original
+	// block in memory: it must be alive, and must not be a Merge rank that
+	// doubles as a target (its Prepare may already have resized the item
+	// in place).
+	pristine := func(src int) bool {
+		if failedAtPlan[v.sourceGID(src)] {
+			return false
+		}
+		if !v.inter && src < v.nt {
+			return false
+		}
+		return true
+	}
+
+	var wins []*mpi.Win
+	if replan {
+		wins = make([]*mpi.Win, len(rp.items))
+		for i, it := range rp.items {
+			var exp mpi.Payload
+			if v.isSource() && pristine(v.srcRank) {
+				d := distFor(it, v.ns)
+				exp = it.Extract(d.Lo(v.srcRank), d.Hi(v.srcRank))
+			}
+			wins[i] = c.WinCreate(v.comm, exp)
+		}
+	} else if rx, ok := rp.x.(rmaXfer); ok {
+		wins = rx.wins
+	}
+
+	type pendingGet struct {
+		item   int
+		lo, hi int64
+		req    *mpi.RMAReq
+		key    chunkKey
+		posted float64
+	}
+	var gets []pendingGet
+	if v.isTarget() {
+		for i, it := range rp.items {
+			if !rp.prepared[i] && !rp.hooks.isPrepared(i) {
+				lo, hi := targetRange(it, v.nt, v.tgtRank)
+				it.Prepare(lo, hi)
+				rp.prepared[i] = true
+			}
+			srcDist := distFor(it, v.ns)
+			for _, ch := range planFor(it, v.ns, v.nt).RecvChunks(v.tgtRank) {
+				key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}
+				if v.selfChunk(ch.Src, ch.Dst) {
+					// Kept in place by Prepare; delivered by construction.
+					rp.acks.ack(key)
+					continue
+				}
+				if rp.acks.acked(key) {
+					continue // already delivered
+				}
+				// Rung 0 pulls every chunk from the snapshot (valid even for
+				// non-pristine Merge sources: exposure cloned the original
+				// block); rung 2's fresh windows expose only pristine
+				// survivors, the rest falls back to the checkpoint.
+				fromWin := wins != nil && (!replan || pristine(ch.Src))
+				if fromWin {
+					off := it.WireBytes(srcDist.Lo(ch.Src), ch.Lo)
+					n := it.WireBytes(ch.Lo, ch.Hi)
+					gets = append(gets, pendingGet{
+						item: i, lo: ch.Lo, hi: ch.Hi, key: key, posted: c.Now(),
+						req: c.Get(wins[i], ch.Src, off, off+n),
+					})
+				} else {
+					rp.readChunk(c, i, it, ch)
+					rp.acks.ack(key)
+				}
+			}
+		}
+	}
+
+	seenDone := 0
+	done := func() bool {
+		n := 0
+		for _, g := range gets {
+			if g.req.Done() {
+				n++
+			}
+		}
+		if n > seenDone {
+			// Completions are epoch progress for the adaptive deadline.
+			rp.ticks += n - seenDone
+			seenDone = n
+		}
+		return n == len(gets)
+	}
+	if reason := rp.resilientDrive(c, failedAtPlan, done,
+		fmt.Sprintf("one-sided recovery round %d", round)); reason != "" {
+		return reason
+	}
+	copyRate := c.World().Options().CopyRate
+	for _, g := range gets {
+		it := rp.items[g.item]
+		want := it.WireBytes(g.lo, g.hi)
+		if got := g.req.Payload().Size; got != want {
+			panic(fmt.Sprintf("core: one-sided recovery chunk of %q: got %d bytes, want %d",
+				it.Name(), got, want))
+		}
+		it.Install(g.lo, g.hi, g.req.Payload())
+		if copyRate > 0 {
+			c.Compute(float64(want) / copyRate)
+		}
+		rp.rtt.Observe(c.Now() - g.posted)
+		rp.acks.ack(g.key)
+	}
+	return ""
+}

@@ -93,8 +93,10 @@ type Action struct {
 	GID int
 
 	// DropMsg, DelayMsg: the match pattern. Src and Dst are world-unique
-	// ids, Tag an exact tag; -1 is a wildcard. Count limits how many sends
-	// the rule consumes (<= 0: unlimited).
+	// ids, Tag an exact tag; -1 is a wildcard. One-sided Gets are offered
+	// with the sentinel tag -1 (exposer as source, origin as destination),
+	// so a wildcard-tag rule covers them alongside two-sided traffic.
+	// Count limits how many sends the rule consumes (<= 0: unlimited).
 	Src, Dst, Tag int
 	Count         int
 	// DelayMsg: the extra latency.

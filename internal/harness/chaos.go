@@ -66,9 +66,11 @@ func subSeed(master int64, cfgIdx, planIdx int) int64 {
 
 // chaosVictims returns the world-unique ids a chaos plan may crash: the
 // pure sources, whose death is always maskable once the protect checkpoint
-// is written. Rank 0 is excluded — it coordinates the spawn stage.
-// Configurations with no pure source beyond rank 0 (Merge expansion) get no
-// crash actions.
+// is written. Under RMA every pure source is a window owner, so these
+// plans exercise the one-sided crash semantics (snapshot serving, fresh
+// survivor windows) by construction. Rank 0 is excluded — it coordinates
+// the spawn stage. Configurations with no pure source beyond rank 0
+// (Merge expansion) get no crash actions.
 func chaosVictims(cfg core.Config, p Pair) []int {
 	lo := 1
 	if cfg.Spawn == core.Merge {

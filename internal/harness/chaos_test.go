@@ -10,24 +10,26 @@ import (
 	"repro/internal/trace"
 )
 
-// TestChaosCampaignSmoke throws a small seeded campaign at both spawn
-// families: with the recovery ladder in place every generated plan (crashes
-// of pure sources after protect, windowed drops/delays, spawn failures,
-// link degradation) must be masked. A failing plan is a ladder bug; the
-// shrunk reproducer is surfaced to make it actionable.
+// TestChaosCampaignSmoke throws a small seeded campaign at all three
+// communication methods: with the recovery ladder in place every generated
+// plan (crashes of pure sources after protect — under RMA those are exactly
+// the window owners — windowed drops/delays, spawn failures, link
+// degradation) must be masked. A failing plan is a ladder bug; the shrunk
+// reproducer is surfaced to make it actionable.
 func TestChaosCampaignSmoke(t *testing.T) {
 	s := quickSetup()
 	configs := []core.Config{
 		{Spawn: core.Baseline, Comm: core.P2P, Overlap: core.Sync},
 		{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync},
+		{Spawn: core.Merge, Comm: core.RMA, Overlap: core.Sync},
 	}
 	outcomes, err := s.RunChaosCampaign(Pair{NS: 8, NT: 4}, configs,
 		ChaosParams{Seed: 7, Plans: 2, MaxFaults: 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(outcomes) != 4 {
-		t.Fatalf("outcomes = %d, want 4", len(outcomes))
+	if len(outcomes) != 6 {
+		t.Fatalf("outcomes = %d, want 6", len(outcomes))
 	}
 	for _, o := range outcomes {
 		if len(o.Plan.Actions) == 0 {

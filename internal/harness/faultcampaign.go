@@ -50,22 +50,41 @@ type FaultResult struct {
 
 	// Faults counts injected/protocol fault events by op.
 	Faults map[string]int64
+
+	// MaxRung is the highest recovery-ladder rung the faulted run escalated
+	// to (the largest escalate event's rung), or -1 when the run never
+	// escalated — the fault was absorbed by deadline extensions alone.
+	MaxRung int
 }
 
 // phaseWindow returns the [earliest start, latest end] of the named
-// phase's EvPhase spans.
+// phase's EvPhase spans. When only span-recording ranks are passive —
+// Baseline RMA sources leave the variable epoch at window creation, so
+// their spans are instants while the spawned targets (which only tag
+// traffic) do the pulling — the window widens to the envelope of the
+// traffic events tagged with the phase.
 func phaseWindow(events []trace.Event, phase string) (lo, hi float64, ok bool) {
-	for _, ev := range events {
-		if ev.Kind != trace.EvPhase || ev.Op != phase {
-			continue
+	grow := func(start, end float64) {
+		if !ok || start < lo {
+			lo = start
 		}
-		if !ok || ev.Start < lo {
-			lo = ev.Start
-		}
-		if !ok || ev.End > hi {
-			hi = ev.End
+		if !ok || end > hi {
+			hi = end
 		}
 		ok = true
+	}
+	for _, ev := range events {
+		if ev.Kind == trace.EvPhase && ev.Op == phase {
+			grow(ev.Start, ev.End)
+		}
+	}
+	if ok && hi > lo {
+		return lo, hi, true
+	}
+	for _, ev := range events {
+		if ev.Kind != trace.EvPhase && ev.Phase == phase {
+			grow(ev.Start, ev.End)
+		}
 	}
 	return lo, hi, ok
 }
@@ -99,6 +118,7 @@ func (s Setup) RunFaultCell(p Pair, mal core.Config, rep int, fp FaultParams) (F
 		CrashAt:    lo + crashFrac*(hi-lo),
 		VictimGID:  p.NS - 1, // launch assigns gid == world rank
 		ProbeTotal: probe.TotalTime,
+		MaxRung:    -1,
 	}
 	plan := base
 	plan.Actions = []fault.Action{{Kind: fault.CrashRank, GID: out.VictimGID, At: out.CrashAt}}
@@ -114,6 +134,11 @@ func (s Setup) RunFaultCell(p Pair, mal core.Config, rep int, fp FaultParams) (F
 	out.RecoveryWindow = m.TRecovery
 	out.Faults = m.Faults
 	out.RecoveryPath = analyze.Analyze(rec.Events()).Path.Buckets.Recovery
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.EvFault && ev.Op == "escalate" && ev.Tag > out.MaxRung {
+			out.MaxRung = ev.Tag
+		}
+	}
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -49,6 +50,110 @@ func TestFaultCampaignSurvivesSourceCrash(t *testing.T) {
 		if r.TotalTime <= 0 || r.TotalTime < r.ProbeTotal {
 			t.Errorf("%s: faulted total %.4fs vs probe %.4fs", cfg, r.TotalTime, r.ProbeTotal)
 		}
+	}
+}
+
+// TestFaultCellRMAWindowOwnerCrash is the one-sided acceptance criterion:
+// the crash cell's victim (the last source, a pure source on a shrink pair)
+// is exactly a window owner under RMA, killed mid-epoch inside the
+// variable-data redistribution window. With a detector fast enough to see
+// the crash inside the epoch, both spawn families must survive and recover
+// on the cheap rungs — fresh windows plus checkpoint or snapshot reads for
+// the lost source (rung <= 2), never the rung-3 full restore.
+func TestFaultCellRMAWindowOwnerCrash(t *testing.T) {
+	s := quickSetup()
+	s.Reps = 1
+	p := Pair{NS: 8, NT: 4}
+	// The epoch is short: exposure snapshots at window creation, so in-flight
+	// Gets survive the owner's death and the pull drains in well under a
+	// millisecond. The detector must fire inside that window for the ladder
+	// to engage at all (see TestFaultCellRMACrashMaskedBySnapshot for the
+	// default-latency behavior).
+	fp := FaultParams{DetectLatency: 1e-4}
+	configs := []core.Config{
+		{Spawn: core.Baseline, Comm: core.RMA, Overlap: core.Sync},
+		{Spawn: core.Merge, Comm: core.RMA, Overlap: core.Sync},
+	}
+	for _, cfg := range configs {
+		r, err := s.RunFaultCell(p, cfg, 0, fp)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		if !r.Survived {
+			t.Fatalf("%s: faulted run died: %s", cfg, r.Err)
+		}
+		if r.Faults["crash"] != 1 {
+			t.Errorf("%s: crash events = %d, want 1", cfg, r.Faults["crash"])
+		}
+		if r.Faults["replan"] == 0 {
+			t.Errorf("%s: no replan event: recovery never ran", cfg)
+		}
+		if r.MaxRung < 0 || r.MaxRung > 2 {
+			t.Errorf("%s: MaxRung = %d, want a crashed window owner recovered at rung <= 2",
+				cfg, r.MaxRung)
+		}
+	}
+}
+
+// TestFaultCellRMACrashMaskedBySnapshot pins the defining one-sided
+// property: with the default detector latency, a window owner crashed
+// mid-epoch costs nothing — its exposure was snapshotted at window
+// creation, the in-flight Gets complete against the snapshot, and the pass
+// commits before the failure is even detected. No recovery rung engages.
+func TestFaultCellRMACrashMaskedBySnapshot(t *testing.T) {
+	s := quickSetup()
+	s.Reps = 1
+	cfg := core.Config{Spawn: core.Merge, Comm: core.RMA, Overlap: core.Sync}
+	r, err := s.RunFaultCell(Pair{NS: 8, NT: 4}, cfg, 0, FaultParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Survived {
+		t.Fatalf("faulted run died: %s", r.Err)
+	}
+	if r.MaxRung != -1 {
+		t.Errorf("MaxRung = %d, want -1: the snapshot should mask the crash entirely", r.MaxRung)
+	}
+	if r.Faults["crash"] != 1 || r.Faults["detect"] == 0 {
+		t.Errorf("fault events = %v, want the crash injected and detected", r.Faults)
+	}
+	if r.Overhead > 1e-6 {
+		t.Errorf("overhead = %gs, want ~0: a masked crash costs no time", r.Overhead)
+	}
+}
+
+// TestRMAFaultCampaignDeterminism pins campaign reproducibility on the
+// one-sided family: the full six-config RMA fault campaign must produce
+// byte-identical progress output and rows at any worker count.
+func TestRMAFaultCampaignDeterminism(t *testing.T) {
+	s := quickSetup()
+	s.Reps = 1
+	configs, err := FaultConfigs("rma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) (string, string) {
+		s.Workers = workers
+		var lines strings.Builder
+		rows, err := s.RunFaultCampaign(Pair{NS: 8, NT: 4}, configs, FaultParams{},
+			func(line string) { lines.WriteString(line); lines.WriteByte('\n') })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Survived != row.Runs {
+				t.Errorf("-j %d: %s survived %d/%d", workers, row.Config, row.Survived, row.Runs)
+			}
+		}
+		return lines.String(), fmt.Sprintf("%+v", rows)
+	}
+	linesA, rowsA := run(1)
+	linesB, rowsB := run(8)
+	if linesA != linesB {
+		t.Errorf("progress output differs between -j 1 and -j 8:\n%s\nvs\n%s", linesA, linesB)
+	}
+	if rowsA != rowsB {
+		t.Errorf("campaign rows differ between -j 1 and -j 8:\n%s\nvs\n%s", rowsA, rowsB)
 	}
 }
 

@@ -63,6 +63,37 @@ func ParsePairFamily(name string) ([]Pair, error) {
 	return nil, fmt.Errorf("unknown pair family %q (want plots, all, from160, to160)", name)
 }
 
+// FaultConfigs resolves a fault-campaign family name into the resilient
+// configuration matrix. The fault stack covers all three communication
+// methods, so "all" is the full 18-config matrix {Baseline, Merge} x
+// {P2P, COL, RMA} x {S, A, T}, "sync" its six synchronous rows, and "rma"
+// the six one-sided configurations alone. Shared by cmd/faultsweep (fixed
+// crashes, chaos plans, and replay) so campaign and replay matrices cannot
+// drift.
+func FaultConfigs(family string) ([]core.Config, error) {
+	comms := []core.CommMethod{core.P2P, core.COL, core.RMA}
+	overlaps := []core.Overlap{core.Sync}
+	switch family {
+	case "sync":
+	case "all":
+		overlaps = append(overlaps, core.NonBlocking, core.Thread)
+	case "rma":
+		comms = []core.CommMethod{core.RMA}
+		overlaps = append(overlaps, core.NonBlocking, core.Thread)
+	default:
+		return nil, fmt.Errorf("unknown fault family %q (want sync, all, or rma)", family)
+	}
+	var configs []core.Config
+	for _, spawn := range []core.SpawnMethod{core.Baseline, core.Merge} {
+		for _, comm := range comms {
+			for _, ov := range overlaps {
+				configs = append(configs, core.Config{Spawn: spawn, Comm: comm, Overlap: ov})
+			}
+		}
+	}
+	return configs, nil
+}
+
 // ParseConfigFamily resolves a configuration-family name: all (the paper's
 // twelve), sync, async, rma (the §5 extension), extended (all + RMA + the
 // §2 checkpoint/restart baseline).

@@ -26,10 +26,74 @@ type Win struct {
 	drained map[int]*sim.Signal
 }
 
+// winBarrier synchronizes window epochs (WinCreate, Fence). Unlike the
+// counter-based fastBarrier it tracks per-member arrivals, which buys two
+// fault properties: a crashed member is excused instead of wedging every
+// survivor forever, and a waiter carries a reason naming the operation,
+// the communicator, and the member it is waiting for — so a genuine wedge
+// surfaces in DeadlockError reports with the same diagnostic quality the
+// point-to-point Wait path gives.
+type winBarrier struct {
+	members  []*Process
+	arrivals map[int]int // gid -> completed arrivals
+	sig      *sim.Signal
+}
+
+// winBarrierFor returns the window-epoch barrier shared by all windows and
+// fences on comm's matching context.
+func (w *World) winBarrierFor(comm *Comm) *winBarrier {
+	if w.winBarriers == nil {
+		w.winBarriers = make(map[int]*winBarrier)
+	}
+	b, ok := w.winBarriers[comm.ctxID]
+	if !ok {
+		members := make([]*Process, 0, comm.groupSpan())
+		members = append(members, comm.local...)
+		members = append(members, comm.remote...)
+		b = &winBarrier{
+			members:  members,
+			arrivals: make(map[int]int, len(members)),
+			sig:      newNamedSignal(comm, "winbarrier"),
+		}
+		w.winBarriers[comm.ctxID] = b
+	}
+	return b
+}
+
+// arrive completes this context's generation of the barrier: it returns
+// once every member has arrived at least as often — or died. op names the
+// epoch operation for deadlock reports.
+func (b *winBarrier) arrive(c *Ctx, op string, comm *Comm) {
+	gid := c.proc.gid
+	gen := b.arrivals[gid]
+	b.arrivals[gid]++
+	b.sig.Broadcast()
+	straggler := func() *Process {
+		for _, m := range b.members {
+			if m.gid == gid || m.dead {
+				continue
+			}
+			if b.arrivals[m.gid] <= gen {
+				return m
+			}
+		}
+		return nil
+	}
+	for {
+		m := straggler()
+		if m == nil {
+			return
+		}
+		c.sp.WaitReason(b.sig,
+			fmt.Sprintf("mpi: %s on comm %d: waiting for g%d", op, comm.ctxID, m.gid))
+	}
+}
+
 // WinCreate collectively creates a window over comm, exposing this
 // process's local payload. Every member (both groups of an
 // inter-communicator) must call it; the call synchronizes, so once it
-// returns every exposure is visible.
+// returns every live member's exposure is visible. A member that crashed
+// is excused from the epoch — its exposure is simply absent.
 func (c *Ctx) WinCreate(comm *Comm, local Payload) *Win {
 	w := comm.w
 	key := derivedKey{ctxID: comm.ctxID, kind: "win", gen: comm.derivedGen(c, "win")}
@@ -50,8 +114,8 @@ func (c *Ctx) WinCreate(comm *Comm, local Payload) *Win {
 	gid := c.proc.gid
 	win.exposed[gid] = clonePayload(local)
 	win.nodeOf[gid] = c.proc.node
-	// Exposure epoch: everyone registers before anyone accesses.
-	w.barrierFor(comm).arrive(c)
+	// Exposure epoch: every live member registers before anyone accesses.
+	w.winBarrierFor(comm).arrive(c, "WinCreate", comm)
 	return win
 }
 
@@ -59,28 +123,66 @@ func (c *Ctx) WinCreate(comm *Comm, local Payload) *Win {
 type RMAReq struct {
 	reqState
 	payload Payload
+
+	src     int // exposer gid
+	comm    int // matching-context id
+	bytes   int64
+	dropped bool // the RDMA read vanished on the wire (fault injection)
 }
 
 // Payload returns the fetched bytes of a completed Get.
 func (r *RMAReq) Payload() Payload { return r.payload }
 
+func (r *RMAReq) describe() string {
+	if r.dropped {
+		return fmt.Sprintf("Get from g%d comm=%d bytes=%d (lost on the wire)", r.src, r.comm, r.bytes)
+	}
+	return fmt.Sprintf("Get from g%d comm=%d bytes=%d", r.src, r.comm, r.bytes)
+}
+
 // Get starts a one-sided read of bytes [lo, hi) from the window region
 // exposed by peer rank target (the remote group on an inter-communicator).
 // The transfer streams from the target's node without any action by the
 // target process; completion is local to the origin.
+//
+// The RDMA read is interceptable like any message: fault hooks see it as
+// exposer→origin traffic carrying the one-sided sentinel tag -1, so drop
+// and delay rules (and link degradation, which acts on the underlying
+// fabric transfer) apply. A dropped Get never completes — the origin's
+// epoch deadline turns it into the same detectable failure evidence a
+// dropped point-to-point message produces. A Get addressed to a member
+// that died before exposing likewise returns a request that never
+// completes, rather than panicking: reading revoked memory is a fault,
+// not a programming error.
 func (c *Ctx) Get(win *Win, target int, lo, hi int64) *RMAReq {
 	tp := win.comm.peerProcFor(c, target)
 	exp, ok := win.exposed[tp.gid]
 	if !ok {
+		if tp.dead {
+			return &RMAReq{src: tp.gid, comm: win.comm.ctxID, bytes: hi - lo, dropped: true}
+		}
 		panic(fmt.Sprintf("mpi: Get from rank %d which exposed nothing", target))
 	}
 	if lo < 0 || hi < lo || hi > exp.Size {
 		panic(fmt.Sprintf("mpi: Get [%d,%d) outside exposed %d bytes", lo, hi, exp.Size))
 	}
-	req := &RMAReq{}
+	req := &RMAReq{src: tp.gid, comm: win.comm.ctxID, bytes: hi - lo}
 	origin := c.proc
 	w := origin.w
 	phase := c.phase // Get completes in a kernel callback; keep the issuer's tag
+	issued := c.sp.Now()
+	var delay float64
+	if w.hooks != nil {
+		verdict := w.hooks.FilterSend(tp, origin, -1, win.comm, hi-lo)
+		if verdict.Drop {
+			// The read request (or its response) vanishes: no data ever
+			// lands, and the exposer's pending count is never charged, so
+			// WaitDrained cannot leak.
+			req.dropped = true
+			return req
+		}
+		delay = verdict.Delay
+	}
 	win.pending[tp.gid]++
 	// One extra control latency for the RDMA read request, then the data
 	// flows back. The RDMA engine bypasses the sender-side pipeline and
@@ -89,23 +191,30 @@ func (c *Ctx) Get(win *Win, target int, lo, hi int64) *RMAReq {
 	if tp.node == origin.node {
 		lat = w.machine.Fabric().Params().IntraLatency
 	}
-	w.k.After(lat, func() {
+	w.k.After(lat+delay, func() {
 		w.machine.Fabric().Transfer(tp.node, origin.node, hi-lo, func() {
-			req.payload = exp.Slice(lo, hi)
-			req.done = true
-			if rec := w.rec; rec != nil {
-				now := w.k.Now()
-				rec.Record(trace.Event{
-					Kind: trace.EvRecv, Rank: origin.gid, Start: now, End: now,
-					Peer: tp.gid, Tag: -1, Comm: win.comm.ctxID,
-					Bytes: hi - lo, Op: "Get", Phase: phase,
-				})
-			}
+			// Exposer-side bookkeeping resolves regardless of crashes: the
+			// snapshot served the transfer (the target is passive), and a
+			// dead origin must not leak the exposer's pending count.
 			win.pending[tp.gid]--
 			if win.pending[tp.gid] == 0 {
 				if s := win.drained[tp.gid]; s != nil {
 					s.Broadcast()
 				}
+			}
+			if origin.dead {
+				// A crashed origin takes no delivery: no completion, no
+				// event, no progress broadcast.
+				return
+			}
+			req.payload = exp.Slice(lo, hi)
+			req.done = true
+			if rec := w.rec; rec != nil {
+				rec.Record(trace.Event{
+					Kind: trace.EvRecv, Rank: origin.gid, Start: issued, End: w.k.Now(),
+					Peer: tp.gid, Tag: -1, Comm: win.comm.ctxID,
+					Bytes: hi - lo, Op: "Get", Phase: phase,
+				})
 			}
 			origin.progress.Broadcast()
 		})
@@ -122,7 +231,9 @@ func (win *Win) Drained(c *Ctx) bool {
 }
 
 // WaitDrained blocks the exposer until its outstanding Gets complete. The
-// wait is passive (no CPU): the target side of RDMA does not poll.
+// wait is passive (no CPU): the target side of RDMA does not poll. The
+// count is released even when an origin crashes mid-transfer, so the wait
+// always resolves.
 func (c *Ctx) WaitDrained(win *Win) {
 	gid := c.proc.gid
 	for !win.Drained(c) {
@@ -131,15 +242,16 @@ func (c *Ctx) WaitDrained(win *Win) {
 			s = sim.NewSignal(fmt.Sprintf("mpi.win.drained.g%d", gid))
 			win.drained[gid] = s
 		}
-		c.sp.Wait(s)
+		c.sp.WaitReason(s,
+			fmt.Sprintf("mpi: WaitDrained on comm %d: %d Gets outstanding", win.comm.ctxID, win.pending[gid]))
 	}
 }
 
-// Fence synchronizes every window member (an access epoch boundary,
-// MPI_Win_fence). All members must call it.
+// Fence synchronizes every live window member (an access epoch boundary,
+// MPI_Win_fence). All members must call it; crashed members are excused.
 func (c *Ctx) Fence(win *Win) {
 	defer c.span(trace.EvBarrier, win.comm.ctxID, "Fence", 0)()
-	win.comm.w.barrierFor(win.comm).arrive(c)
+	win.comm.w.winBarrierFor(win.comm).arrive(c, "Fence", win.comm)
 }
 
 // peerProcFor resolves peer rank r from the calling context's view of the

@@ -94,12 +94,13 @@ type World struct {
 	nextCtxID int
 	nextGID   int
 
-	barriers map[int]*fastBarrier    // shared per matching context
-	merges   map[int]*mergeSt        // pending Intercomm_merge rendezvous
-	spawns   map[int]*spawnSt        // pending Comm_spawn rendezvous
-	derived  map[derivedKey]*Comm    // communicators created by Dup/Sub
-	wins     map[derivedKey]*Win     // one-sided windows by creation site
-	splits   map[derivedKey]*splitSt // pending Comm_split rendezvous
+	barriers    map[int]*fastBarrier    // shared per matching context
+	merges      map[int]*mergeSt        // pending Intercomm_merge rendezvous
+	spawns      map[int]*spawnSt        // pending Comm_spawn rendezvous
+	derived     map[derivedKey]*Comm    // communicators created by Dup/Sub
+	wins        map[derivedKey]*Win     // one-sided windows by creation site
+	winBarriers map[int]*winBarrier     // death-aware window-epoch barriers
+	splits      map[derivedKey]*splitSt // pending Comm_split rendezvous
 
 	procs map[int]*Process // every process ever created, by gid
 
@@ -251,6 +252,19 @@ func (w *World) KillProcess(gid int) {
 	}
 	p.outEnvs = nil
 	p.flowQueue = nil
+	// Window-epoch barriers excuse dead members: wake their waiters so the
+	// arrival predicate is re-evaluated. Sorted order keeps runs
+	// deterministic (map iteration would leak scheduling nondeterminism).
+	if len(w.winBarriers) > 0 {
+		ids := make([]int, 0, len(w.winBarriers))
+		for id := range w.winBarriers {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			w.winBarriers[id].sig.Broadcast()
+		}
+	}
 }
 
 // WakeAll broadcasts every process's progress signal, giving every blocked

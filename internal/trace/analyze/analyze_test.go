@@ -83,6 +83,35 @@ func TestCriticalPathCrossesWire(t *testing.T) {
 	}
 }
 
+// TestCriticalPathBillsGetAsWire builds a one-sided chain on the origin:
+// compute, a Get span (issue to completion — the exposer records nothing),
+// compute on the delivered data. The Get must land in the wire bucket on
+// the origin itself, not degrade to blocked-wait, and must not be flagged
+// as an unmatched receive.
+func TestCriticalPathBillsGetAsWire(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.EvCompute, Rank: 1, Start: 0, End: 1, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+		{Kind: trace.EvRecv, Rank: 1, Start: 1, End: 1.6, Peer: 0, Tag: -1, Comm: 2, Bytes: 100, Op: "Get"},
+		{Kind: trace.EvCompute, Rank: 1, Start: 1.6, End: 2.6, Peer: -1, Tag: -1, Comm: -1, Op: "compute"},
+	}
+	a := Analyze(evs)
+	checkPathSum(t, a)
+	b := a.Path.Buckets
+	if !almost(b.Compute, 2.0) || !almost(b.Wire, 0.6) || !almost(b.Blocked, 0) {
+		t.Fatalf("buckets %+v", b)
+	}
+	if a.Diags.UnmatchedRecvs != 0 {
+		t.Fatalf("Get flagged as unmatched recv: %+v", a.Diags)
+	}
+	if len(a.Path.Segments) != 3 {
+		t.Fatalf("segments %+v", a.Path.Segments)
+	}
+	if s := a.Path.Segments[1]; s.Bucket != Wire || s.Rank != 1 || s.Op != "Get" ||
+		!almost(s.Start, 1) || !almost(s.End, 1.6) {
+		t.Fatalf("wire segment %+v", s)
+	}
+}
+
 // TestUnmatchedSendIsDiagnostic feeds a log whose final send never
 // delivers: the analyzer must flag it and still attribute the makespan.
 func TestUnmatchedSendIsDiagnostic(t *testing.T) {

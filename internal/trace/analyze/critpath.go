@@ -11,6 +11,8 @@ import (
 // following the edge that enabled progress:
 //
 //   - a matched receive crosses to its send (the interval is wire time),
+//   - a one-sided Get span is wire time on the origin itself (the exposer
+//     is passive, so the chain continues locally at the issue time),
 //   - a zero-message barrier crosses to the last-arriving member of its
 //     synchronization group (the interval is blocked-wait),
 //   - a compute or spawn span consumes local work,
@@ -179,9 +181,18 @@ func (d *dag) criticalPath(diags *Diagnostics) CriticalPath {
 				t = e.Start
 				bound = j
 			}
+		case enablerGet:
+			// One-sided transfer: the span [issue, completion] is wire time
+			// billed to the origin — there is no sender-side event to cross
+			// to, the exposer was passive — and the chain continues locally
+			// at the issue time.
+			consumedRecv[gi] = true
+			emit(Wire, cur, e.Start, t, e.Op, e.Phase)
+			t = e.Start
+			bound = j
 		case enablerSkip:
-			// A Get delivery or a zero-length span: consume it without
-			// attribution (the enabling chain continues locally).
+			// A zero-length span: consume it without attribution (the
+			// enabling chain continues locally).
 			bound = j
 		}
 	}
@@ -198,6 +209,7 @@ type enablerKind int
 
 const (
 	enablerRecv enablerKind = iota
+	enablerGet
 	enablerCompute
 	enablerSpawn
 	enablerBarrier
@@ -207,8 +219,8 @@ const (
 // pickEnabler scans the plateau of events on rank cur ending exactly at t
 // (walking down from idx) and returns the index of the best enabler with
 // its kind, or (-1, 0) when the plateau holds only non-enabling instants.
-// Preference: matched receive > compute span > spawn span > barrier span >
-// Get delivery; unmatched receives rank with Gets (no edge to follow).
+// Preference: matched receive > Get span > compute span > spawn span >
+// barrier span; unmatched two-sided receives rank last (no edge to follow).
 func (d *dag) pickEnabler(cur int, t float64, idx int, consumedRecv map[int]bool) (int, enablerKind) {
 	tl := d.byRank[cur]
 	best, bestKind, bestPri := -1, enablerSkip, 0
@@ -221,10 +233,13 @@ func (d *dag) pickEnabler(cur int, t float64, idx int, consumedRecv map[int]bool
 		var pri int
 		switch {
 		case e.Kind == trace.EvRecv && !consumedRecv[tl[j]]:
-			if _, ok := d.sendFor[tl[j]]; ok {
-				kind, pri = enablerRecv, 5
-			} else {
-				kind, pri = enablerSkip, 1 // Get or unmatched: no edge
+			switch {
+			case d.sendForHas(tl[j]):
+				kind, pri = enablerRecv, 6
+			case e.Op == "Get" && e.End > e.Start:
+				kind, pri = enablerGet, 5 // one-sided wire span, origin-local
+			default:
+				kind, pri = enablerSkip, 1 // unmatched: no edge
 			}
 		case e.Kind == trace.EvCompute && e.End > e.Start:
 			kind, pri = enablerCompute, 4
@@ -240,6 +255,12 @@ func (d *dag) pickEnabler(cur int, t float64, idx int, consumedRecv map[int]bool
 		}
 	}
 	return best, bestKind
+}
+
+// sendForHas reports whether the global event index has a matched send.
+func (d *dag) sendForHas(gi int) bool {
+	_, ok := d.sendFor[gi]
+	return ok
 }
 
 // plateauStart returns the timeline position of the first event on rank
