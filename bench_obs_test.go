@@ -1,0 +1,88 @@
+package repro
+
+// The streaming-telemetry regression harness: BenchmarkObsStreaming runs
+// one cell under both the full event recorder and the bounded-memory
+// streaming engine and writes BENCH_obs.json — footprint ratio, quantile
+// accuracy against exact order statistics, and the exact-agreement
+// contract — validated by `tracetool validate-bench` and archived by CI.
+// REPRO_BENCH_OBS_OUT overrides the output path (default BENCH_obs.json).
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// benchObsCell is the recorded cell: big enough that the stream's fixed
+// histogram footprint is far below the full log's.
+var benchObsCell = struct {
+	pair harness.Pair
+	cfg  core.Config
+}{
+	pair: harness.Pair{NS: 80, NT: 40},
+	cfg:  core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.NonBlocking},
+}
+
+func benchObsOut() string {
+	if s := os.Getenv("REPRO_BENCH_OBS_OUT"); s != "" {
+		return s
+	}
+	return "BENCH_obs.json"
+}
+
+// BenchmarkObsStreaming emits BENCH_obs.json. Like the other bench
+// records it is a benchmark only to ride the `go test -bench` entry point
+// CI already runs; the regression signal is the archived artifact.
+func BenchmarkObsStreaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bo, err := harness.BuildBenchObs("ethernet", benchObsCell.pair, benchObsCell.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && printOnce(b.Name()) {
+			var buf bytes.Buffer
+			if err := bo.WriteJSON(&buf); err != nil {
+				b.Fatal(err)
+			}
+			// Validate before writing: CI must never archive a malformed record.
+			if _, err := harness.ValidateBenchObs(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			out := benchObsOut()
+			if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("wrote %s (%d events, %.1fx compression, quantile err %.4f)",
+				out, bo.Events, bo.CompressionRatio, bo.MaxQuantileErr)
+		}
+	}
+}
+
+// TestBenchObsDeterministic builds the record twice and requires
+// bit-identical serialization, and that the freshly built record passes
+// its own validator.
+func TestBenchObsDeterministic(t *testing.T) {
+	serialize := func() []byte {
+		t.Helper()
+		bo, err := harness.BuildBenchObs("ethernet",
+			harness.Pair{NS: 40, NT: 20}, benchObsCell.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := bo.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := serialize(), serialize()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("bench obs not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if _, err := harness.ValidateBenchObs(bytes.NewReader(a)); err != nil {
+		t.Fatalf("freshly built record fails validation: %v", err)
+	}
+}

@@ -59,6 +59,7 @@ func main() {
 	chaosFaults := flag.Int("chaos-faults", 3, "maximum faults per chaos plan")
 	chaosOut := flag.String("chaos-out", "", "directory for minimal-reproducer plan files of failing chaos plans")
 	planPath := flag.String("plan", "", "replay a plan file (as emitted by -chaos-out) and exit")
+	of := harness.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	net, err := harness.ParseNet(*netName)
@@ -91,11 +92,24 @@ func main() {
 		replayPlan(setup, configs, fp, *planPath)
 		return
 	}
+
+	stopProf, err := of.StartPProf()
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
+
 	if *chaos {
+		rep := harness.NewProgress(os.Stdout, len(configs)**chaosPlans)
+		finishObs := attachMeter(&setup, of, rep)
 		runChaos(setup, harness.Pair{NS: *ns, NT: *nt}, configs, harness.ChaosParams{
 			Seed: *chaosSeed, Plans: *chaosPlans, MaxFaults: *chaosFaults,
 			FaultParams: fp,
-		}, *chaosOut)
+		}, *chaosOut, rep, finishObs)
 		return
 	}
 
@@ -106,6 +120,7 @@ func main() {
 	// lines are out-of-band notes. Completion callbacks arrive serialized
 	// in campaign order whatever -j is.
 	rep := harness.NewProgress(os.Stdout, len(configs))
+	finishObs := attachMeter(&setup, of, rep)
 	rows, err := setup.RunFaultCampaign(harness.Pair{NS: *ns, NT: *nt}, configs, fp,
 		func(line string) {
 			if strings.Contains(line, " DIED: ") {
@@ -117,6 +132,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if err := finishObs(); err != nil {
+		fail(err)
+	}
 
 	fmt.Printf("\n%-18s %10s %12s %14s\n", "config", "survival", "overhead(s)", "recovery(s)")
 	for _, row := range rows {
@@ -125,17 +143,42 @@ func main() {
 	}
 }
 
+// attachMeter wires -obs-out telemetry into the setup: live emission
+// lines go through the progress reporter, and the returned finish writes
+// the obslog and merged snapshot. A no-op returning nil when telemetry is
+// off.
+func attachMeter(setup *harness.Setup, of *harness.ObsFlags, rep *harness.Progress) func() error {
+	if !of.Enabled() {
+		return func() error { return nil }
+	}
+	meter, finish, err := of.StartMeter(rep.Note)
+	if err != nil {
+		fail(err)
+	}
+	setup.Obs = meter
+	return func() error {
+		if err := finish(); err != nil {
+			return err
+		}
+		fmt.Printf("obs: telemetry written to %s.obslog.jsonl and %s.snapshot.json (render with `tracetool report`)\n",
+			of.Out, of.Out)
+		return nil
+	}
+}
+
 // runChaos executes the chaos campaign, writes minimal reproducers for
 // failing plans into outDir (when set), and exits nonzero if any plan
 // failed.
 func runChaos(setup harness.Setup, p harness.Pair, configs []core.Config,
-	cp harness.ChaosParams, outDir string) {
+	cp harness.ChaosParams, outDir string, rep *harness.Progress, finishObs func() error) {
 
 	fmt.Printf("# chaos campaign: %d -> %d processes, %d configs x %d plans, seed %d, <= %d faults/plan\n",
 		p.NS, p.NT, len(configs), cp.Plans, cp.Seed, cp.MaxFaults)
-	rep := harness.NewProgress(os.Stdout, len(configs)*cp.Plans)
 	outcomes, err := setup.RunChaosCampaign(p, configs, cp, rep.Step)
 	if err != nil {
+		fail(err)
+	}
+	if err := finishObs(); err != nil {
 		fail(err)
 	}
 	failed := 0

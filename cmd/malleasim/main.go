@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/synthapp"
 	"repro/internal/trace"
 )
@@ -30,6 +32,7 @@ func main() {
 	seed := flag.Int("seed", 1, "noise seed")
 	reps := flag.Int("reps", 1, "repetitions (distinct seeds starting at -seed)")
 	tf := harness.RegisterTraceFlags(flag.CommandLine, "malleasim_trace")
+	of := harness.RegisterObsFlags(flag.CommandLine)
 	spansPath := flag.String("spans", "", "write per-rank monitoring spans (CSV) of the last repetition")
 	flag.Parse()
 
@@ -50,6 +53,19 @@ func main() {
 		setup.Cfg = app
 	}
 
+	stopProf, err := of.StartPProf()
+	if err != nil {
+		fail(err)
+	}
+	var meter *harness.Meter
+	finishObs := func() error { return nil }
+	if of.Enabled() {
+		meter, finishObs, err = of.StartMeter(func(line string) { fmt.Println(line) })
+		if err != nil {
+			fail(err)
+		}
+	}
+
 	fmt.Printf("# %s on %s: %d -> %d processes, app %q\n", cfg, net.Name, *ns, *nt, setup.Cfg.Name)
 	for rep := 0; rep < *reps; rep++ {
 		last := rep == *reps-1
@@ -61,11 +77,23 @@ func main() {
 		if tf.Trace && last {
 			rec = trace.NewRecorder()
 		}
+		var sink trace.Sink
+		var stream *obs.Stream
+		if meter != nil {
+			stream = obs.NewStream()
+			sink = stream
+		}
 		w := setup.NewWorld(*seed - 1 + rep)
+		t0 := time.Now()
 		res, err := synthapp.Run(w, synthapp.RunParams{
 			Cfg: setup.Cfg, Malleability: cfg, NS: *ns, NT: *nt,
-			Monitor: mon, Recorder: rec,
+			Monitor: mon, Recorder: rec, Sink: sink,
 		})
+		if meter != nil {
+			meter.CellDone(harness.CellStats{
+				Wall: time.Since(t0), Survived: err == nil, MaxRung: -1, Stream: stream,
+			})
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -109,6 +137,16 @@ func main() {
 				fmt.Printf("trace: run metrics CSV written to %s\n", tf.Metrics)
 			}
 		}
+	}
+	if err := finishObs(); err != nil {
+		fail(err)
+	}
+	if of.Enabled() {
+		fmt.Printf("obs: telemetry written to %s.obslog.jsonl and %s.snapshot.json (render with `tracetool report`)\n",
+			of.Out, of.Out)
+	}
+	if err := stopProf(); err != nil {
+		fail(err)
 	}
 }
 

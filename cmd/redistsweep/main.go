@@ -33,6 +33,7 @@ func main() {
 	out := flag.String("out", "", "CSV output path (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress progress lines")
 	tf := harness.RegisterTraceFlags(flag.CommandLine, "redistsweep_trace")
+	of := harness.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
 	net, err := harness.ParseNet(*netName)
@@ -62,6 +63,31 @@ func main() {
 			rep.Step(line)
 		}
 	}
+
+	stopProf, err := of.StartPProf()
+	if err != nil {
+		fail(err)
+	}
+	if of.Enabled() {
+		meter, finishObs, err := of.StartMeter(rep.Note)
+		if err != nil {
+			fail(err)
+		}
+		setup.Obs = meter
+		defer func() {
+			if err := finishObs(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "# obs: telemetry written to %s.obslog.jsonl and %s.snapshot.json (render with `tracetool report`)\n",
+				of.Out, of.Out)
+		}()
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
+
 	start := time.Now()
 	m, err := setup.Sweep(pairs, configs, progress)
 	if err != nil {

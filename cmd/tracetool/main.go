@@ -6,10 +6,12 @@
 //	tracetool analyze [-json] run.events.json
 //	tracetool diff [-json] cola.events.json cols.events.json
 //	tracetool top [-n 20] run.events.json
-//	tracetool validate-bench BENCH_trace.json|BENCH_sweep.json
+//	tracetool report [-o report.html] run.events.json|camp.snapshot.json
+//	tracetool validate-bench BENCH_trace.json|BENCH_sweep.json|BENCH_obs.json
 //
 // Inputs are auto-detected: the raw event log (<prefix>.events.json), a
-// bare JSON array of events, or the Chrome trace export (<prefix>.json).
+// bare JSON array of events, the Chrome trace export (<prefix>.json), or —
+// for report — a streaming telemetry snapshot (<prefix>.snapshot.json).
 package main
 
 import (
@@ -18,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/trace/analyze"
 )
@@ -35,6 +39,8 @@ func main() {
 		cmdDiff(os.Args[2:])
 	case "top":
 		cmdTop(os.Args[2:])
+	case "report":
+		cmdReport(os.Args[2:])
 	case "validate-bench":
 		cmdValidateBench(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -50,7 +56,10 @@ func usage() {
   tracetool analyze [-json] <events-file>         critical path, phase windows, per-rank utilization
   tracetool diff [-json] <events-A> <events-B>    align two runs phase-by-phase, locate the delta
   tracetool top [-n N] <events-file>              largest critical-path contributors
-  tracetool validate-bench <BENCH_*.json>         check a benchmark regression record (trace or sweep)
+  tracetool report [-o out.html] [-title T] <in>  self-contained HTML report (histograms, per-rank
+                                                  utilization, fault/rung breakdown) from an event
+                                                  log or an -obs-out snapshot
+  tracetool validate-bench <BENCH_*.json>         check a benchmark regression record (trace, sweep, or obs)
 
 <events-file> is a -trace output of malleasim or redistsweep: the raw
 event log (<prefix>.events.json) or the Chrome trace (<prefix>.json).
@@ -121,6 +130,61 @@ func cmdTop(args []string) {
 	}
 }
 
+// cmdReport renders a self-contained HTML telemetry report. Input is
+// auto-detected by the top-level schema field: an -obs-out snapshot is
+// rendered directly; any event-log form replays through a fresh stream
+// first (obs.FromEvents).
+func cmdReport(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	out := fs.String("o", "report.html", "output HTML path")
+	title := fs.String("title", "", "report title (default: input file name)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	path := fs.Arg(0)
+	snap, err := loadSnapshot(path)
+	if err != nil {
+		fail(err)
+	}
+	if *title == "" {
+		*title = filepath.Base(path)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := obs.WriteHTMLReport(f, *title, snap); err != nil {
+		f.Close()
+		os.Remove(*out)
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: report with %d events, %d ranks -> %s\n", path, snap.Events, snap.Ranks, *out)
+}
+
+// loadSnapshot reads either a streaming snapshot or an event log (raw log,
+// bare array, or Chrome trace), reducing the latter to a snapshot.
+func loadSnapshot(path string) (obs.Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if json.Unmarshal(raw, &probe) == nil && probe.Schema == obs.SnapshotSchema {
+		return obs.ReadSnapshot(bytes.NewReader(raw))
+	}
+	events, err := trace.ReadEvents(bytes.NewReader(raw))
+	if err != nil {
+		return obs.Snapshot{}, fmt.Errorf("%s: neither a telemetry snapshot nor an event log: %w", path, err)
+	}
+	return obs.FromEvents(events).Snapshot(), nil
+}
+
 func cmdValidateBench(args []string) {
 	fs := flag.NewFlagSet("validate-bench", flag.ExitOnError)
 	fs.Parse(args)
@@ -147,6 +211,13 @@ func cmdValidateBench(args []string) {
 		}
 		fmt.Printf("%s: ok (schema %s, %d workers, %d cells, speedup %.2fx, codec allocs %.1f vs seed %.1f)\n",
 			fs.Arg(0), bs.Schema, bs.Workers, bs.Cells, bs.Speedup, bs.CodecAllocs, bs.SeedCodecAllocs)
+	case harness.BenchObsSchema:
+		bo, err := harness.ValidateBenchObs(bytes.NewReader(raw))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: ok (schema %s, %d events, %.1fx smaller than the full log, quantile err %.4f <= %.4f)\n",
+			fs.Arg(0), bo.Schema, bo.Events, bo.CompressionRatio, bo.MaxQuantileErr, bo.QuantileErrBound)
 	default:
 		bt, err := harness.ValidateBenchTrace(bytes.NewReader(raw))
 		if err != nil {

@@ -184,7 +184,7 @@ type reaper interface {
 // EvFault with Op "escalate" and Tag carrying the rung index, which is how
 // the trace analyzer attributes recovery cost per rung.
 func recordEscalation(c *mpi.Ctx, rung int) {
-	rec := c.World().Recorder()
+	rec := c.World().Sink()
 	if rec == nil {
 		return
 	}
@@ -198,7 +198,7 @@ func recordEscalation(c *mpi.Ctx, rung int) {
 // recordExtend emits the per-rank rung-1 event: one EvFault with Op
 // "extend" and Tag 1 per fruitless deadline extension.
 func recordExtend(c *mpi.Ctx) {
-	rec := c.World().Recorder()
+	rec := c.World().Sink()
 	if rec == nil {
 		return
 	}

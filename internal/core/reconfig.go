@@ -35,7 +35,7 @@ func tagPhase(c *mpi.Ctx, phase string, fn func()) {
 // timers (T_spawn, T_redist_const, …) derive from these spans: the metrics
 // layer takes the earliest start and latest end across ranks per phase.
 func recordPhaseSpan(c *mpi.Ctx, phase string, start float64) {
-	rec := c.World().Recorder()
+	rec := c.World().Sink()
 	if rec == nil {
 		return
 	}

@@ -249,7 +249,7 @@ func epochStateFor(w *mpi.World, ctxID int) *epochState {
 
 // recordFault emits one instantaneous EvFault event for this rank.
 func recordFault(c *mpi.Ctx, op string, peer int) {
-	rec := c.World().Recorder()
+	rec := c.World().Sink()
 	if rec == nil {
 		return
 	}
@@ -271,7 +271,7 @@ func fsIO(c *mpi.Ctx, op string, n int64) {
 	if n > 0 {
 		fs.Use(c.SimProc(), float64(n))
 	}
-	if rec := c.World().Recorder(); rec != nil {
+	if rec := c.World().Sink(); rec != nil {
 		rec.Record(trace.Event{
 			Kind: trace.EvCompute, Rank: c.Proc().GID(), Start: start, End: c.Now(),
 			Peer: -1, Tag: -1, Comm: -1, Bytes: n, Op: op, Phase: c.Phase(),

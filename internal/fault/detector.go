@@ -74,7 +74,7 @@ func (d *Detector) detect(gid int) {
 	}
 	d.detected[gid] = true
 	d.version++
-	if rec := d.w.Recorder(); rec != nil {
+	if rec := d.w.Sink(); rec != nil {
 		now := d.w.Kernel().Now()
 		rec.Record(trace.Event{
 			Kind: trace.EvFault, Rank: gid, Start: now, End: now,

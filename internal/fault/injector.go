@@ -149,7 +149,7 @@ func (in *Injector) SpawnFailures(n int) int {
 }
 
 func (in *Injector) record(op string, rank, peer int) {
-	rec := in.w.Recorder()
+	rec := in.w.Sink()
 	if rec == nil {
 		return
 	}

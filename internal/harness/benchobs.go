@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// BenchObsSchema versions the BENCH_obs.json layout so CI consumers can
+// detect incompatible changes.
+const BenchObsSchema = "repro/bench-obs/v1"
+
+// BenchObs is the machine-readable record BenchmarkObsStreaming emits as
+// BENCH_obs.json: the streaming telemetry engine's memory footprint
+// against the full event log, its quantile accuracy against exact order
+// statistics, and the exact-agreement contract between a streamed and a
+// fully-recorded run of the same seed. Everything here is derived from
+// virtual time, so two builds of the same spec are byte-identical.
+type BenchObs struct {
+	Schema string `json:"schema"`
+
+	Net    string `json:"net"`
+	NS     int    `json:"ns"`
+	NT     int    `json:"nt"`
+	Config string `json:"config"`
+
+	// Events is the run's event count; RecorderBytes the full log's
+	// accounting footprint (events x bytes/event) and StreamBytes the
+	// streaming engine's constant footprint. CompressionRatio is their
+	// quotient — how much memory streaming saves at this run size.
+	Events           uint64  `json:"events"`
+	RecorderBytes    int64   `json:"recorderBytes"`
+	StreamBytes      int64   `json:"streamBytes"`
+	CompressionRatio float64 `json:"compressionRatio"`
+
+	// QuantileErrBound is the engine's documented per-bucket relative
+	// error bound; MaxQuantileErr the largest relative error actually
+	// measured between streamed quantiles and exact order statistics of
+	// the recorded compute spans and wire message sizes.
+	QuantileErrBound float64 `json:"quantileErrBound"`
+	MaxQuantileErr   float64 `json:"maxQuantileErr"`
+
+	// Identical reports that a streamed run and a fully-recorded run of
+	// the same seed agreed exactly on makespan, redistributed bytes and
+	// message counts, and every fault counter.
+	Identical bool `json:"identical"`
+}
+
+// benchObsEventBytes is the accounting size of one recorded trace.Event
+// for the footprint comparison (matching the obs package's flight-ring
+// accounting).
+const benchObsEventBytes = 96
+
+// benchQuantiles are the probes the accuracy measurement checks.
+var benchQuantiles = []float64{0.5, 0.9, 0.99}
+
+// exactQuantile returns the order statistic Hist.Quantile estimates:
+// sample number ceil(q*n), clamped to [1, n], of the sorted values.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	target := int(math.Ceil(q * float64(len(sorted))))
+	if target < 1 {
+		target = 1
+	}
+	if target > len(sorted) {
+		target = len(sorted)
+	}
+	return sorted[target-1]
+}
+
+// maxQuantileErr measures the worst relative error of h's quantile
+// estimates against the exact samples.
+func maxQuantileErr(h obs.HistSnapshot, samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	worst := 0.0
+	for _, q := range benchQuantiles {
+		exact := exactQuantile(sorted, q)
+		if exact == 0 {
+			continue
+		}
+		if rel := math.Abs(quantileOf(h, q)-exact) / exact; rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// BuildBenchObs runs one cell twice with the same seed — once under the
+// full recorder, once under the streaming engine — and derives the record.
+func BuildBenchObs(netName string, p Pair, cfg core.Config) (BenchObs, error) {
+	net, err := ParseNet(netName)
+	if err != nil {
+		return BenchObs{}, err
+	}
+	setup := DefaultSetup(net)
+
+	rec := trace.NewRecorder()
+	resFull, err := setup.RunCellRecorded(p, cfg, 0, rec)
+	if err != nil {
+		return BenchObs{}, fmt.Errorf("bench obs recorded run: %w", err)
+	}
+	stream := obs.NewStream()
+	resStream, err := setup.RunCellSink(p, cfg, 0, stream)
+	if err != nil {
+		return BenchObs{}, fmt.Errorf("bench obs streamed run: %w", err)
+	}
+
+	events := rec.Events()
+	m := rec.Metrics()
+	bo := BenchObs{
+		Schema: BenchObsSchema,
+		Net:    netName, NS: p.NS, NT: p.NT, Config: cfg.String(),
+		Events:           stream.Events(),
+		RecorderBytes:    int64(len(events)) * benchObsEventBytes,
+		StreamBytes:      stream.MemoryBytes(),
+		QuantileErrBound: obs.RelErrBound,
+	}
+	if bo.StreamBytes > 0 {
+		bo.CompressionRatio = float64(bo.RecorderBytes) / float64(bo.StreamBytes)
+	}
+
+	// Accuracy: streamed quantiles vs exact order statistics of the full
+	// log, over compute spans and wire message sizes.
+	var computes, wire []float64
+	for _, ev := range events {
+		if ev.Kind == trace.EvCompute {
+			computes = append(computes, ev.Duration())
+		}
+		if ev.Kind == trace.EvSend || (ev.Kind == trace.EvRecv && ev.Op == "Get") {
+			wire = append(wire, float64(ev.Bytes))
+		}
+	}
+	snap := stream.Snapshot()
+	if h, ok := snap.HistNamed("span/compute"); ok {
+		if e := maxQuantileErr(h, computes); e > bo.MaxQuantileErr {
+			bo.MaxQuantileErr = e
+		}
+	}
+	if h, ok := snap.HistNamed("msg/bytes"); ok {
+		if e := maxQuantileErr(h, wire); e > bo.MaxQuantileErr {
+			bo.MaxQuantileErr = e
+		}
+	}
+
+	// Exact agreement: same seed, same virtual run, counted two ways.
+	bo.Identical = resFull.TotalTime == resStream.TotalTime &&
+		uint64(len(events)) == stream.Events() &&
+		m.BytesConst == stream.Counter("wire/bytes/"+trace.PhaseRedistConst) &&
+		m.BytesVar == stream.Counter("wire/bytes/"+trace.PhaseRedistVar) &&
+		m.MsgsConst == stream.Counter("wire/msgs/"+trace.PhaseRedistConst) &&
+		m.MsgsVar == stream.Counter("wire/msgs/"+trace.PhaseRedistVar) &&
+		faultsAgree(m.Faults, stream)
+	return bo, nil
+}
+
+// faultsAgree checks that the stream's fault counters exactly reproduce
+// the recorder-derived fault map.
+func faultsAgree(faults map[string]int64, stream *obs.Stream) bool {
+	var total int64
+	for op, n := range faults {
+		if stream.Counter("fault/"+op) != n {
+			return false
+		}
+		total += n
+	}
+	return stream.Counter("events/fault") == total
+}
+
+// quantileOf reads a quantile back out of a frozen histogram snapshot,
+// using the same rank convention as the live Hist.
+func quantileOf(h obs.HistSnapshot, q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.Count {
+		target = h.Count
+	}
+	var seen uint64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if seen >= target {
+			if b.Hi == 0 {
+				return 0
+			}
+			return (b.Lo + b.Hi) / 2
+		}
+	}
+	return h.Max
+}
+
+// WriteJSON emits the record with a fixed field layout: deterministic
+// input produces bit-identical bytes.
+func (bo BenchObs) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bo)
+}
+
+// ValidateBenchObs parses a BENCH_obs.json and checks its invariants:
+// known schema, a real run, a streaming footprint strictly below the full
+// log's, quantile error inside the documented bound, and the streamed/
+// recorded exact-agreement contract. It is the CI gate against both
+// malformed artifacts and accuracy regressions.
+func ValidateBenchObs(r io.Reader) (BenchObs, error) {
+	var bo BenchObs
+	if err := json.NewDecoder(r).Decode(&bo); err != nil {
+		return bo, fmt.Errorf("bench obs: %w", err)
+	}
+	if bo.Schema != BenchObsSchema {
+		return bo, fmt.Errorf("bench obs: schema %q (want %q)", bo.Schema, BenchObsSchema)
+	}
+	if bo.Events == 0 {
+		return bo, fmt.Errorf("bench obs: no events")
+	}
+	for name, v := range map[string]float64{
+		"recorderBytes": float64(bo.RecorderBytes), "streamBytes": float64(bo.StreamBytes),
+		"compressionRatio": bo.CompressionRatio,
+		"quantileErrBound": bo.QuantileErrBound, "maxQuantileErr": bo.MaxQuantileErr,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return bo, fmt.Errorf("bench obs: %s = %v", name, v)
+		}
+	}
+	if bo.StreamBytes <= 0 || bo.RecorderBytes <= 0 {
+		return bo, fmt.Errorf("bench obs: non-positive footprints recorder=%d stream=%d",
+			bo.RecorderBytes, bo.StreamBytes)
+	}
+	if bo.StreamBytes >= bo.RecorderBytes {
+		return bo, fmt.Errorf("bench obs: streaming footprint %d not below full log %d",
+			bo.StreamBytes, bo.RecorderBytes)
+	}
+	if bo.QuantileErrBound <= 0 || bo.QuantileErrBound > 0.5 {
+		return bo, fmt.Errorf("bench obs: implausible quantile error bound %v", bo.QuantileErrBound)
+	}
+	if bo.MaxQuantileErr > bo.QuantileErrBound {
+		return bo, fmt.Errorf("bench obs: measured quantile error %v exceeds documented bound %v",
+			bo.MaxQuantileErr, bo.QuantileErrBound)
+	}
+	if !bo.Identical {
+		return bo, fmt.Errorf("bench obs: streamed run did not agree exactly with the recorded run")
+	}
+	return bo, nil
+}

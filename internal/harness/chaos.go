@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -160,7 +161,7 @@ func GenerateChaosPlan(rng *rand.Rand, maxFaults int, lo, hi float64,
 func (s Setup) RunPlan(p Pair, mal core.Config, rep int, fp FaultParams,
 	plan fault.Plan) (bool, string) {
 
-	_, _, err := s.runWithPlan(p, mal, rep, fp, plan)
+	_, _, err := s.runWithPlan(p, mal, rep, fp, plan, nil)
 	if err != nil {
 		msg := err.Error()
 		if i := strings.IndexByte(msg, '\n'); i >= 0 {
@@ -213,7 +214,7 @@ func (s Setup) RunChaosCampaign(p Pair, configs []core.Config, cp ChaosParams,
 	windows := make([]window, len(configs))
 	err := ForEach(len(configs), s.Workers, func(i int) error {
 		base := fault.Plan{DetectLatency: cp.DetectLatency}
-		_, rec, err := s.runWithPlan(p, configs[i], 0, cp.FaultParams, base)
+		_, rec, err := s.runWithPlan(p, configs[i], 0, cp.FaultParams, base, nil)
 		if err != nil {
 			return fmt.Errorf("harness: chaos probe %d->%d %s: %w", p.NS, p.NT, configs[i], err)
 		}
@@ -232,6 +233,10 @@ func (s Setup) RunChaosCampaign(p Pair, configs []core.Config, cp ChaosParams,
 	plans := cp.plans()
 	n := len(configs) * plans
 	outcomes := make([]ChaosOutcome, n)
+	var walls []time.Duration
+	if s.Obs != nil {
+		walls = make([]time.Duration, n)
+	}
 	err = ForEach(n, s.Workers, func(i int) error {
 		cfgIdx, planIdx := i/plans, i%plans
 		cfg, win := configs[cfgIdx], windows[cfgIdx]
@@ -241,6 +246,7 @@ func (s Setup) RunChaosCampaign(p Pair, configs []core.Config, cp ChaosParams,
 			chaosVictims(cfg, p), s.Cluster.Nodes, cp.DetectLatency)
 		plan.Seed = seed
 		out := ChaosOutcome{Config: cfg, PlanIndex: planIdx, Plan: plan}
+		t0 := time.Now()
 		if ok, msg := s.RunPlan(p, cfg, 0, cp.FaultParams, plan); ok {
 			out.Survived = true
 		} else {
@@ -248,9 +254,15 @@ func (s Setup) RunChaosCampaign(p Pair, configs []core.Config, cp ChaosParams,
 			min, minErr, runs := s.shrinkPlan(p, cfg, 0, cp.FaultParams, plan, msg)
 			out.MinimalPlan, out.MinimalErr, out.ShrinkRuns = &min, minErr, runs
 		}
+		if s.Obs != nil {
+			walls[i] = time.Since(t0)
+		}
 		outcomes[i] = out
 		return nil
 	}, func(i int) {
+		if s.Obs != nil {
+			s.Obs.CellDone(CellStats{Wall: walls[i], Survived: outcomes[i].Survived, MaxRung: -1})
+		}
 		if progress == nil {
 			return
 		}

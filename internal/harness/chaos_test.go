@@ -81,7 +81,7 @@ func TestChaosShrinkDeterminism(t *testing.T) {
 	cfg := core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Sync}
 	fp := FaultParams{}
 
-	_, rec, err := s.runWithPlan(p, cfg, 0, fp, fault.Plan{})
+	_, rec, err := s.runWithPlan(p, cfg, 0, fp, fault.Plan{}, nil)
 	if err != nil {
 		t.Fatalf("probe: %v", err)
 	}

@@ -2,9 +2,11 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/synthapp"
 	"repro/internal/trace"
@@ -96,16 +98,20 @@ func phaseWindow(events []trace.Event, phase string) (lo, hi float64, ok bool) {
 // window. The probe error aborts the cell; a faulted-run failure is data
 // (Survived = false), not an error.
 func (s Setup) RunFaultCell(p Pair, mal core.Config, rep int, fp FaultParams) (FaultResult, error) {
+	return s.runFaultCell(p, mal, rep, fp, nil)
+}
+
+// runFaultCell is RunFaultCell with an optional streaming sink attached to
+// the faulted run (the probe run stays unstreamed: it exists only to
+// locate the crash window).
+func (s Setup) runFaultCell(p Pair, mal core.Config, rep int, fp FaultParams, sink trace.Sink) (FaultResult, error) {
 	crashFrac := fp.CrashFrac
 	if crashFrac <= 0 || crashFrac >= 1 {
 		crashFrac = 0.5
 	}
-	run := func(plan fault.Plan) (synthapp.Result, *trace.Recorder, error) {
-		return s.runWithPlan(p, mal, rep, fp, plan)
-	}
 
 	base := fault.Plan{Seed: int64(rep + 1), DetectLatency: fp.DetectLatency}
-	probe, probeRec, err := run(base)
+	probe, probeRec, err := s.runWithPlan(p, mal, rep, fp, base, nil)
 	if err != nil {
 		return FaultResult{}, fmt.Errorf("fault-free probe run: %w", err)
 	}
@@ -122,7 +128,7 @@ func (s Setup) RunFaultCell(p Pair, mal core.Config, rep int, fp FaultParams) (F
 	}
 	plan := base
 	plan.Actions = []fault.Action{{Kind: fault.CrashRank, GID: out.VictimGID, At: out.CrashAt}}
-	res, rec, err := run(plan)
+	res, rec, err := s.runWithPlan(p, mal, rep, fp, plan, sink)
 	if err != nil {
 		out.Err = err.Error()
 		return out, nil
@@ -147,7 +153,7 @@ func (s Setup) RunFaultCell(p Pair, mal core.Config, rep int, fp FaultParams) (F
 // injector whose detector feeds the recovery protocol, a recorder for the
 // analysis. Shared by the crash cell, the chaos campaign, and plan replay.
 func (s Setup) runWithPlan(p Pair, mal core.Config, rep int, fp FaultParams,
-	plan fault.Plan) (synthapp.Result, *trace.Recorder, error) {
+	plan fault.Plan, sink trace.Sink) (synthapp.Result, *trace.Recorder, error) {
 
 	w := s.NewWorld(rep)
 	inj := fault.NewInjector(w, plan)
@@ -155,7 +161,7 @@ func (s Setup) runWithPlan(p Pair, mal core.Config, rep int, fp FaultParams,
 	rec := trace.NewRecorder()
 	res, err := synthapp.Run(w, synthapp.RunParams{
 		Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT,
-		Recorder: rec,
+		Recorder: rec, Sink: sink,
 		Resilience: &core.Resilience{
 			Detector: inj.Detector(),
 			Timeout:  fp.Timeout,
@@ -198,9 +204,27 @@ func (s Setup) RunFaultCampaign(p Pair, configs []core.Config, fp FaultParams,
 	n := len(configs) * reps
 	results := make([]FaultResult, n)
 	rows := make([]FaultCampaignRow, 0, len(configs))
+	var (
+		walls   []time.Duration
+		streams []*obs.Stream
+	)
+	if s.Obs != nil {
+		walls = make([]time.Duration, n)
+		streams = make([]*obs.Stream, n)
+	}
 	err := ForEach(n, s.Workers, func(i int) error {
 		cfg, rep := configs[i/reps], i%reps
-		r, err := s.RunFaultCell(p, cfg, rep, fp)
+		var stream *obs.Stream
+		var t0 time.Time
+		if s.Obs != nil {
+			stream = getStream()
+			streams[i] = stream
+			t0 = time.Now()
+		}
+		r, err := s.runFaultCell(p, cfg, rep, fp, cellSink(stream))
+		if s.Obs != nil {
+			walls[i] = time.Since(t0)
+		}
 		if err != nil {
 			return fmt.Errorf("harness: %d->%d %s rep %d: %w", p.NS, p.NT, cfg, rep, err)
 		}
@@ -208,6 +232,13 @@ func (s Setup) RunFaultCampaign(p Pair, configs []core.Config, fp FaultParams,
 		return nil
 	}, func(i int) {
 		cfg, rep := configs[i/reps], i%reps
+		if s.Obs != nil {
+			s.Obs.CellDone(CellStats{
+				Wall: walls[i], Survived: results[i].Survived,
+				MaxRung: results[i].MaxRung, Stream: streams[i],
+			})
+			streams[i] = nil
+		}
 		if !results[i].Survived && progress != nil {
 			progress(fmt.Sprintf("%d->%d %-16s rep %d DIED: %s", p.NS, p.NT, cfg, rep, results[i].Err))
 		}

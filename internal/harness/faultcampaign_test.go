@@ -168,7 +168,7 @@ func TestRecoveryPathAttributedPerRung(t *testing.T) {
 	cfg := core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Sync}
 
 	base := fault.Plan{Seed: 1}
-	_, probeRec, err := s.runWithPlan(p, cfg, 0, FaultParams{}, base)
+	_, probeRec, err := s.runWithPlan(p, cfg, 0, FaultParams{}, base, nil)
 	if err != nil {
 		t.Fatalf("probe: %v", err)
 	}
@@ -179,7 +179,7 @@ func TestRecoveryPathAttributedPerRung(t *testing.T) {
 
 	plan := base
 	plan.Actions = []fault.Action{{Kind: fault.CrashRank, GID: p.NS - 1, At: lo + 0.5*(hi-lo)}}
-	_, rec, err := s.runWithPlan(p, cfg, 0, FaultParams{}, plan)
+	_, rec, err := s.runWithPlan(p, cfg, 0, FaultParams{}, plan, nil)
 	if err != nil {
 		t.Fatalf("faulted run died: %v", err)
 	}

@@ -1,0 +1,308 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Live campaign telemetry. A Meter rides along a sweep or fault campaign:
+// every completed cell reports its wall time, survival, and (optionally)
+// its per-cell obs.Stream, and the meter periodically publishes throughput
+// and latency-quantile lines through the campaign's progress reporter plus
+// machine-readable JSONL samples. The virtual-time streams merge into one
+// campaign aggregate under the pool's ordered completion frontier, so the
+// final snapshot is byte-identical at any -j.
+
+// streamPool recycles per-cell telemetry streams — and their fixed
+// histogram bucket arrays and flight rings — across cells and workers,
+// mirroring recorderPool.
+var streamPool = sync.Pool{New: func() any { return obs.NewStream() }}
+
+func getStream() *obs.Stream {
+	s := streamPool.Get().(*obs.Stream)
+	s.Reset()
+	return s
+}
+
+// CellStats is one completed cell's report to the meter.
+type CellStats struct {
+	// Wall is the cell's host wall-clock time (not virtual time).
+	Wall time.Duration
+	// Survived is false for fault-campaign cells that died.
+	Survived bool
+	// MaxRung is the highest recovery rung the cell escalated to, or -1
+	// when it never escalated (or no faults ran).
+	MaxRung int
+	// Stream, when non-nil, is the cell's telemetry; the meter merges it
+	// into the campaign aggregate and recycles it.
+	Stream *obs.Stream
+}
+
+// meterRungs bounds the tracked rung distribution: index 0 counts cells
+// that never escalated, index r cells whose highest rung was r-1.
+const meterRungs = 6
+
+// MeterSample is one periodic telemetry emission, serialized as a JSONL
+// line. Wall-clock fields describe the host run and are not deterministic;
+// the virtual-time aggregate (events, counters) is.
+type MeterSample struct {
+	WallSeconds  float64 `json:"wallSeconds"`
+	Cells        int64   `json:"cells"`
+	CellsPerSec  float64 `json:"cellsPerSec"`
+	CellWallP50  float64 `json:"cellWallP50"`
+	CellWallP99  float64 `json:"cellWallP99"`
+	Survived     int64   `json:"survived"`
+	SurvivalRate float64 `json:"survivalRate"`
+	// Rungs[0] counts cells that never escalated; Rungs[r] cells whose
+	// highest recovery rung was r-1.
+	Rungs          []int64 `json:"rungs"`
+	Events         uint64  `json:"events"`
+	TelemetryBytes int64   `json:"telemetryBytes"`
+
+	Runtime *obs.RuntimeSample `json:"runtime,omitempty"`
+}
+
+// MeterOptions configures a campaign meter.
+type MeterOptions struct {
+	// Log receives one MeterSample JSONL line per emission (nil: none).
+	Log io.Writer
+	// Note receives the human-readable emission line — typically
+	// Progress.Note (nil: none).
+	Note func(string)
+	// Every is the minimum gap between periodic emissions (<= 0: 2s). The
+	// final Flush always emits.
+	Every time.Duration
+	// Now is a test hook for the wall clock (nil: time.Now).
+	Now func() time.Time
+}
+
+// Meter aggregates live campaign telemetry. Its methods are called from
+// the sweep pool's serialized completion frontier, but it locks anyway so
+// out-of-band use (a final Flush after the pool drains, tests) is safe.
+type Meter struct {
+	mu   sync.Mutex
+	opts MeterOptions
+
+	start    time.Time
+	lastEmit time.Time
+
+	cells    int64
+	survived int64
+	rungs    [meterRungs]int64
+	wall     *obs.Hist // per-cell wall seconds
+	agg      *obs.Stream
+}
+
+// NewMeter returns a meter; emission starts at the first CellDone.
+func NewMeter(opts MeterOptions) *Meter {
+	if opts.Every <= 0 {
+		opts.Every = 2 * time.Second
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	m := &Meter{opts: opts, wall: obs.NewHist(), agg: obs.NewStream()}
+	m.start = opts.Now()
+	m.lastEmit = m.start
+	return m
+}
+
+// CellDone folds one completed cell in and emits a periodic sample when
+// the emission interval has elapsed. It recycles cs.Stream.
+func (m *Meter) CellDone(cs CellStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells++
+	if cs.Survived {
+		m.survived++
+	}
+	r := cs.MaxRung + 1
+	if r < 0 {
+		r = 0
+	}
+	if r >= meterRungs {
+		r = meterRungs - 1
+	}
+	m.rungs[r]++
+	m.wall.Observe(cs.Wall.Seconds())
+	if cs.Stream != nil {
+		m.agg.Merge(cs.Stream)
+		streamPool.Put(cs.Stream)
+	}
+	if now := m.opts.Now(); now.Sub(m.lastEmit) >= m.opts.Every {
+		m.emit(now)
+	}
+}
+
+// Flush emits a final sample regardless of the interval.
+func (m *Meter) Flush() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.emit(m.opts.Now())
+}
+
+// emit publishes one sample; callers hold m.mu.
+func (m *Meter) emit(now time.Time) {
+	m.lastEmit = now
+	s := MeterSample{
+		WallSeconds:    now.Sub(m.start).Seconds(),
+		Cells:          m.cells,
+		Survived:       m.survived,
+		CellWallP50:    m.wall.Quantile(0.5),
+		CellWallP99:    m.wall.Quantile(0.99),
+		Rungs:          append([]int64(nil), m.rungs[:]...),
+		Events:         m.agg.Events(),
+		TelemetryBytes: m.agg.MemoryBytes(),
+	}
+	if s.WallSeconds > 0 {
+		s.CellsPerSec = float64(m.cells) / s.WallSeconds
+	}
+	if m.cells > 0 {
+		s.SurvivalRate = float64(m.survived) / float64(m.cells)
+	}
+	if m.opts.Note != nil {
+		m.opts.Note(fmt.Sprintf(
+			"obs: cells=%d rate=%.1f/s wall p50=%.0fms p99=%.0fms survival=%.0f%% rungs=%v events=%d telemetry=%dB",
+			s.Cells, s.CellsPerSec, s.CellWallP50*1e3, s.CellWallP99*1e3,
+			s.SurvivalRate*100, s.Rungs, s.Events, s.TelemetryBytes))
+	}
+	if m.opts.Log != nil {
+		rt := obs.SampleRuntime()
+		s.Runtime = &rt
+		_ = json.NewEncoder(m.opts.Log).Encode(s)
+	}
+}
+
+// Snapshot freezes the campaign's merged virtual-time telemetry. The
+// result is deterministic — byte-identical at any worker count — because
+// per-cell streams merge under the pool's ordered completion frontier.
+func (m *Meter) Snapshot() obs.Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.agg.Snapshot()
+}
+
+// ObsFlags is the streaming-telemetry command-line surface shared by
+// cmd/malleasim, cmd/redistsweep, and cmd/faultsweep.
+type ObsFlags struct {
+	// Out is the output prefix: <Out>.obslog.jsonl holds the periodic
+	// MeterSample lines, <Out>.snapshot.json the final merged snapshot
+	// (the `tracetool report` input). Empty disables telemetry output;
+	// live progress lines still appear when a meter runs.
+	Out string
+	// Every is the minimum gap between periodic emissions.
+	Every time.Duration
+	// PProf selects self-profiles ("cpu", "heap", comma-separated):
+	// <prefix>.cpu.pprof and <prefix>.heap.pprof, where prefix is Out or
+	// "profile" when -obs-out is unset.
+	PProf string
+}
+
+// RegisterObsFlags registers -obs-out, -obs-every, and -pprof on fs.
+func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
+	of := &ObsFlags{}
+	fs.StringVar(&of.Out, "obs-out", "",
+		"streaming telemetry output prefix: <prefix>.obslog.jsonl (periodic samples), <prefix>.snapshot.json (merged snapshot for `tracetool report`)")
+	fs.DurationVar(&of.Every, "obs-every", 2*time.Second,
+		"minimum gap between periodic telemetry emissions (with -obs-out)")
+	fs.StringVar(&of.PProf, "pprof", "",
+		"self-profile the tool: comma-separated subset of cpu,heap written as <prefix>.{cpu,heap}.pprof")
+	return of
+}
+
+// Enabled reports whether telemetry files were requested.
+func (of *ObsFlags) Enabled() bool { return of.Out != "" }
+
+// StartMeter opens the telemetry outputs and returns the campaign meter
+// plus a finish function that flushes the final sample, writes the merged
+// snapshot, and closes the log. note receives the live emission lines
+// (typically Progress.Note).
+func (of *ObsFlags) StartMeter(note func(string)) (*Meter, func() error, error) {
+	opts := MeterOptions{Note: note, Every: of.Every}
+	var log *os.File
+	if of.Out != "" {
+		f, err := os.Create(of.Out + ".obslog.jsonl")
+		if err != nil {
+			return nil, nil, err
+		}
+		log, opts.Log = f, f
+	}
+	m := NewMeter(opts)
+	finish := func() error {
+		m.Flush()
+		var err error
+		if log != nil {
+			err = log.Close()
+		}
+		if of.Out != "" {
+			snap := m.Snapshot()
+			if werr := writeTo(of.Out+".snapshot.json", snap.WriteJSON); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		return err
+	}
+	return m, finish, nil
+}
+
+// StartPProf starts the profiles selected by -pprof and returns a stop
+// function that finalizes them (stops the CPU profile, writes the heap
+// profile). A no-op when -pprof is unset.
+func (of *ObsFlags) StartPProf() (func() error, error) {
+	if of.PProf == "" {
+		return func() error { return nil }, nil
+	}
+	prefix := of.Out
+	if prefix == "" {
+		prefix = "profile"
+	}
+	var cpu, heap bool
+	for _, kind := range strings.Split(of.PProf, ",") {
+		switch strings.TrimSpace(kind) {
+		case "cpu":
+			cpu = true
+		case "heap":
+			heap = true
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown -pprof kind %q (want cpu,heap)", kind)
+		}
+	}
+	var cpuFile *os.File
+	if cpu {
+		f, err := os.Create(prefix + ".cpu.pprof")
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		var err error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			err = cpuFile.Close()
+		}
+		if heap {
+			if werr := writeTo(prefix+".heap.pprof", func(w io.Writer) error {
+				return pprof.Lookup("allocs").WriteTo(w, 0)
+			}); werr != nil && err == nil {
+				err = werr
+			}
+		}
+		return err
+	}
+	return stop, nil
+}

@@ -1,0 +1,314 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// sweepSnapshot runs the quick sweep with a meter attached at the given
+// worker count and returns the merged snapshot's JSON bytes.
+func sweepSnapshot(t *testing.T, workers int) []byte {
+	t.Helper()
+	s := quickSetup()
+	s.Workers = workers
+	s.Obs = NewMeter(MeterOptions{})
+	if _, err := s.Sweep(quickPairs(), SyncConfigs(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Obs.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepObsDeterministicAcrossWorkers is the campaign determinism
+// contract: per-cell streams merge under the pool's ordered completion
+// frontier, so the merged telemetry snapshot is byte-identical at -j 1
+// and -j 8.
+func TestSweepObsDeterministicAcrossWorkers(t *testing.T) {
+	seq := sweepSnapshot(t, 1)
+	par := sweepSnapshot(t, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatal("merged telemetry snapshot differs between -j 1 and -j 8")
+	}
+	snap, err := obs.ReadSnapshot(bytes.NewReader(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Events == 0 || len(snap.Hists) == 0 || snap.Ranks == 0 {
+		t.Fatalf("sweep snapshot is empty: %d events, %d hists, %d ranks",
+			snap.Events, len(snap.Hists), snap.Ranks)
+	}
+}
+
+// TestStreamMatchesRecorder is the exact-agreement contract: a streamed
+// run and a fully-recorded run of the same seed agree on makespan, wire
+// traffic per phase, and every fault counter.
+func TestStreamMatchesRecorder(t *testing.T) {
+	s := quickSetup()
+	p := Pair{NS: 8, NT: 4}
+	cfg := core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.NonBlocking}
+
+	rec := trace.NewRecorder()
+	resFull, err := s.RunCellRecorded(p, cfg, 0, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := obs.NewStream()
+	resStream, err := s.RunCellSink(p, cfg, 0, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFull.TotalTime != resStream.TotalTime {
+		t.Fatalf("makespan differs: recorded %g streamed %g", resFull.TotalTime, resStream.TotalTime)
+	}
+	if got, want := stream.Events(), uint64(len(rec.Events())); got != want {
+		t.Fatalf("event count differs: streamed %d recorded %d", got, want)
+	}
+	m := rec.Metrics()
+	for key, want := range map[string]int64{
+		"wire/bytes/" + trace.PhaseRedistConst: m.BytesConst,
+		"wire/bytes/" + trace.PhaseRedistVar:   m.BytesVar,
+		"wire/msgs/" + trace.PhaseRedistConst:  m.MsgsConst,
+		"wire/msgs/" + trace.PhaseRedistVar:    m.MsgsVar,
+	} {
+		if got := stream.Counter(key); got != want {
+			t.Errorf("%s = %d, recorder says %d", key, got, want)
+		}
+	}
+	for op, want := range m.MsgsByOp {
+		if got := stream.Counter("msgs/op/" + op); got != want {
+			t.Errorf("msgs/op/%s = %d, recorder says %d", op, got, want)
+		}
+	}
+}
+
+// TestFaultCampaignStreamFaultCounters checks the same agreement on a
+// faulted run, where fault counters and recovery-rung telemetry are live.
+func TestFaultCampaignStreamFaultCounters(t *testing.T) {
+	s := quickSetup()
+	p := Pair{NS: 8, NT: 4}
+	cfg := core.Config{Spawn: core.Baseline, Comm: core.P2P, Overlap: core.Sync}
+
+	stream := obs.NewStream()
+	r, err := s.runFaultCell(p, cfg, 0, FaultParams{}, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Survived {
+		t.Fatalf("faulted run died: %s", r.Err)
+	}
+	for op, want := range r.Faults {
+		if got := stream.Counter("fault/" + op); got != want {
+			t.Errorf("fault/%s = %d, recorder says %d", op, got, want)
+		}
+	}
+	if stream.Counter("fault/crash") == 0 {
+		t.Error("streamed faulted run recorded no crash")
+	}
+	if len(stream.Flight().Anomalies()) == 0 {
+		t.Error("flight recorder retained no anomalies from a faulted run")
+	}
+}
+
+// TestFaultCampaignWithMeter runs the campaign with a meter and checks the
+// live emission content: survival, rung distribution, throughput.
+func TestFaultCampaignWithMeter(t *testing.T) {
+	s := quickSetup()
+	s.Reps = 1
+	s.Workers = 4
+	var log bytes.Buffer
+	var notes []string
+	clock := time.Unix(0, 0)
+	s.Obs = NewMeter(MeterOptions{
+		Log:  &log,
+		Note: func(line string) { notes = append(notes, line) },
+		// The fake clock never advances, so only the final Flush emits.
+		Now: func() time.Time { return clock },
+	})
+	configs := []core.Config{
+		{Spawn: core.Baseline, Comm: core.P2P, Overlap: core.Sync},
+		{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync},
+	}
+	rows, err := s.RunFaultCampaign(Pair{NS: 8, NT: 4}, configs, FaultParams{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(configs) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(configs))
+	}
+	s.Obs.Flush()
+	if len(notes) == 0 {
+		t.Fatal("meter emitted no note lines")
+	}
+	final := notes[len(notes)-1]
+	if !strings.Contains(final, fmt.Sprintf("cells=%d", len(configs))) {
+		t.Errorf("final meter line %q does not report %d cells", final, len(configs))
+	}
+	if !strings.Contains(log.String(), `"runtime"`) {
+		t.Error("meter log line carries no runtime self-profile sample")
+	}
+	snap := s.Obs.Snapshot()
+	if snap.Counter("fault/crash") == 0 {
+		t.Error("campaign aggregate has no crash counter")
+	}
+}
+
+// TestWriteToCleansUpPartialFiles pins the failure contract: an aborted
+// write leaves no truncated artifact behind.
+func TestWriteToCleansUpPartialFiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	wantErr := errors.New("mid-write failure")
+	err := writeTo(path, func(w io.Writer) error {
+		fmt.Fprint(w, "partial")
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("writeTo returned %v, want the write error", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("partial file still exists after failed write (stat: %v)", statErr)
+	}
+	// The success path still writes the file.
+	if err := writeTo(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "complete")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "complete" {
+		t.Fatalf("successful write produced %q, %v", data, err)
+	}
+}
+
+// TestPooledRecorderAndStreamReuse drives the traced sweep (recorder pool)
+// with telemetry on (stream pool) across 8 workers, twice, and checks the
+// merged snapshots agree — recycled instances must behave like fresh ones.
+// Under -race this also exercises the pools' concurrent Get/Put paths.
+func TestPooledRecorderAndStreamReuse(t *testing.T) {
+	run := func() ([]CellMetrics, []byte) {
+		s := quickSetup()
+		s.Workers = 8
+		s.Obs = NewMeter(MeterOptions{})
+		cells, err := s.SweepMetrics(quickPairs(), SyncConfigs(), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Obs.Snapshot().WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return cells, buf.Bytes()
+	}
+	cells1, snap1 := run()
+	cells2, snap2 := run()
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatal("pooled reuse changed the merged telemetry snapshot between runs")
+	}
+	for i := range cells1 {
+		if cells1[i].Key != cells2[i].Key || cells1[i].M.BytesVar != cells2[i].M.BytesVar {
+			t.Fatalf("pooled reuse changed cell %d metrics", i)
+		}
+	}
+}
+
+func TestBenchObsBuildAndValidate(t *testing.T) {
+	// The stream's fixed footprint (~2000 histogram buckets per tracked
+	// metric) only wins once a run records more than a few thousand
+	// events, so the bench cell must be realistically sized.
+	bo, err := BuildBenchObs("ethernet", Pair{NS: 40, NT: 20},
+		core.Config{Spawn: core.Merge, Comm: core.COL, Overlap: core.Sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := bo.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateBenchObs(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("freshly built record fails validation: %v", err)
+	}
+	if back != bo {
+		t.Fatal("record does not round-trip")
+	}
+	// A corrupted record must fail: inflate the measured quantile error
+	// past the documented bound.
+	bad := bo
+	bad.MaxQuantileErr = bo.QuantileErrBound * 2
+	buf.Reset()
+	if err := bad.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateBenchObs(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("validator accepted a record violating the error bound")
+	}
+}
+
+func TestObsFlagsPProf(t *testing.T) {
+	dir := t.TempDir()
+	of := &ObsFlags{Out: filepath.Join(dir, "p"), PProf: "cpu,heap"}
+	stop, err := of.StartPProf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".heap.pprof"} {
+		if _, err := os.Stat(of.Out + suffix); err != nil {
+			t.Errorf("missing profile %s: %v", suffix, err)
+		}
+	}
+	bad := &ObsFlags{PProf: "flamegraph"}
+	if _, err := bad.StartPProf(); err == nil {
+		t.Error("StartPProf accepted an unknown profile kind")
+	}
+}
+
+func TestObsFlagsStartMeterWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	of := &ObsFlags{Out: filepath.Join(dir, "camp"), Every: time.Hour}
+	m, finish, err := of.StartMeter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := quickSetup()
+	s.Reps = 1
+	s.Obs = m
+	if _, err := s.Sweep([]Pair{{NS: 4, NT: 2}}, SyncConfigs()[:1], nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	logData, err := os.ReadFile(of.Out + ".obslog.jsonl")
+	if err != nil || !strings.Contains(string(logData), `"cells":1`) {
+		t.Fatalf("obslog missing or wrong: %v %q", err, logData)
+	}
+	f, err := os.Open(of.Out + ".snapshot.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snap, err := obs.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Events == 0 {
+		t.Fatal("snapshot file holds no events")
+	}
+}

@@ -8,14 +8,17 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/synthapp"
+	"repro/internal/trace"
 )
 
 // PaperCounts are the process counts of §4.3.
@@ -74,6 +77,14 @@ type Setup struct {
 	// identical at any worker count (see DESIGN.md §11).
 	Workers int
 
+	// Obs, when non-nil, receives live campaign telemetry: every sweep,
+	// fault-campaign, or chaos cell reports its wall time and outcome, and
+	// sweep and fault cells additionally attach a streaming obs.Stream that
+	// merges into the meter's campaign aggregate under the pool's ordered
+	// completion frontier (so the merged snapshot is byte-identical at any
+	// Workers count).
+	Obs *Meter
+
 	// Cluster and runtime calibration; see DESIGN.md §5.
 	Cluster cluster.Config
 	MPIOpts mpi.Options
@@ -112,10 +123,34 @@ func (s Setup) NewWorld(rep int) *mpi.World {
 
 // RunCell executes one (pair, config, rep) run.
 func (s Setup) RunCell(p Pair, mal core.Config, rep int) (synthapp.Result, error) {
+	return s.runCell(p, mal, rep, nil, nil)
+}
+
+// RunCellSink executes one cell with a streaming telemetry sink attached.
+// The sink reads only the virtual clock, so the result is identical to
+// RunCell's.
+func (s Setup) RunCellSink(p Pair, mal core.Config, rep int, sink trace.Sink) (synthapp.Result, error) {
+	return s.runCell(p, mal, rep, nil, sink)
+}
+
+// runCell is the shared cell executor: a fresh seeded world, an optional
+// full recorder, an optional streaming sink (the two compose via
+// trace.Tee inside synthapp.Run).
+func (s Setup) runCell(p Pair, mal core.Config, rep int, rec *trace.Recorder, sink trace.Sink) (synthapp.Result, error) {
 	w := s.NewWorld(rep)
 	return synthapp.Run(w, synthapp.RunParams{
 		Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT,
+		Recorder: rec, Sink: sink,
 	})
+}
+
+// cellSink returns the stream as a non-nil trace.Sink, or nil — never a
+// typed-nil interface, which would defeat the instrumentation nil checks.
+func cellSink(stream *obs.Stream) trace.Sink {
+	if stream == nil {
+		return nil
+	}
+	return stream
 }
 
 // CellKey identifies one measured cell.
@@ -151,9 +186,27 @@ func (s Setup) Sweep(pairs []Pair, configs []core.Config, progress func(string))
 	n := len(pairs) * len(configs) * reps
 	results := make([]synthapp.Result, n)
 	m := make(Measurements, len(pairs)*len(configs))
+	var (
+		walls   []time.Duration
+		streams []*obs.Stream
+	)
+	if s.Obs != nil {
+		walls = make([]time.Duration, n)
+		streams = make([]*obs.Stream, n)
+	}
 	err := ForEach(n, s.Workers, func(i int) error {
 		p, cfg, rep := jobOf(i)
-		res, err := s.RunCell(p, cfg, rep)
+		var stream *obs.Stream
+		var t0 time.Time
+		if s.Obs != nil {
+			stream = getStream()
+			streams[i] = stream
+			t0 = time.Now()
+		}
+		res, err := s.runCell(p, cfg, rep, nil, cellSink(stream))
+		if s.Obs != nil {
+			walls[i] = time.Since(t0)
+		}
 		if err != nil {
 			return fmt.Errorf("harness: %s rep %d: %w", CellKey{Pair: p, Config: cfg}, rep, err)
 		}
@@ -161,6 +214,10 @@ func (s Setup) Sweep(pairs []Pair, configs []core.Config, progress func(string))
 		return nil
 	}, func(i int) {
 		p, cfg, rep := jobOf(i)
+		if s.Obs != nil {
+			s.Obs.CellDone(CellStats{Wall: walls[i], Survived: true, MaxRung: -1, Stream: streams[i]})
+			streams[i] = nil
+		}
 		if rep != reps-1 {
 			return
 		}

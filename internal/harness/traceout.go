@@ -6,8 +6,10 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/synthapp"
 	"repro/internal/trace"
 )
@@ -24,10 +26,7 @@ func (s Setup) RunCellTraced(p Pair, mal core.Config, rep int) (synthapp.Result,
 // RunCellRecorded is RunCellTraced with a caller-owned recorder, so sweeps
 // can Reset and reuse one recorder across cells instead of reallocating.
 func (s Setup) RunCellRecorded(p Pair, mal core.Config, rep int, rec *trace.Recorder) (synthapp.Result, error) {
-	w := s.NewWorld(rep)
-	return synthapp.Run(w, synthapp.RunParams{
-		Cfg: s.Cfg, Malleability: mal, NS: p.NS, NT: p.NT, Recorder: rec,
-	})
+	return s.runCell(p, mal, rep, rec, nil)
 }
 
 // WriteTraceFiles exports one recorded run: <prefix>.events.json holds the
@@ -49,6 +48,9 @@ func WriteTraceFiles(rec *trace.Recorder, prefix string) error {
 	return writeTo(prefix+".metrics.csv", m.WriteCSV)
 }
 
+// writeTo creates path, runs write, and closes. A failing write or close
+// removes the partial file: callers never find a truncated artifact where
+// a complete one was promised.
 func writeTo(path string, write func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -56,9 +58,14 @@ func writeTo(path string, write func(io.Writer) error) error {
 	}
 	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(path)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return err
+	}
+	return nil
 }
 
 // CellMetrics pairs one sweep cell with the metrics derived from a traced
@@ -97,13 +104,30 @@ func (s Setup) sweepMetrics(pairs []Pair, configs []core.Config, rep int, progre
 	var (
 		lastMu  sync.Mutex
 		lastRec *trace.Recorder
+		walls   []time.Duration
+		streams []*obs.Stream
 	)
+	if s.Obs != nil {
+		walls = make([]time.Duration, n)
+		streams = make([]*obs.Stream, n)
+	}
 	err := ForEach(n, s.Workers, func(i int) error {
 		p, cfg := pairs[i/len(configs)], configs[i%len(configs)]
 		key := CellKey{Pair: p, Config: cfg}
 		rec := recorderPool.Get().(*trace.Recorder)
 		rec.Reset()
-		if _, err := s.RunCellRecorded(p, cfg, rep, rec); err != nil {
+		var stream *obs.Stream
+		var t0 time.Time
+		if s.Obs != nil {
+			stream = getStream()
+			streams[i] = stream
+			t0 = time.Now()
+		}
+		_, err := s.runCell(p, cfg, rep, rec, cellSink(stream))
+		if s.Obs != nil {
+			walls[i] = time.Since(t0)
+		}
+		if err != nil {
 			recorderPool.Put(rec)
 			return fmt.Errorf("harness: traced %s rep %d: %w", key, rep, err)
 		}
@@ -119,6 +143,10 @@ func (s Setup) sweepMetrics(pairs []Pair, configs []core.Config, rep int, progre
 		}
 		return nil
 	}, func(i int) {
+		if s.Obs != nil {
+			s.Obs.CellDone(CellStats{Wall: walls[i], Survived: true, MaxRung: -1, Stream: streams[i]})
+			streams[i] = nil
+		}
 		if progress != nil {
 			m := out[i].M
 			progress(fmt.Sprintf("%-28s bytes(const/var)=%d/%d msgs=%d/%d overlap=%.2f",

@@ -305,7 +305,7 @@ func (c *Ctx) Ialltoallv(comm *Comm, send []Payload) *AlltoallvReq {
 	if len(send) != npeers {
 		panic(fmt.Sprintf("mpi: Ialltoallv with %d payloads for %d peers", len(send), npeers))
 	}
-	if rec := c.proc.w.rec; rec != nil {
+	if rec := c.proc.w.sink; rec != nil {
 		now := c.sp.Now()
 		rec.Record(trace.Event{
 			Kind: trace.EvColl, Rank: c.proc.gid, Start: now, End: now,

@@ -25,7 +25,7 @@ func (c *Ctx) startGeneric(name string, fn func(t *Ctx) Payload) *GenReq {
 	req := &GenReq{op: "I" + name}
 	proc := c.proc
 	phase := c.phase
-	if rec := proc.w.rec; rec != nil {
+	if rec := proc.w.sink; rec != nil {
 		now := c.sp.Now()
 		rec.Record(trace.Event{
 			Kind: trace.EvColl, Rank: proc.gid, Start: now, End: now,

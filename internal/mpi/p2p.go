@@ -178,7 +178,7 @@ func (c *Ctx) Isend(comm *Comm, dst, tag int, payload Payload) *SendReq {
 	dstProc := comm.peerProc(dst)
 	c.chargeCopy(payload.Size) // pack
 
-	if rec := w.rec; rec != nil {
+	if rec := w.sink; rec != nil {
 		now := c.sp.Now()
 		rec.Record(trace.Event{
 			Kind: trace.EvSend, Rank: c.proc.gid, Start: now, End: now,
@@ -319,7 +319,7 @@ func (e *envelope) complete() {
 	r.payload = e.payload
 	r.status = Status{Source: e.srcRank, Tag: e.tag, Size: e.payload.Size}
 	r.done = true
-	if rec := e.comm.w.rec; rec != nil {
+	if rec := e.comm.w.sink; rec != nil {
 		now := e.comm.w.k.Now()
 		rec.Record(trace.Event{
 			Kind: trace.EvRecv, Rank: r.owner.gid, Start: now, End: now,

@@ -209,7 +209,7 @@ func (c *Ctx) Get(win *Win, target int, lo, hi int64) *RMAReq {
 			}
 			req.payload = exp.Slice(lo, hi)
 			req.done = true
-			if rec := w.rec; rec != nil {
+			if rec := w.sink; rec != nil {
 				rec.Record(trace.Event{
 					Kind: trace.EvRecv, Rank: origin.gid, Start: issued, End: w.k.Now(),
 					Peer: tp.gid, Tag: -1, Comm: win.comm.ctxID,

@@ -46,7 +46,7 @@ func (e *SpawnError) Error() string {
 // recordSpawnRetry emits the per-attempt retry event: an instant EvFault
 // with Op "spawn-retry" and Tag carrying the failed-attempt ordinal.
 func recordSpawnRetry(c *Ctx, comm int, attempt int) {
-	rec := c.proc.w.rec
+	rec := c.proc.w.sink
 	if rec == nil {
 		return
 	}

@@ -106,7 +106,7 @@ type World struct {
 
 	hooks FaultHooks // nil when fault injection is off
 
-	rec *trace.Recorder // nil when event tracing is off
+	sink trace.Sink // nil when event tracing is off
 
 	envFree []*envelope // recycled envelopes; see newEnvelope/freeEnvelope
 }
@@ -153,14 +153,26 @@ func (w *World) Kernel() *sim.Kernel { return w.k }
 func (w *World) Options() Options { return w.opts }
 
 // SetRecorder attaches (or, with nil, detaches) an event recorder. Every
-// instrumentation site nil-checks the recorder before building an event,
-// so the disabled path costs one pointer load and no allocation. Recording
+// instrumentation site nil-checks the sink before building an event, so
+// the disabled path costs one interface load and no allocation. Recording
 // only reads the virtual clock, so enabling it cannot change simulation
 // results.
-func (w *World) SetRecorder(r *trace.Recorder) { w.rec = r }
+func (w *World) SetRecorder(r *trace.Recorder) {
+	if r == nil {
+		w.sink = nil // avoid a typed-nil Sink that would defeat nil checks
+		return
+	}
+	w.sink = r
+}
 
-// Recorder returns the attached event recorder, or nil.
-func (w *World) Recorder() *trace.Recorder { return w.rec }
+// SetSink attaches (or, with nil, detaches) an arbitrary event sink: the
+// full Recorder, a streaming telemetry aggregator, or a trace.Tee of
+// several. Callers must not pass a non-nil interface holding a nil
+// concrete pointer.
+func (w *World) SetSink(s trace.Sink) { w.sink = s }
+
+// Sink returns the attached event sink, or nil when tracing is off.
+func (w *World) Sink() trace.Sink { return w.sink }
 
 // Process is one MPI process: a rank's mailbox, placement, and identity.
 // Its code runs in one or more execution contexts (main thread plus any
@@ -326,7 +338,7 @@ func (c *Ctx) Phase() string { return c.phase }
 // tracing is off it returns a shared no-op closure, keeping the disabled
 // path allocation-free.
 func (c *Ctx) span(kind trace.EventKind, comm int, op string, bytes int64) func() {
-	rec := c.proc.w.rec
+	rec := c.proc.w.sink
 	if rec == nil {
 		return noopSpanEnd
 	}

@@ -1,0 +1,64 @@
+package obs
+
+// Golden-file coverage for the snapshot JSON: the schema is a published
+// artifact (read back by tracetool report and CI), so its serialization
+// must stay byte-stable for a fixed event log. Regenerate with
+// `go test ./internal/obs -run Golden -update`.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+func TestSnapshotJSONGolden(t *testing.T) {
+	s := NewStream()
+	for _, ev := range synthEvents(500, 42) {
+		s.Record(ev)
+	}
+	var a, b bytes.Buffer
+	if err := s.Snapshot().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot JSON not deterministic across serializations")
+	}
+
+	path := filepath.Join("testdata", "snapshot.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, a.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(a.Bytes(), want) {
+		t.Fatalf("snapshot JSON drifted from golden file:\n--- got ---\n%s", a.Bytes())
+	}
+
+	// Round-trip: the golden file itself must read back losslessly.
+	snap, err := ReadSnapshot(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := snap.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Fatal("golden snapshot does not round-trip byte-identically")
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import "runtime/metrics"
+
+// RuntimeSample is one self-profiling reading of the host Go process via
+// runtime/metrics: how much the telemetry (and everything else in the
+// process) is costing in GC cycles, live heap, cumulative allocation,
+// and goroutines. Campaign meters attach one sample per emitted line so
+// long sweeps expose their real resource trajectory, not just virtual
+// time.
+type RuntimeSample struct {
+	HeapBytes       uint64 `json:"heapBytes"`       // live heap objects
+	TotalAllocBytes uint64 `json:"totalAllocBytes"` // cumulative allocated
+	GCCycles        uint64 `json:"gcCycles"`
+	Goroutines      uint64 `json:"goroutines"`
+}
+
+var runtimeSamples = []metrics.Sample{
+	{Name: "/memory/classes/heap/objects:bytes"},
+	{Name: "/gc/heap/allocs:bytes"},
+	{Name: "/gc/cycles/total:gc-cycles"},
+	{Name: "/sched/goroutines:goroutines"},
+}
+
+// SampleRuntime reads the current process-level sample.
+func SampleRuntime() RuntimeSample {
+	s := make([]metrics.Sample, len(runtimeSamples))
+	copy(s, runtimeSamples)
+	metrics.Read(s)
+	u := func(i int) uint64 {
+		if s[i].Value.Kind() == metrics.KindUint64 {
+			return s[i].Value.Uint64()
+		}
+		return 0
+	}
+	return RuntimeSample{
+		HeapBytes:       u(0),
+		TotalAllocBytes: u(1),
+		GCCycles:        u(2),
+		Goroutines:      u(3),
+	}
+}

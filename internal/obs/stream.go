@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Stream is the bounded-memory streaming telemetry sink: it implements
+// trace.Sink and folds every event into fixed-size aggregates the moment
+// it is recorded — log-bucketed histograms for span durations, wire
+// message sizes, delivery (RTT) samples, and recovery-rung latencies;
+// monotone counters for event kinds, wire traffic per phase, fault
+// actions, and rung escalations; per-rank activity totals; and a
+// flight-recorder ring for post-mortems. Memory is constant in the event
+// count: O(histograms + ring capacity + ranks).
+//
+// Like the full Recorder, a Stream is single-threaded by construction
+// (the simulation kernel runs one process at a time). Campaign-level
+// aggregation across worker goroutines goes through Merge under the
+// pool's serialized completion callbacks.
+type Stream struct {
+	flight *FlightRecorder
+
+	hCompute *Hist // EvCompute span durations
+	hBarrier *Hist // EvBarrier span durations
+	hColl    *Hist // EvColl span durations
+	hSpawn   *Hist // EvSpawn span durations
+	hRTT     *Hist // EvRecv issue-to-delivery durations (RTT samples)
+	hBytes   *Hist // wire message sizes in bytes
+
+	hPhase map[string]*Hist // EvPhase span durations by stage name
+	hRung  [5]*Hist         // recovery-stage span durations by active rung
+
+	counters map[string]int64
+
+	ranks map[int]*RankTelemetry
+
+	events      uint64
+	first, last float64
+	curRung     int
+}
+
+// RankTelemetry is one rank's streaming activity totals.
+type RankTelemetry struct {
+	Rank  int     `json:"rank"`
+	First float64 `json:"first"` // first recorded activity
+	Last  float64 `json:"last"`  // last recorded activity
+	// Busy is the summed compute and spawn span time; Utilization in the
+	// snapshot is Busy over the rank's lifespan.
+	Busy      float64 `json:"busy"`
+	SendMsgs  int64   `json:"sendMsgs"`
+	SendBytes int64   `json:"sendBytes"`
+	RecvMsgs  int64   `json:"recvMsgs"`
+	RecvBytes int64   `json:"recvBytes"`
+}
+
+// NewStream returns an empty streaming sink with the default
+// flight-recorder capacities.
+func NewStream() *Stream { return NewStreamCap(0, 0) }
+
+// NewStreamCap returns an empty streaming sink with explicit
+// flight-recorder capacities (<= 0 selects the defaults).
+func NewStreamCap(recentCap, anomalyCap int) *Stream {
+	s := &Stream{
+		flight:   NewFlightRecorder(recentCap, anomalyCap),
+		hCompute: NewHist(), hBarrier: NewHist(), hColl: NewHist(),
+		hSpawn: NewHist(), hRTT: NewHist(), hBytes: NewHist(),
+		hPhase:   map[string]*Hist{},
+		counters: map[string]int64{},
+		ranks:    map[int]*RankTelemetry{},
+	}
+	for i := range s.hRung {
+		s.hRung[i] = NewHist()
+	}
+	return s
+}
+
+func (s *Stream) rank(id int) *RankTelemetry {
+	rt, ok := s.ranks[id]
+	if !ok {
+		rt = &RankTelemetry{Rank: id, First: -1, Last: -1}
+		s.ranks[id] = rt
+	}
+	return rt
+}
+
+// phaseKey maps an event's phase tag to its counter key ("" is
+// application traffic).
+func phaseKey(phase string) string {
+	if phase == "" {
+		return "app"
+	}
+	return phase
+}
+
+// Record implements trace.Sink: one event folds into the aggregates.
+func (s *Stream) Record(ev trace.Event) {
+	s.flight.Record(ev)
+	if s.events == 0 || ev.Start < s.first {
+		s.first = ev.Start
+	}
+	if s.events == 0 || ev.End > s.last {
+		s.last = ev.End
+	}
+	s.events++
+	s.counters["events/"+ev.Kind.String()]++
+
+	rt := s.rank(ev.Rank)
+	if rt.First < 0 || ev.Start < rt.First {
+		rt.First = ev.Start
+	}
+	if ev.End > rt.Last {
+		rt.Last = ev.End
+	}
+
+	d := ev.Duration()
+	switch ev.Kind {
+	case trace.EvCompute:
+		s.hCompute.Observe(d)
+		rt.Busy += d
+	case trace.EvBarrier:
+		s.hBarrier.Observe(d)
+	case trace.EvColl:
+		s.hColl.Observe(d)
+	case trace.EvSpawn:
+		s.hSpawn.Observe(d)
+		rt.Busy += d
+	case trace.EvSend:
+		rt.SendMsgs++
+		rt.SendBytes += ev.Bytes
+	case trace.EvRecv:
+		rt.RecvMsgs++
+		rt.RecvBytes += ev.Bytes
+		s.hRTT.Observe(d)
+	case trace.EvPhase:
+		h, ok := s.hPhase[ev.Op]
+		if !ok {
+			h = NewHist()
+			s.hPhase[ev.Op] = h
+		}
+		h.Observe(d)
+		if ev.Op == trace.PhaseRecovery {
+			rung := s.curRung
+			if rung < 0 {
+				rung = 0
+			}
+			if rung >= len(s.hRung) {
+				rung = len(s.hRung) - 1
+			}
+			s.hRung[rung].Observe(d)
+		}
+	case trace.EvFault:
+		s.counters["fault/"+ev.Op]++
+		if ev.Op == "escalate" && ev.Tag >= 0 {
+			s.counters[rungKey(ev.Tag)]++
+			if ev.Tag > s.curRung {
+				s.curRung = ev.Tag
+			}
+		}
+	}
+
+	// Wire accounting mirrors trace.RunMetrics: point-to-point sends count
+	// at issue, one-sided Gets at the origin's delivery, so collective
+	// traffic (built from sends) is counted once.
+	if ev.Kind == trace.EvSend || (ev.Kind == trace.EvRecv && ev.Op == "Get") {
+		pk := phaseKey(ev.Phase)
+		s.counters["wire/msgs/"+pk]++
+		s.counters["wire/bytes/"+pk] += ev.Bytes
+		s.counters["msgs/op/"+ev.Op]++
+		s.hBytes.Observe(float64(ev.Bytes))
+	}
+}
+
+func rungKey(rung int) string {
+	return "rung/" + string(rune('0'+rung%10))
+}
+
+// Events returns the total number of events folded in.
+func (s *Stream) Events() uint64 { return s.events }
+
+// Counter returns one monotone counter's value (0 when never touched).
+func (s *Stream) Counter(key string) int64 { return s.counters[key] }
+
+// Makespan returns the stream's observed time envelope: latest event end
+// minus earliest event start.
+func (s *Stream) Makespan() float64 {
+	if s.events == 0 {
+		return 0
+	}
+	return s.last - s.first
+}
+
+// Flight returns the embedded flight recorder.
+func (s *Stream) Flight() *FlightRecorder { return s.flight }
+
+// Merge folds other's aggregates into s: histograms add bucket-wise,
+// counters and per-rank totals sum, and other's retained flight events
+// append into s's rings (most recent survive). Campaign aggregation
+// calls Merge under the sweep pool's serialized completion frontier, so
+// the merged state is deterministic at any worker count.
+func (s *Stream) Merge(other *Stream) {
+	if other == nil || other.events == 0 {
+		return
+	}
+	if s.events == 0 || other.first < s.first {
+		s.first = other.first
+	}
+	if s.events == 0 || other.last > s.last {
+		s.last = other.last
+	}
+	s.events += other.events
+	s.hCompute.Merge(other.hCompute)
+	s.hBarrier.Merge(other.hBarrier)
+	s.hColl.Merge(other.hColl)
+	s.hSpawn.Merge(other.hSpawn)
+	s.hRTT.Merge(other.hRTT)
+	s.hBytes.Merge(other.hBytes)
+	for op, h := range other.hPhase {
+		dst, ok := s.hPhase[op]
+		if !ok {
+			dst = NewHist()
+			s.hPhase[op] = dst
+		}
+		dst.Merge(h)
+	}
+	for i := range s.hRung {
+		s.hRung[i].Merge(other.hRung[i])
+	}
+	for k, v := range other.counters {
+		s.counters[k] += v
+	}
+	for id, rt := range other.ranks {
+		dst := s.rank(id)
+		if dst.First < 0 || (rt.First >= 0 && rt.First < dst.First) {
+			dst.First = rt.First
+		}
+		if rt.Last > dst.Last {
+			dst.Last = rt.Last
+		}
+		dst.Busy += rt.Busy
+		dst.SendMsgs += rt.SendMsgs
+		dst.SendBytes += rt.SendBytes
+		dst.RecvMsgs += rt.RecvMsgs
+		dst.RecvBytes += rt.RecvBytes
+	}
+	for _, ev := range other.flight.Recent() {
+		s.flight.recent.push(ev)
+	}
+	for _, ev := range other.flight.Anomalies() {
+		s.flight.anomalies.push(ev)
+	}
+	if other.curRung > s.curRung {
+		s.curRung = other.curRung
+	}
+}
+
+// Reset empties the stream for reuse, keeping allocated bucket arrays and
+// ring buffers (the sync.Pool contract the harness relies on).
+func (s *Stream) Reset() {
+	s.flight.Reset()
+	s.hCompute.Reset()
+	s.hBarrier.Reset()
+	s.hColl.Reset()
+	s.hSpawn.Reset()
+	s.hRTT.Reset()
+	s.hBytes.Reset()
+	for _, h := range s.hPhase {
+		h.Reset()
+	}
+	for i := range s.hRung {
+		s.hRung[i].Reset()
+	}
+	for k := range s.counters {
+		delete(s.counters, k)
+	}
+	for k := range s.ranks {
+		delete(s.ranks, k)
+	}
+	s.events, s.first, s.last, s.curRung = 0, 0, 0, 0
+}
+
+// MemoryBytes estimates the stream's telemetry footprint: the fixed
+// histogram bucket arrays, the flight-recorder rings, and the per-rank
+// and counter tables. The estimate is an accounting upper bound that is
+// constant in the event count (only the O(ranks) table grows, with the
+// world, not the log).
+func (s *Stream) MemoryBytes() int64 {
+	n := s.flight.memoryBytes()
+	hists := []*Hist{s.hCompute, s.hBarrier, s.hColl, s.hSpawn, s.hRTT, s.hBytes}
+	for _, h := range s.hPhase {
+		hists = append(hists, h)
+	}
+	for _, h := range s.hRung {
+		hists = append(hists, h)
+	}
+	for _, h := range hists {
+		n += h.memoryBytes()
+	}
+	n += int64(len(s.counters)) * 48 // key + value + bucket overhead
+	n += int64(len(s.ranks)) * 96
+	return n
+}
+
+// sortedCounterKeys returns the counter keys in lexical order.
+func (s *Stream) sortedCounterKeys() []string {
+	keys := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

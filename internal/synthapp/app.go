@@ -26,6 +26,14 @@ type RunParams struct {
 	// clock, so results are identical with or without it.
 	Recorder *trace.Recorder
 
+	// Sink, when non-nil, receives the same event stream as Recorder — the
+	// bounded-memory path (internal/obs streaming telemetry). Recorder and
+	// Sink compose: with both set the run tees every event to each, so a
+	// full log and a constant-memory aggregate can be captured side by
+	// side. Like Recorder, a sink reads only the virtual clock and cannot
+	// change simulation results.
+	Sink trace.Sink
+
 	// Resilience, when non-nil, runs every reconfiguration under the fault
 	// recovery protocol (detect → abort → re-plan → resume). It forces the
 	// synchronous strategy: overlapped variants are downgraded by the core
@@ -133,7 +141,11 @@ func Run(w *mpi.World, p RunParams) (Result, error) {
 	if len(p.Cfg.Reconfigs) == 0 && p.Cfg.ReconfigIteration >= 0 && p.NT <= 0 {
 		return Result{}, fmt.Errorf("synthapp: NT=%d with an implicit reconfiguration", p.NT)
 	}
-	w.SetRecorder(p.Recorder)
+	if p.Recorder != nil {
+		w.SetSink(trace.Tee(p.Recorder, p.Sink))
+	} else {
+		w.SetSink(p.Sink)
+	}
 	rs := &runState{cfg: p.Cfg, mal: p.Malleability, ns: p.NS, nt: p.NT,
 		rowPtrs: map[string][]int64{}, mon: p.Monitor, resil: p.Resilience}
 	for _, d := range p.Cfg.Data {
@@ -310,7 +322,7 @@ func (rs *runState) runPhase(c *mpi.Ctx, comm *mpi.Comm, iter *int, until int) f
 	remaining := until - *iter
 	ffStart := c.Now()
 	c.Sleep(float64(remaining) * perIter)
-	if rec := c.World().Recorder(); rec != nil && c.Now() > ffStart {
+	if rec := c.World().Sink(); rec != nil && c.Now() > ffStart {
 		// Record the fast-forward as one lumped iteration span, so trace
 		// analysis attributes the batched steady-state to application work
 		// rather than to blocked-wait.

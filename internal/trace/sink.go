@@ -1,0 +1,39 @@
+package trace
+
+// Sink consumes typed trace events as they are recorded. The mpi, core,
+// and synthapp instrumentation sites emit through a Sink, so one run can
+// feed the full event Recorder, a bounded-memory streaming aggregator
+// (internal/obs), or both at once via Tee. Implementations may assume the
+// single-threaded kernel contract: Record is never called concurrently
+// within one world, and events arrive chronologically by End time.
+type Sink interface {
+	Record(Event)
+}
+
+// multiSink fans one event stream out to several sinks in order.
+type multiSink []Sink
+
+func (m multiSink) Record(ev Event) {
+	for _, s := range m {
+		s.Record(ev)
+	}
+}
+
+// Tee combines sinks into one, dropping nils. It returns nil when every
+// sink is nil (tracing fully off), the sink itself when only one remains
+// (no fan-out indirection), and a fan-out sink otherwise.
+func Tee(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

@@ -89,9 +89,23 @@ func (m *Monitor) Ranks() []*RankLog {
 	return out
 }
 
-// WriteCSV emits one row per span: rank,module,name,start,end,duration.
-// Fields are escaped per RFC 4180, so module or span names containing
-// commas or quotes survive a round-trip.
+// CounterNames returns the rank's counter names sorted alphabetically,
+// so every map-keyed emission path is deterministic.
+func (rl *RankLog) CounterNames() []string {
+	names := make([]string, 0, len(rl.Counters))
+	for name := range rl.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteCSV emits one row per span (rank,module,name,start,end,duration)
+// followed, for ranks that have counters, by one row per counter
+// (rank,counter,name,value,,) with names in sorted order — byte-identical
+// output for the same run whatever map iteration order Go picks. Fields
+// are escaped per RFC 4180, so module or span names containing commas or
+// quotes survive a round-trip.
 func (m *Monitor) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"rank", "module", "name", "start", "end", "duration"}); err != nil {
@@ -103,6 +117,17 @@ func (m *Monitor) WriteCSV(w io.Writer) error {
 			err := cw.Write([]string{
 				strconv.Itoa(rl.Rank), s.Module, s.Name,
 				g(s.Start), g(s.End), g(s.Duration()),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	for _, rl := range m.Ranks() {
+		for _, name := range rl.CounterNames() {
+			err := cw.Write([]string{
+				strconv.Itoa(rl.Rank), "counter", name,
+				g(rl.Counters[name]), "", "",
 			})
 			if err != nil {
 				return err
