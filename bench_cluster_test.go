@@ -1,0 +1,95 @@
+package repro
+
+// The cluster-workload regression harness: BenchmarkClusterWorkload runs
+// the fully malleable bursty campaign under every scheduling policy —
+// in parallel and sequentially — and writes BENCH_cluster.json: the
+// malleability makespan win over the rigid baseline, engine throughput,
+// and the -j determinism contract, validated by `tracetool
+// validate-bench` and archived by CI. REPRO_BENCH_CLUSTER_OUT overrides
+// the output path (default BENCH_cluster.json); REPRO_BENCH_CLUSTER_JOBS
+// the per-cell trace length (default 1000).
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func benchClusterOut() string {
+	if s := os.Getenv("REPRO_BENCH_CLUSTER_OUT"); s != "" {
+		return s
+	}
+	return "BENCH_cluster.json"
+}
+
+func benchClusterJobs() int {
+	if s := os.Getenv("REPRO_BENCH_CLUSTER_JOBS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1000
+}
+
+// BenchmarkClusterWorkload emits BENCH_cluster.json. Like the other bench
+// records it is a benchmark only to ride the `go test -bench` entry point
+// CI already runs; the regression signal is the archived artifact.
+func BenchmarkClusterWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bc, err := harness.BuildBenchCluster(benchClusterJobs(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && printOnce(b.Name()) {
+			var buf bytes.Buffer
+			if err := bc.WriteJSON(&buf); err != nil {
+				b.Fatal(err)
+			}
+			// Validate before writing: CI must never archive a malformed record.
+			if _, err := harness.ValidateBenchCluster(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			out := benchClusterOut()
+			if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("wrote %s (%d jobs x %d cells, malleable win %.2fx, %.0f jobs/s)",
+				out, bc.Jobs, bc.Cells, bc.MakespanWin, bc.JobsPerSec)
+		}
+	}
+}
+
+// TestBenchClusterDeterministic builds the record twice and requires
+// bit-identical serialization once the two host-rate fields are zeroed,
+// and that the freshly built record passes its own validator.
+func TestBenchClusterDeterministic(t *testing.T) {
+	serialize := func() []byte {
+		t.Helper()
+		bc, err := harness.BuildBenchCluster(300, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := bc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := harness.ValidateBenchCluster(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		// Zero the wall-clock rates: everything else derives from virtual
+		// time and must agree bit for bit.
+		bc.JobsPerSec, bc.AllocsPerJob = 0, 0
+		buf.Reset()
+		if err := bc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := serialize(), serialize()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two builds of the bench record differ:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,234 @@
+// Command clustersim runs multi-job cluster workload campaigns: seeded
+// synthetic job traces (or a replayed CSV trace) pushed through the
+// FCFS-with-backfill scheduler under pluggable malleability policies,
+// swept over generator × load × malleable-fraction × policy on the
+// shared worker pool.
+//
+//	clustersim [-gens bursty,poisson] [-loads 0.9,1.1] [-mal-fracs 0.5,1.0]
+//	           [-policies all] [-jobs 1000] [-seed 1] [-j 8] [-csv out.csv]
+//
+// Trace files round-trip through the versioned CSV format:
+//
+//	clustersim -write-trace trace.csv -gens bursty -jobs 1000
+//	clustersim -trace trace.csv -policies rigid,greedy
+//
+// Output is byte-identical at any -j: every cell is an independent
+// deterministic simulation and rows assemble in sweep order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster nodes")
+	cores := flag.Int("cores", 20, "cores per node")
+	netName := flag.String("net", "ethernet", "interconnect pricing reconfigurations: ethernet or infiniband")
+	gens := flag.String("gens", "bursty", "comma-separated generators (poisson, bursty, diurnal) or \"all\"")
+	policies := flag.String("policies", "all", "comma-separated policies (rigid, greedy, fairshare, utiltarget) or \"all\"")
+	loads := flag.String("loads", "1.0", "comma-separated offered loads (fraction of capacity)")
+	fracs := flag.String("mal-fracs", "1.0", "comma-separated malleable job fractions")
+	jobs := flag.Int("jobs", 1000, "jobs per generated trace")
+	seed := flag.Int64("seed", 1, "trace generation seed")
+	tau := flag.Float64("tau", 0, "bounded-slowdown threshold in seconds (0: default 10)")
+	noBackfill := flag.Bool("no-backfill", false, "disable EASY backfill (plain FCFS)")
+	workers := flag.Int("j", harness.DefaultWorkers(), "worker count: cells simulated concurrently (1: sequential; output is identical at any -j)")
+	csvPath := flag.String("csv", "", "write campaign rows as CSV")
+	tracePath := flag.String("trace", "", "replay a job trace CSV instead of generating (collapses the gen/load/frac axes)")
+	writeTrace := flag.String("write-trace", "", "generate the first gen×load×frac trace, write it as CSV, and exit")
+	of := harness.RegisterObsFlags(flag.CommandLine)
+	flag.Parse()
+
+	net, err := harness.ParseNet(*netName)
+	if err != nil {
+		fail(err)
+	}
+	cl := cluster.Default(net)
+	cl.Nodes, cl.CoresPerNode = *nodes, *cores
+
+	kinds, err := parseKinds(*gens)
+	if err != nil {
+		fail(err)
+	}
+	pols, err := workload.ParsePolicies(*policies)
+	if err != nil {
+		fail(err)
+	}
+	loadVals, err := parseFloats(*loads, "loads")
+	if err != nil {
+		fail(err)
+	}
+	fracVals, err := parseFloats(*fracs, "mal-fracs")
+	if err != nil {
+		fail(err)
+	}
+
+	if *writeTrace != "" {
+		spec := workload.GenSpec{Kind: kinds[0], Seed: *seed, Jobs: *jobs,
+			Cores: cl.Nodes * cl.CoresPerNode, Load: loadVals[0], MalleableFrac: fracVals[0]}
+		js, err := workload.Generate(spec)
+		if err != nil {
+			fail(err)
+		}
+		if err := writeFile(*writeTrace, func(w *os.File) error { return workload.WriteTrace(w, js) }); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d-job %s trace to %s\n", len(js), spec, *writeTrace)
+		return
+	}
+
+	camp := harness.ClusterCampaign{
+		Cluster: cl,
+		Kinds:   kinds, Loads: loadVals, Fracs: fracVals, Policies: pols,
+		Jobs: *jobs, Seed: *seed,
+		SlowdownTau: *tau, DisableBackfill: *noBackfill,
+		Workers: *workers,
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		trace, err := workload.ReadTrace(f, cl.Nodes*cl.CoresPerNode)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		camp.Trace = trace
+	}
+
+	stopProf, err := of.StartPProf()
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
+
+	nCells := len(pols)
+	if camp.Trace == nil {
+		nCells = len(kinds) * len(loadVals) * len(fracVals) * len(pols)
+	}
+	fmt.Printf("# cluster workload campaign: %d nodes x %d cores, %d jobs/cell, %d cell(s), -j %d\n",
+		cl.Nodes, cl.CoresPerNode, *jobs, nCells, *workers)
+
+	rep := harness.NewProgress(os.Stdout, nCells)
+	var finishObs func() error
+	if of.Enabled() {
+		meter, finish, err := of.StartMeter(rep.Note)
+		if err != nil {
+			fail(err)
+		}
+		camp.Obs = meter
+		finishObs = func() error {
+			if err := finish(); err != nil {
+				return err
+			}
+			fmt.Printf("obs: telemetry written to %s.obslog.jsonl and %s.snapshot.json (render with `tracetool report`)\n",
+				of.Out, of.Out)
+			return nil
+		}
+	}
+
+	rows, err := camp.Run(rep.Step)
+	if err != nil {
+		fail(err)
+	}
+	if finishObs != nil {
+		if err := finishObs(); err != nil {
+			fail(err)
+		}
+	}
+
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(w *os.File) error { return harness.WriteClusterCSV(w, rows) }); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d rows to %s\n", len(rows), *csvPath)
+	}
+
+	// Per-trace summaries: the rigid baseline against each malleable
+	// policy's makespan.
+	base := map[string]float64{}
+	for _, r := range rows {
+		if r.Policy == "rigid" {
+			base[r.Kind+"|"+fmtF(r.Load)+"|"+fmtF(r.Frac)] = r.Makespan
+		}
+	}
+	fmt.Printf("\n%-10s %5s %5s %-10s %10s %7s %7s %9s %9s\n",
+		"kind", "load", "frac", "policy", "makespan", "util", "sld", "reconfigs", "vs-rigid")
+	for _, r := range rows {
+		vs := "-"
+		if b, ok := base[r.Kind+"|"+fmtF(r.Load)+"|"+fmtF(r.Frac)]; ok && r.Policy != "rigid" && r.Makespan > 0 {
+			vs = fmt.Sprintf("%.3fx", b/r.Makespan)
+		}
+		fmt.Printf("%-10s %5s %5s %-10s %10.1f %7.3f %7.2f %9d %9s\n",
+			r.Kind, fmtF(r.Load), fmtF(r.Frac), r.Policy,
+			r.Makespan, r.Utilization, r.MeanSlowdown, r.Reconfigs, vs)
+	}
+}
+
+func parseKinds(s string) ([]workload.GenKind, error) {
+	if s == "all" || s == "" {
+		return workload.GenKinds, nil
+	}
+	var out []workload.GenKind
+	for _, name := range strings.Split(s, ",") {
+		k := workload.GenKind(strings.TrimSpace(name))
+		ok := false
+		for _, known := range workload.GenKinds {
+			if k == known {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown generator %q (want poisson, bursty, diurnal, or all)", name)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func parseFloats(s, flagName string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", flagName, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", flagName)
+	}
+	return out, nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "clustersim:", err)
+	os.Exit(1)
+}

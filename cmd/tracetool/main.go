@@ -211,6 +211,13 @@ func cmdValidateBench(args []string) {
 		}
 		fmt.Printf("%s: ok (schema %s, %d workers, %d cells, speedup %.2fx, codec allocs %.1f vs seed %.1f)\n",
 			fs.Arg(0), bs.Schema, bs.Workers, bs.Cells, bs.Speedup, bs.CodecAllocs, bs.SeedCodecAllocs)
+	case harness.BenchClusterSchema:
+		bc, err := harness.ValidateBenchCluster(bytes.NewReader(raw))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s: ok (schema %s, %d jobs x %d cells at -j %d, malleable win %.2fx over rigid, util %.3f)\n",
+			fs.Arg(0), bc.Schema, bc.Jobs, bc.Cells, bc.Workers, bc.MakespanWin, bc.Utilization)
 	case harness.BenchObsSchema:
 		bo, err := harness.ValidateBenchObs(bytes.NewReader(raw))
 		if err != nil {

@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/workload"
+)
+
+// BenchClusterSchema versions the BENCH_cluster.json layout so CI
+// consumers can detect incompatible changes.
+const BenchClusterSchema = "repro/bench-cluster/v1"
+
+// PolicyMakespan is one policy's makespan on the benchmark trace.
+type PolicyMakespan struct {
+	Policy   string  `json:"policy"`
+	Makespan float64 `json:"makespan"`
+}
+
+// BenchCluster is the machine-readable record BenchmarkClusterWorkload
+// emits as BENCH_cluster.json: the cluster workload engine run over the
+// fully malleable bursty trace under every scheduling policy, the
+// malleability win over the rigid baseline, the engine's throughput, and
+// the parallel-campaign determinism contract. Everything except the two
+// host-rate fields (JobsPerSec, AllocsPerJob) derives from virtual time
+// and is byte-identical across builds.
+type BenchCluster struct {
+	Schema string `json:"schema"`
+
+	// Jobs is the trace length per cell; Cells the number of policy cells;
+	// Workers the parallel campaign's -j.
+	Jobs    int `json:"jobs"`
+	Cells   int `json:"cells"`
+	Workers int `json:"workers"`
+
+	// Bursty lists every policy's makespan on the shared bursty trace, in
+	// campaign order (rigid first). RigidMakespan repeats the baseline,
+	// BestMalleableMakespan the fastest malleable policy, and MakespanWin
+	// their ratio — the headline malleability payoff (> 1 means the
+	// malleable policies beat the baseline).
+	Bursty                []PolicyMakespan `json:"bursty"`
+	RigidMakespan         float64          `json:"rigidMakespan"`
+	BestMalleableMakespan float64          `json:"bestMalleableMakespan"`
+	MakespanWin           float64          `json:"makespanWin"`
+
+	// Utilization and MeanSlowdown describe the best malleable cell.
+	Utilization  float64 `json:"utilization"`
+	MeanSlowdown float64 `json:"meanSlowdown"`
+
+	// JobsPerSec is simulated jobs per host wall-clock second across the
+	// parallel campaign; AllocsPerJob the heap allocations per simulated
+	// job. Both are host metrics: real in the archived artifact, zeroed in
+	// determinism comparisons.
+	JobsPerSec   float64 `json:"jobsPerSec"`
+	AllocsPerJob float64 `json:"allocsPerJob"`
+
+	// Identical reports that the Workers-way campaign and the sequential
+	// rerun produced byte-identical CSV rows and telemetry snapshots —
+	// the -j determinism contract.
+	Identical bool `json:"identical"`
+}
+
+// benchClusterCampaign is the shared campaign spec: the fully malleable
+// bursty trace at saturation, every policy. Fraction 1.0 keeps the
+// comparison clean — identical jobs, the policy is the only variable —
+// and keeps the critical-path tail job malleable.
+func benchClusterCampaign(jobs, workers int, m *Meter) ClusterCampaign {
+	return ClusterCampaign{
+		Cluster:  cluster.Default(netmodel.Ethernet10G()),
+		Kinds:    []workload.GenKind{workload.GenBursty},
+		Loads:    []float64{1.0},
+		Fracs:    []float64{1.0},
+		Policies: workload.Policies(),
+		Jobs:     jobs,
+		Seed:     1,
+		Workers:  workers,
+		Obs:      m,
+	}
+}
+
+// BuildBenchCluster runs the benchmark campaign at the given parallelism,
+// reruns it sequentially, and derives the record. jobs <= 0 selects 1000;
+// workers <= 0 selects DefaultWorkers.
+func BuildBenchCluster(jobs, workers int) (BenchCluster, error) {
+	if jobs <= 0 {
+		jobs = 1000
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+		// Floor at 4: the record's Identical bit compares a parallel
+		// campaign against a sequential rerun, and on a single-core host
+		// DefaultWorkers would degenerate both sides to -j 1. Extra
+		// workers on a small host are just goroutine interleaving — which
+		// is exactly what the contract must survive.
+		if workers < 4 {
+			workers = 4
+		}
+	}
+	runOnce := func(w int) ([]ClusterRow, []byte, []byte, error) {
+		m := NewMeter(MeterOptions{})
+		rows, err := benchClusterCampaign(jobs, w, m).Run(nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var csv bytes.Buffer
+		if err := WriteClusterCSV(&csv, rows); err != nil {
+			return nil, nil, nil, err
+		}
+		var snap bytes.Buffer
+		s := m.Snapshot()
+		if err := s.WriteJSON(&snap); err != nil {
+			return nil, nil, nil, err
+		}
+		return rows, csv.Bytes(), snap.Bytes(), nil
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	rows, csvPar, snapPar, err := runOnce(workers)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	if err != nil {
+		return BenchCluster{}, fmt.Errorf("bench cluster parallel campaign: %w", err)
+	}
+	_, csvSeq, snapSeq, err := runOnce(1)
+	if err != nil {
+		return BenchCluster{}, fmt.Errorf("bench cluster sequential campaign: %w", err)
+	}
+
+	bc := BenchCluster{
+		Schema: BenchClusterSchema,
+		Jobs:   jobs, Cells: len(rows), Workers: workers,
+		Identical: bytes.Equal(csvPar, csvSeq) && bytes.Equal(snapPar, snapSeq),
+	}
+	simulated := 0
+	for _, r := range rows {
+		bc.Bursty = append(bc.Bursty, PolicyMakespan{Policy: r.Policy, Makespan: r.Makespan})
+		simulated += r.Jobs
+		if r.Policy == (workload.RigidPolicy{}).Name() {
+			bc.RigidMakespan = r.Makespan
+			continue
+		}
+		if bc.BestMalleableMakespan == 0 || r.Makespan < bc.BestMalleableMakespan {
+			bc.BestMalleableMakespan = r.Makespan
+			bc.Utilization = r.Utilization
+			bc.MeanSlowdown = r.MeanSlowdown
+		}
+	}
+	if bc.BestMalleableMakespan > 0 {
+		bc.MakespanWin = bc.RigidMakespan / bc.BestMalleableMakespan
+	}
+	if s := wall.Seconds(); s > 0 {
+		bc.JobsPerSec = float64(simulated) / s
+	}
+	if simulated > 0 {
+		bc.AllocsPerJob = float64(ms1.Mallocs-ms0.Mallocs) / float64(simulated)
+	}
+	return bc, nil
+}
+
+// WriteJSON emits the record with a fixed field layout: deterministic
+// input produces bit-identical bytes.
+func (bc BenchCluster) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bc)
+}
+
+// ValidateBenchCluster parses a BENCH_cluster.json and checks its
+// invariants: known schema, a real campaign, every malleable policy's
+// makespan strictly below the rigid baseline, sane utilization and
+// slowdown, positive host rates, and the -j determinism contract. It is
+// the CI gate against both malformed artifacts and scheduling
+// regressions.
+func ValidateBenchCluster(r io.Reader) (BenchCluster, error) {
+	var bc BenchCluster
+	if err := json.NewDecoder(r).Decode(&bc); err != nil {
+		return bc, fmt.Errorf("bench cluster: %w", err)
+	}
+	if bc.Schema != BenchClusterSchema {
+		return bc, fmt.Errorf("bench cluster: schema %q (want %q)", bc.Schema, BenchClusterSchema)
+	}
+	if bc.Jobs < 1 || bc.Cells < 2 || bc.Workers < 1 {
+		return bc, fmt.Errorf("bench cluster: implausible campaign jobs=%d cells=%d workers=%d",
+			bc.Jobs, bc.Cells, bc.Workers)
+	}
+	for name, v := range map[string]float64{
+		"rigidMakespan": bc.RigidMakespan, "bestMalleableMakespan": bc.BestMalleableMakespan,
+		"makespanWin": bc.MakespanWin, "utilization": bc.Utilization,
+		"meanSlowdown": bc.MeanSlowdown, "jobsPerSec": bc.JobsPerSec, "allocsPerJob": bc.AllocsPerJob,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return bc, fmt.Errorf("bench cluster: %s = %v (want finite and > 0)", name, v)
+		}
+	}
+	rigid, malleable := false, 0
+	for _, pm := range bc.Bursty {
+		if math.IsNaN(pm.Makespan) || math.IsInf(pm.Makespan, 0) || pm.Makespan <= 0 {
+			return bc, fmt.Errorf("bench cluster: policy %s makespan %v", pm.Policy, pm.Makespan)
+		}
+		if pm.Policy == "rigid" {
+			rigid = true
+			continue
+		}
+		malleable++
+		if pm.Makespan >= bc.RigidMakespan {
+			return bc, fmt.Errorf("bench cluster: malleable policy %s makespan %v not below rigid %v",
+				pm.Policy, pm.Makespan, bc.RigidMakespan)
+		}
+	}
+	if !rigid || malleable < 2 {
+		return bc, fmt.Errorf("bench cluster: need the rigid baseline and >= 2 malleable policies, got rigid=%v malleable=%d",
+			rigid, malleable)
+	}
+	if bc.MakespanWin <= 1 {
+		return bc, fmt.Errorf("bench cluster: makespan win %v not above 1", bc.MakespanWin)
+	}
+	if bc.Utilization > 1+1e-9 {
+		return bc, fmt.Errorf("bench cluster: utilization %v above 1", bc.Utilization)
+	}
+	if bc.MeanSlowdown < 1 {
+		return bc, fmt.Errorf("bench cluster: mean slowdown %v below 1", bc.MeanSlowdown)
+	}
+	if bc.AllocsPerJob > 1e6 {
+		return bc, fmt.Errorf("bench cluster: allocsPerJob %v implausibly high", bc.AllocsPerJob)
+	}
+	if !bc.Identical {
+		return bc, fmt.Errorf("bench cluster: parallel campaign did not match the sequential rerun byte for byte")
+	}
+	return bc, nil
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netmodel"
+	"repro/internal/workload"
+)
+
+func testClusterCampaign(workers int, m *Meter) ClusterCampaign {
+	return ClusterCampaign{
+		Cluster:  cluster.Default(netmodel.Ethernet10G()),
+		Kinds:    []workload.GenKind{workload.GenPoisson, workload.GenBursty},
+		Loads:    []float64{0.9, 1.1},
+		Fracs:    []float64{0.5},
+		Policies: workload.Policies(),
+		Jobs:     120,
+		Seed:     1,
+		Workers:  workers,
+		Obs:      m,
+	}
+}
+
+// The campaign's determinism contract: CSV rows and the merged telemetry
+// snapshot are byte-identical at -j 1 and -j 8.
+func TestClusterCampaignParallelDeterminism(t *testing.T) {
+	runAt := func(workers int) ([]byte, []byte) {
+		t.Helper()
+		m := NewMeter(MeterOptions{})
+		rows, err := testClusterCampaign(workers, m).Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var csv bytes.Buffer
+		if err := WriteClusterCSV(&csv, rows); err != nil {
+			t.Fatal(err)
+		}
+		var snap bytes.Buffer
+		s := m.Snapshot()
+		if err := s.WriteJSON(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return csv.Bytes(), snap.Bytes()
+	}
+	csv1, snap1 := runAt(1)
+	csv8, snap8 := runAt(8)
+	if !bytes.Equal(csv1, csv8) {
+		t.Fatalf("campaign CSV differs between -j 1 and -j 8:\n%s\nvs\n%s", csv1, csv8)
+	}
+	if !bytes.Equal(snap1, snap8) {
+		t.Fatal("merged telemetry snapshot differs between -j 1 and -j 8")
+	}
+	// The grid is complete: kinds x loads x fracs x policies rows, header first.
+	lines := strings.Split(strings.TrimSpace(string(csv1)), "\n")
+	want := 1 + 2*2*1*len(workload.Policies())
+	if len(lines) != want {
+		t.Fatalf("campaign CSV has %d lines, want %d", len(lines), want)
+	}
+	if lines[0] != clusterCSVHeader {
+		t.Fatalf("campaign CSV header %q", lines[0])
+	}
+}
+
+// Replaying a fixed trace collapses the generator axes and sweeps only
+// policies, producing identical rows to generating the same trace.
+func TestClusterCampaignReplay(t *testing.T) {
+	cl := cluster.Default(netmodel.Ethernet10G())
+	jobs, err := workload.Generate(workload.GenSpec{Kind: workload.GenBursty, Seed: 7, Jobs: 100,
+		Cores: cl.Nodes * cl.CoresPerNode, Load: 1.0, MalleableFrac: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := ClusterCampaign{
+		Cluster:  cl,
+		Policies: workload.Policies(),
+		Trace:    jobs,
+		Workers:  2,
+	}
+	rows, err := camp.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workload.Policies()) {
+		t.Fatalf("replay produced %d rows, want %d", len(rows), len(workload.Policies()))
+	}
+	gen := ClusterCampaign{
+		Cluster: cl,
+		Kinds:   []workload.GenKind{workload.GenBursty}, Loads: []float64{1.0}, Fracs: []float64{1.0},
+		Policies: workload.Policies(),
+		Jobs:     100, Seed: 7,
+		Workers: 2,
+	}
+	genRows, err := gen.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i].Makespan != genRows[i].Makespan || rows[i].Reconfigs != genRows[i].Reconfigs {
+			t.Fatalf("replay row %d diverges from generated row: %+v vs %+v", i, rows[i], genRows[i])
+		}
+		if rows[i].Kind != "replay" {
+			t.Fatalf("replay row %d labeled %q", i, rows[i].Kind)
+		}
+	}
+}
+
+// An empty policy list or missing axes fail fast with a clear error.
+func TestClusterCampaignRejectsBadSpec(t *testing.T) {
+	cl := cluster.Default(netmodel.Ethernet10G())
+	if _, err := (ClusterCampaign{Cluster: cl}).Run(nil); err == nil {
+		t.Fatal("campaign without policies accepted")
+	}
+	if _, err := (ClusterCampaign{Cluster: cl, Policies: workload.Policies()}).Run(nil); err == nil {
+		t.Fatal("campaign without axes accepted")
+	}
+}

@@ -30,6 +30,7 @@ type Stream struct {
 	hBytes   *Hist // wire message sizes in bytes
 
 	hPhase map[string]*Hist // EvPhase span durations by stage name
+	spare  []*Hist          // reset phase hists parked for reuse across Reset cycles
 	hRung  [5]*Hist         // recovery-stage span durations by active rung
 
 	counters map[string]int64
@@ -134,12 +135,7 @@ func (s *Stream) Record(ev trace.Event) {
 		rt.RecvBytes += ev.Bytes
 		s.hRTT.Observe(d)
 	case trace.EvPhase:
-		h, ok := s.hPhase[ev.Op]
-		if !ok {
-			h = NewHist()
-			s.hPhase[ev.Op] = h
-		}
-		h.Observe(d)
+		s.phaseHist(ev.Op).Observe(d)
 		if ev.Op == trace.PhaseRecovery {
 			rung := s.curRung
 			if rung < 0 {
@@ -174,6 +170,38 @@ func (s *Stream) Record(ev trace.Event) {
 
 func rungKey(rung int) string {
 	return "rung/" + string(rune('0'+rung%10))
+}
+
+// ObserveNamed folds one scalar sample into the named histogram (surfaced
+// in the snapshot as "phase/<name>") and bumps the matching
+// "observe/<name>" counter. It is the entry point for layers that
+// aggregate above the trace-event level — the cluster workload engine
+// records job waits, bounded slowdowns, and queue depths here — and
+// reuses the stream's bounded-memory and deterministic-merge machinery
+// without inventing synthetic trace events. It does not count as a trace
+// event and does not move the observed time envelope.
+func (s *Stream) ObserveNamed(name string, v float64) {
+	s.phaseHist(name).Observe(v)
+	s.counters["observe/"+name]++
+}
+
+// phaseHist returns the named phase histogram, reviving a parked one from
+// the spare list before allocating. Every histogram in hPhase has at least
+// one observation: Reset moves entries to the spare list rather than
+// leaving zero-count keys behind, so snapshots never depend on which phase
+// names a pooled stream saw in an earlier life.
+func (s *Stream) phaseHist(name string) *Hist {
+	h, ok := s.hPhase[name]
+	if !ok {
+		if n := len(s.spare); n > 0 {
+			h = s.spare[n-1]
+			s.spare = s.spare[:n-1]
+		} else {
+			h = NewHist()
+		}
+		s.hPhase[name] = h
+	}
+	return h
 }
 
 // Events returns the total number of events folded in.
@@ -217,12 +245,7 @@ func (s *Stream) Merge(other *Stream) {
 	s.hRTT.Merge(other.hRTT)
 	s.hBytes.Merge(other.hBytes)
 	for op, h := range other.hPhase {
-		dst, ok := s.hPhase[op]
-		if !ok {
-			dst = NewHist()
-			s.hPhase[op] = dst
-		}
-		dst.Merge(h)
+		s.phaseHist(op).Merge(h)
 	}
 	for i := range s.hRung {
 		s.hRung[i].Merge(other.hRung[i])
@@ -265,8 +288,10 @@ func (s *Stream) Reset() {
 	s.hSpawn.Reset()
 	s.hRTT.Reset()
 	s.hBytes.Reset()
-	for _, h := range s.hPhase {
+	for k, h := range s.hPhase {
 		h.Reset()
+		s.spare = append(s.spare, h)
+		delete(s.hPhase, k)
 	}
 	for i := range s.hRung {
 		s.hRung[i].Reset()

@@ -42,8 +42,16 @@ type CostModel func(ns, nt int, dataBytes int64) float64
 // PaperCostModel builds a cost model from the reproduction's calibration:
 // a spawn term (Baseline-style: per-process cost for the processes
 // created) plus the data transfer at the given per-node bandwidth with
-// coresPerNode ranks per node.
+// coresPerNode ranks per node. Like the netmodel constructors, physically
+// meaningless parameters are rejected at construction — they would
+// otherwise surface much later as NaN or negative makespans.
 func PaperCostModel(spawnBase, spawnPerProc, bandwidth float64, coresPerNode int) CostModel {
+	if coresPerNode < 1 {
+		panic(fmt.Sprintf("rms: cost model with %d cores/node", coresPerNode))
+	}
+	if math.IsNaN(bandwidth) || math.IsInf(bandwidth, 0) || bandwidth <= 0 {
+		panic(fmt.Sprintf("rms: cost model bandwidth must be finite and > 0, got %v", bandwidth))
+	}
 	return func(ns, nt int, dataBytes int64) float64 {
 		spawned := nt - ns
 		if spawned < 0 {
@@ -116,12 +124,56 @@ func New(cores int, cost CostModel) *Sim {
 	return &Sim{cores: cores, cost: cost}
 }
 
-// Add queues jobs for the run.
-func (s *Sim) Add(jobs ...Job) {
+// InvalidJobError reports a job that failed submission validation.
+type InvalidJobError struct {
+	Job    Job
+	Reason string
+}
+
+func (e *InvalidJobError) Error() string {
+	return fmt.Sprintf("rms: invalid job %d: %s", e.Job.ID, e.Reason)
+}
+
+// ValidateJob checks one submission against a cluster of cores cores. A
+// rejected job would otherwise propagate silently as a NaN or negative
+// makespan (non-positive or non-finite Work), a stuck queue (Procs that
+// never fit), or a shrinking "expansion" (malleable MaxProcs below Procs;
+// zero means "no expansion" and is normalized to Procs at submission).
+func ValidateJob(j Job, cores int) error {
+	fail := func(format string, args ...any) error {
+		return &InvalidJobError{Job: j, Reason: fmt.Sprintf(format, args...)}
+	}
+	if math.IsNaN(j.Work) || math.IsInf(j.Work, 0) || j.Work <= 0 {
+		return fail("Work must be finite and > 0, got %v", j.Work)
+	}
+	if math.IsNaN(j.Arrival) || math.IsInf(j.Arrival, 0) || j.Arrival < 0 {
+		return fail("Arrival must be finite and >= 0, got %v", j.Arrival)
+	}
+	if j.Procs < 1 {
+		return fail("Procs must be >= 1, got %d", j.Procs)
+	}
+	if j.Procs > cores {
+		return fail("Procs %d exceeds the cluster's %d cores", j.Procs, cores)
+	}
+	if j.Malleable && j.MaxProcs != 0 && j.MaxProcs < j.Procs {
+		return fail("malleable MaxProcs %d below Procs %d", j.MaxProcs, j.Procs)
+	}
+	if j.DataBytes < 0 {
+		return fail("DataBytes must be >= 0, got %d", j.DataBytes)
+	}
+	return nil
+}
+
+// Submit validates and queues jobs for the run. Validation is atomic:
+// on the first invalid job a typed *InvalidJobError is returned and
+// nothing is queued.
+func (s *Sim) Submit(jobs ...Job) error {
 	for _, j := range jobs {
-		if j.Work <= 0 || j.Procs <= 0 || j.Procs > s.cores {
-			panic(fmt.Sprintf("rms: invalid job %+v", j))
+		if err := ValidateJob(j, s.cores); err != nil {
+			return err
 		}
+	}
+	for _, j := range jobs {
 		if j.MaxProcs < j.Procs {
 			j.MaxProcs = j.Procs
 		}
@@ -129,6 +181,15 @@ func (s *Sim) Add(jobs ...Job) {
 			j.MaxProcs = s.cores
 		}
 		s.jobs = append(s.jobs, &jobState{Job: j, remaining: j.Work})
+	}
+	return nil
+}
+
+// Add queues jobs for the run, panicking on an invalid submission. New
+// callers should prefer Submit and handle the typed error.
+func (s *Sim) Add(jobs ...Job) {
+	if err := s.Submit(jobs...); err != nil {
+		panic(err.Error())
 	}
 }
 

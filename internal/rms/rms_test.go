@@ -1,7 +1,9 @@
 package rms
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -126,6 +128,62 @@ func TestPaperCostModelShape(t *testing.T) {
 	big := cm(140, 160, 1<<30)
 	if big >= small {
 		t.Fatalf("transfer at 8 nodes (%g) should beat 2 nodes (%g)", big, small)
+	}
+}
+
+func TestSubmitReturnsTypedError(t *testing.T) {
+	s := New(10, nil)
+	cases := []struct {
+		job  Job
+		want string
+	}{
+		{Job{ID: 1, Work: -5, Procs: 2}, "Work"},
+		{Job{ID: 2, Work: math.NaN(), Procs: 2}, "Work"},
+		{Job{ID: 3, Work: 10, Arrival: -1, Procs: 2}, "Arrival"},
+		{Job{ID: 4, Work: 10, Procs: 0}, "Procs"},
+		{Job{ID: 5, Work: 10, Procs: 11}, "cores"},
+		{Job{ID: 6, Work: 10, Procs: 4, MaxProcs: 2, Malleable: true}, "MaxProcs"},
+		{Job{ID: 7, Work: 10, Procs: 2, DataBytes: -1}, "DataBytes"},
+	}
+	for _, c := range cases {
+		err := s.Submit(c.job)
+		var ije *InvalidJobError
+		if !errors.As(err, &ije) {
+			t.Fatalf("Submit(%+v) = %v, want *InvalidJobError", c.job, err)
+		}
+		if ije.Job.ID != c.job.ID || !strings.Contains(ije.Reason, c.want) {
+			t.Fatalf("Submit(%+v): reason %q does not mention %q", c.job, ije.Reason, c.want)
+		}
+	}
+	// A rigid job's MaxProcs below Procs is a default, not an error.
+	if err := s.Submit(Job{ID: 8, Work: 10, Procs: 4, MaxProcs: 2}); err != nil {
+		t.Fatalf("rigid MaxProcs default rejected: %v", err)
+	}
+	// Validation is atomic: the valid prefix of a failing batch is not queued.
+	s2 := New(10, nil)
+	if err := s2.Submit(Job{ID: 1, Work: 10, Procs: 1}, Job{ID: 2, Work: -1, Procs: 1}); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if len(s2.jobs) != 0 {
+		t.Fatalf("failed batch queued %d jobs, want 0", len(s2.jobs))
+	}
+}
+
+func TestPaperCostModelRejectsBadParams(t *testing.T) {
+	for _, c := range []struct {
+		bandwidth    float64
+		coresPerNode int
+	}{
+		{0, 20}, {-1, 20}, {math.NaN(), 20}, {math.Inf(1), 20}, {1e9, 0}, {1e9, -3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("PaperCostModel(bw=%v, cores=%d) accepted", c.bandwidth, c.coresPerNode)
+				}
+			}()
+			PaperCostModel(30e-3, 25e-3, c.bandwidth, c.coresPerNode)
+		}()
 	}
 }
 

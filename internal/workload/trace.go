@@ -1,0 +1,115 @@
+// Package workload is the cluster-level layer above the per-job
+// reproduction: it turns the single-reconfiguration repro into a system
+// serving sustained job traffic. Job-arrival traces — seeded synthetic
+// generators (Poisson, bursty, diurnal) or CSV replay — feed a
+// discrete-event cluster scheduler (FCFS admission with conservative EASY
+// backfill over the cluster's node inventory) whose malleability decisions
+// are delegated to pluggable policies and priced through the calibrated
+// rms.CostModel. The figures of merit move from per-reconfiguration time
+// to whole-system ones: makespan, throughput, bounded job slowdown, and
+// cluster utilization (the paper's §5 future-work question).
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/rms"
+)
+
+// TraceSchema versions the job-trace CSV layout. It is the first line of
+// every trace file ("# repro/job-trace/v1"), so readers can reject
+// incompatible files before parsing rows.
+const TraceSchema = "repro/job-trace/v1"
+
+// traceHeader is the CSV column header, fixed by the schema.
+const traceHeader = "id,arrival,work,procs,maxprocs,malleable,databytes"
+
+// WriteTrace serializes jobs as a versioned CSV trace. Floats use the
+// shortest exact representation, so a write → read round trip reproduces
+// the jobs bit-for-bit and equal job slices serialize to identical bytes.
+func WriteTrace(w io.Writer, jobs []rms.Job) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n%s\n", TraceSchema, traceHeader)
+	for _, j := range jobs {
+		mal := 0
+		if j.Malleable {
+			mal = 1
+		}
+		fmt.Fprintf(bw, "%d,%s,%s,%d,%d,%d,%d\n",
+			j.ID,
+			strconv.FormatFloat(j.Arrival, 'g', -1, 64),
+			strconv.FormatFloat(j.Work, 'g', -1, 64),
+			j.Procs, j.MaxProcs, mal, j.DataBytes)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a versioned CSV trace, rejecting unknown schemas,
+// malformed rows, and (via rms.ValidateJob against maxCores) jobs that
+// could never run. Pass maxCores <= 0 to skip the capacity check.
+func ReadTrace(r io.Reader, maxCores int) ([]rms.Job, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("workload: empty trace file")
+	}
+	schema := strings.TrimSpace(strings.TrimPrefix(sc.Text(), "#"))
+	if schema != TraceSchema {
+		return nil, fmt.Errorf("workload: trace schema %q (want %q)", schema, TraceSchema)
+	}
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != traceHeader {
+		return nil, fmt.Errorf("workload: trace header %q (want %q)", sc.Text(), traceHeader)
+	}
+	var jobs []rms.Job
+	line := 2
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) != 7 {
+			return nil, fmt.Errorf("workload: trace line %d: %d fields (want 7)", line, len(f))
+		}
+		var j rms.Job
+		var mal int
+		var err error
+		if j.ID, err = strconv.Atoi(f[0]); err == nil {
+			if j.Arrival, err = strconv.ParseFloat(f[1], 64); err == nil {
+				if j.Work, err = strconv.ParseFloat(f[2], 64); err == nil {
+					if j.Procs, err = strconv.Atoi(f[3]); err == nil {
+						if j.MaxProcs, err = strconv.Atoi(f[4]); err == nil {
+							if mal, err = strconv.Atoi(f[5]); err == nil {
+								j.DataBytes, err = strconv.ParseInt(f[6], 10, 64)
+							}
+						}
+					}
+				}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %v", line, err)
+		}
+		if mal != 0 && mal != 1 {
+			return nil, fmt.Errorf("workload: trace line %d: malleable flag %d (want 0 or 1)", line, mal)
+		}
+		j.Malleable = mal == 1
+		cores := maxCores
+		if cores <= 0 {
+			cores = j.Procs // skip the capacity check, keep the rest
+		}
+		if err := rms.ValidateJob(j, cores); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %v", line, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return jobs, nil
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testSpec(kind GenKind) GenSpec {
+	return GenSpec{Kind: kind, Seed: 1, Jobs: 200, Cores: 160, Load: 0.9, MalleableFrac: 0.5}
+}
+
+// Same seed, same spec: the serialized trace must be byte-identical for
+// all three generators (the campaign's cross-policy comparability and the
+// -j determinism guarantee both stand on this).
+func TestGenerateDeterministicBytes(t *testing.T) {
+	for _, kind := range GenKinds {
+		spec := testSpec(kind)
+		gen := func() []byte {
+			t.Helper()
+			jobs, err := Generate(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			var buf bytes.Buffer
+			if err := WriteTrace(&buf, jobs); err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			return buf.Bytes()
+		}
+		a, b := gen(), gen()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: same seed produced different traces", kind)
+		}
+		other, err := Generate(GenSpec{Kind: kind, Seed: 2, Jobs: 200, Cores: 160, Load: 0.9, MalleableFrac: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, other); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a, buf.Bytes()) {
+			t.Fatalf("%s: different seeds produced identical traces", kind)
+		}
+	}
+}
+
+// Changing only MalleableFrac must keep every arrival and size identical:
+// the malleability flags come from an independent stream.
+func TestMalleableFracOnlyFlipsFlags(t *testing.T) {
+	lo := testSpec(GenPoisson)
+	lo.MalleableFrac = 0.2
+	hi := testSpec(GenPoisson)
+	hi.MalleableFrac = 0.8
+	a, err := Generate(lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nMalA, nMalB := 0, 0
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Work != b[i].Work || a[i].Procs != b[i].Procs {
+			t.Fatalf("job %d differs beyond malleability: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Malleable {
+			nMalA++
+		}
+		if b[i].Malleable {
+			nMalB++
+		}
+	}
+	if nMalA >= nMalB {
+		t.Fatalf("malleable counts %d (frac 0.2) >= %d (frac 0.8)", nMalA, nMalB)
+	}
+}
+
+// Write → read → deep-equal: the CSV trace format round-trips exactly.
+func TestTraceCSVRoundTrip(t *testing.T) {
+	for _, kind := range GenKinds {
+		jobs, err := Generate(testSpec(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, jobs); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTrace(bytes.NewReader(buf.Bytes()), 160)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !reflect.DeepEqual(jobs, got) {
+			t.Fatalf("%s: round trip changed the jobs", kind)
+		}
+		// And the re-serialization is byte-identical.
+		var again bytes.Buffer
+		if err := WriteTrace(&again, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatalf("%s: re-serialization differs", kind)
+		}
+	}
+}
+
+func TestReadTraceRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad schema":  "# repro/job-trace/v9\n" + "id,arrival,work,procs,maxprocs,malleable,databytes\n",
+		"bad header":  "# repro/job-trace/v1\nid,arrival\n",
+		"bad fields":  "# repro/job-trace/v1\nid,arrival,work,procs,maxprocs,malleable,databytes\n1,2,3\n",
+		"bad number":  "# repro/job-trace/v1\nid,arrival,work,procs,maxprocs,malleable,databytes\nx,0,10,1,1,0,0\n",
+		"bad flag":    "# repro/job-trace/v1\nid,arrival,work,procs,maxprocs,malleable,databytes\n0,0,10,1,1,7,0\n",
+		"invalid job": "# repro/job-trace/v1\nid,arrival,work,procs,maxprocs,malleable,databytes\n0,0,-10,1,1,0,0\n",
+		"over cores":  "# repro/job-trace/v1\nid,arrival,work,procs,maxprocs,malleable,databytes\n0,0,10,999,999,0,0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in), 160); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGenSpecValidate(t *testing.T) {
+	good := testSpec(GenPoisson)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []GenSpec{
+		{Kind: "weibull", Jobs: 10, Cores: 10, Load: 1},
+		{Kind: GenPoisson, Jobs: 0, Cores: 10, Load: 1},
+		{Kind: GenPoisson, Jobs: 10, Cores: 0, Load: 1},
+		{Kind: GenPoisson, Jobs: 10, Cores: 10, Load: 0},
+		{Kind: GenPoisson, Jobs: 10, Cores: 10, Load: 1, MalleableFrac: 1.5},
+	}
+	for _, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("spec %+v accepted", spec)
+		}
+	}
+}
