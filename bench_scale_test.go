@@ -1,0 +1,171 @@
+package repro
+
+// The extreme-scale regression harness: BenchmarkScale runs full 2:1
+// shrink simulations up to 10k ranks under a per-rank memory ceiling, the
+// 100k-rank planner-level cell over the sparse overlap iterators and the
+// wave planner, and a -j determinism sweep, and writes BENCH_scale.json —
+// throughput, peak live footprint, allocations per rank, the sparse
+// versus dense metadata ratio, and the determinism bit — validated by
+// `tracetool validate-bench` and archived by CI.
+// REPRO_BENCH_SCALE_OUT overrides the output path (default
+// BENCH_scale.json); REPRO_BENCH_SCALE_SMOKE=1 shrinks the spec to a
+// seconds-long smoke shape (race CI).
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func benchScaleOut() string {
+	if s := os.Getenv("REPRO_BENCH_SCALE_OUT"); s != "" {
+		return s
+	}
+	return "BENCH_scale.json"
+}
+
+func benchScaleSpec() harness.BenchScaleSpec {
+	spec := harness.DefaultBenchScaleSpec()
+	if os.Getenv("REPRO_BENCH_SCALE_SMOKE") == "1" {
+		spec.Ranks = []int{500, 1000}
+		spec.PlannerRanks = 20000
+	}
+	return spec
+}
+
+// BenchmarkScale emits BENCH_scale.json. Like the other bench records it
+// is a benchmark only to ride the `go test -bench` entry point CI already
+// runs; the regression signal is the archived artifact.
+func BenchmarkScale(b *testing.B) {
+	spec := benchScaleSpec()
+	for i := 0; i < b.N; i++ {
+		bs, err := harness.BuildBenchScale(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && printOnce(b.Name()) {
+			var buf bytes.Buffer
+			if err := bs.WriteJSON(&buf); err != nil {
+				b.Fatal(err)
+			}
+			// Validate before writing: CI must never archive a malformed record.
+			if _, err := harness.ValidateBenchScale(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			out := benchScaleOut()
+			if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			top := bs.Cells[len(bs.Cells)-1]
+			b.Logf("wrote %s (%d ranks at %.0f ranks/s, peak %d B under %d B ceiling, metadata ratio %.0fx, identical=%v)",
+				out, top.Ranks, top.RanksPerSec, top.PeakLiveBytes, bs.MemCeiling,
+				bs.Planner.MetadataRatio, bs.Identical)
+		}
+	}
+}
+
+// TestBenchScaleRecord builds a small-spec record twice and checks that
+// the freshly built record passes its own validator and that every
+// simulation-derived (wall-clock-free) field is reproducible across
+// builds. Wall times and throughputs are real-time measurements and are
+// exempt; everything the simulation or the planner derives must match.
+func TestBenchScaleRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-rank simulations in -short mode")
+	}
+	spec := harness.DefaultBenchScaleSpec()
+	spec.Ranks = []int{200, 400}
+	spec.PlannerRanks = 20000
+	spec.Workers = 4
+
+	build := func() harness.BenchScale {
+		t.Helper()
+		bs, err := harness.BuildBenchScale(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := bs.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := harness.ValidateBenchScale(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("freshly built record fails validation: %v", err)
+		}
+		return bs
+	}
+	a, b := build(), build()
+
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca.Ranks != cb.Ranks || ca.NT != cb.NT || ca.Config != cb.Config ||
+			ca.PeakLiveBytes != cb.PeakLiveBytes {
+			t.Errorf("cell %d ranks: simulation-derived fields differ: %+v vs %+v", ca.Ranks, ca, cb)
+		}
+	}
+	pa, pb := a.Planner, b.Planner
+	pa.PlanSeconds, pb.PlanSeconds = 0, 0
+	pa.RanksPerSec, pb.RanksPerSec = 0, 0
+	if pa != pb {
+		t.Errorf("planner cells differ: %+v vs %+v", pa, pb)
+	}
+	if !a.Identical || !b.Identical {
+		t.Errorf("determinism sweep not identical: %v, %v", a.Identical, b.Identical)
+	}
+}
+
+// TestBenchScaleValidatorRejects feeds ValidateBenchScale malformed
+// records and requires a rejection for each.
+func TestBenchScaleValidatorRejects(t *testing.T) {
+	good := harness.BenchScale{
+		Schema:     harness.BenchScaleSchema,
+		Net:        "ethernet",
+		MemCeiling: 16384,
+		Cells: []harness.ScaleCell{{
+			Ranks: 1000, NT: 500, Config: "merge p2p sync",
+			ElemsPerRank: 8192, WallSeconds: 0.5, RanksPerSec: 2000,
+			PeakLiveBytes: 49152, AllocsPerRank: 100,
+		}},
+		Planner: harness.ScalePlanner{
+			NS: 100000, NT: 50000, Elements: 819200000,
+			PlanSeconds: 0.5, RanksPerSec: 200000,
+			Chunks: 150000, Segments: 600000, MaxWavesPerRank: 4,
+			PeakWaveBytes: 16384, SparseMetadataBytes: 3600000,
+			DenseMetadataBytes: 40000000000, MetadataRatio: 40000000000.0 / 3600000,
+		},
+		Workers: 8, Identical: true,
+	}
+	cases := map[string]func(*harness.BenchScale){
+		"bad schema":          func(bs *harness.BenchScale) { bs.Schema = "repro/bench-scale/v0" },
+		"no cells":            func(bs *harness.BenchScale) { bs.Cells = nil },
+		"zero ceiling":        func(bs *harness.BenchScale) { bs.MemCeiling = 0 },
+		"footprint blown":     func(bs *harness.BenchScale) { bs.Cells[0].PeakLiveBytes = 5 * bs.MemCeiling },
+		"throughput mismatch": func(bs *harness.BenchScale) { bs.Cells[0].RanksPerSec = 123 },
+		"wave over ceiling":   func(bs *harness.BenchScale) { bs.Planner.PeakWaveBytes = bs.MemCeiling + 1 },
+		"sparse not sparse":   func(bs *harness.BenchScale) { bs.Planner.SparseMetadataBytes = bs.Planner.DenseMetadataBytes },
+		"ratio mismatch":      func(bs *harness.BenchScale) { bs.Planner.MetadataRatio = 2 },
+		"not identical":       func(bs *harness.BenchScale) { bs.Identical = false },
+		"sequential only":     func(bs *harness.BenchScale) { bs.Workers = 1 },
+	}
+	// The unmutated baseline must pass, or the rejection cases prove nothing.
+	var buf bytes.Buffer
+	if err := good.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := harness.ValidateBenchScale(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("baseline record rejected: %v", err)
+	}
+	for name, mutate := range cases {
+		bs := good
+		bs.Cells = append([]harness.ScaleCell(nil), good.Cells...)
+		mutate(&bs)
+		buf.Reset()
+		if err := bs.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := harness.ValidateBenchScale(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Errorf("%s: validator accepted the malformed record", name)
+		}
+	}
+}

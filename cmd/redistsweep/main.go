@@ -6,19 +6,25 @@
 //	redistsweep -net ethernet -pairs plots -reps 5 -out eth.csv
 //	redistsweep -net infiniband -pairs all -reps 5 -out ib_all.csv
 //	redistsweep -trace -metrics cells.csv -trace-out sweep_trace
+//	redistsweep -ranks 1000,10000 -mem-ceiling 16777216 -configs sync -reps 1
 //
 // -pairs plots covers the from/to-160 families the paper's line plots use
 // (Figures 2-5, 7-8); -pairs all covers the 42 pairs of Figures 6 and 9.
-// -trace additionally runs one traced repetition per cell: -metrics
-// collects per-cell redistribution metrics, and -trace-out exports the
-// last cell's event log in the same formats cmd/malleasim emits, ready
-// for cmd/tracetool.
+// -ranks replaces the pair family with extreme-scale 2:1 shrinks (one
+// cell per listed source count), and -mem-ceiling caps each rank's
+// in-flight redistribution bytes, switching the P2P and RMA passes onto
+// the wave schedule. -trace additionally runs one traced repetition per
+// cell: -metrics collects per-cell redistribution metrics, and -trace-out
+// exports the last cell's event log in the same formats cmd/malleasim
+// emits, ready for cmd/tracetool.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/harness"
@@ -27,7 +33,9 @@ import (
 func main() {
 	netName := flag.String("net", "ethernet", "interconnect: ethernet or infiniband")
 	pairsName := flag.String("pairs", "plots", "pair family: plots (from/to 160), all (42 pairs), from160, to160")
-	configsName := flag.String("configs", "all", "configuration family: all, sync, async, rma, extended (all + RMA + CR)")
+	configsName := flag.String("configs", "all", "configuration family: all, sync, async, rma, extended (all + RMA + CR), scale (Merge P2P/RMA for 10k+ ranks)")
+	ranksList := flag.String("ranks", "", "extreme-scale axis: comma-separated source counts, each a 2:1 shrink cell (overrides -pairs)")
+	memCeiling := flag.Int64("mem-ceiling", 0, "per-rank in-flight redistribution byte ceiling (0: the paper's one-shot schedule)")
 	reps := flag.Int("reps", 5, "repetitions per cell")
 	workers := flag.Int("j", harness.DefaultWorkers(), "worker count: cells simulated concurrently (1: sequential; output is identical at any -j)")
 	out := flag.String("out", "", "CSV output path (default stdout)")
@@ -44,9 +52,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *ranksList != "" {
+		if pairs, err = scalePairs(*ranksList); err != nil {
+			fail(err)
+		}
+	}
 	configs, err := harness.ParseConfigFamily(*configsName)
 	if err != nil {
 		fail(err)
+	}
+	if *memCeiling > 0 {
+		for i := range configs {
+			configs[i].MemCeiling = *memCeiling
+		}
 	}
 
 	setup := harness.DefaultSetup(net)
@@ -140,6 +158,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "# trace metrics for %d cells written to %s\n", len(cells), tf.Metrics)
 		}
 	}
+}
+
+// scalePairs parses the -ranks axis: each listed source count becomes one
+// 2:1 shrink cell, the geometry the extreme-scale benchmarks measure.
+func scalePairs(list string) ([]harness.Pair, error) {
+	var pairs []harness.Pair
+	for _, s := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -ranks entry %q (want integers >= 2)", s)
+		}
+		pairs = append(pairs, harness.Pair{NS: n, NT: n / 2})
+	}
+	return pairs, nil
 }
 
 func fail(err error) {

@@ -105,7 +105,7 @@ func (t *crTransfer) runBlockingAll(c *mpi.Ctx) {
 		for i, it := range t.items {
 			lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
 			it.Prepare(lo, hi)
-			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
+			for _, ch := range recvChunksFor(it, t.v.ns, t.v.nt, t.v.tgtRank) {
 				if !t.files.complete[ch.Src] {
 					panic(&UnrecoverableError{Reason: fmt.Sprintf(
 						"item %q: source %d never completed its checkpoint", it.Name(), ch.Src)})

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mpi"
+	"repro/internal/partition"
 )
 
 // colTransfer is the state of one Algorithm 2 redistribution pass:
@@ -53,14 +55,17 @@ func (t *colTransfer) stage(c *mpi.Ctx) {
 	t.sendVals = make([]mpi.Payload, peers)
 	copyRate := c.World().Options().CopyRate
 
+	// Size vectors are built only for the O(overlap) peers this rank
+	// actually sends to; everyone else gets a zero-size payload, which
+	// decodeSizes reads back as an all-zeros announcement. The Alltoallv
+	// payload slices themselves stay O(peers) — that is the collective's
+	// API — but the metadata bytes on the wire drop from NS×NT×items to
+	// chunks×items.
 	perPeer := make([][]mpi.Payload, peers)
 	sizeVecs := make([][]int64, peers)
-	for p := 0; p < peers; p++ {
-		sizeVecs[p] = make([]int64, len(t.items))
-	}
 	if t.v.isSource() {
 		for i, it := range t.items {
-			for _, ch := range planFor(it, t.v.ns, t.v.nt).SendChunks(t.v.srcRank) {
+			for _, ch := range sendChunksFor(it, t.v.ns, t.v.nt, t.v.srcRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
 					if copyRate > 0 {
 						c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
@@ -70,13 +75,18 @@ func (t *colTransfer) stage(c *mpi.Ctx) {
 				}
 				pl := it.Extract(ch.Lo, ch.Hi)
 				t.hooks.retain(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}, pl)
+				if sizeVecs[ch.Dst] == nil {
+					sizeVecs[ch.Dst] = make([]int64, len(t.items))
+				}
 				sizeVecs[ch.Dst][i] += pl.Size
 				perPeer[ch.Dst] = append(perPeer[ch.Dst], pl)
 			}
 		}
 	}
 	for p := 0; p < peers; p++ {
-		t.sendSizes[p] = mpi.Int64s(sizeVecs[p])
+		if sizeVecs[p] != nil {
+			t.sendSizes[p] = mpi.Int64s(sizeVecs[p])
+		}
 		t.sendVals[p] = concatPayloads(perPeer[p])
 	}
 	t.phase = 1
@@ -172,7 +182,9 @@ func (t *colTransfer) decodeSizes(recv []mpi.Payload) {
 	t.sizes = make([][]int64, len(recv))
 	for p, pl := range recv {
 		if pl.Size == 0 {
-			t.sizes[p] = make([]int64, len(t.items))
+			// Sparse announcement: a peer with no overlapping chunks sends no
+			// size vector at all. Leave nil — readers treat it as all zeros —
+			// instead of materializing O(peers × items) zero vectors.
 			continue
 		}
 		t.sizes[p] = pl.AsInt64s()
@@ -201,40 +213,65 @@ func (t *colTransfer) installValues(recv []mpi.Payload) {
 	if !t.v.isTarget() {
 		return
 	}
+	// Enumerate this rank's incoming chunks once — item-major, then by
+	// range, exactly the order each source staged its concatenated payload —
+	// and stable-sort by source so a single cursor walks them peer by peer.
+	// The old shape rescanned every item's full chunk list for every peer:
+	// O(peers × items × chunks).
+	type rc struct {
+		item int
+		ch   partition.Chunk
+	}
+	var chunks []rc
+	for i, it := range t.items {
+		for _, ch := range recvChunksFor(it, t.v.ns, t.v.nt, t.v.tgtRank) {
+			if t.v.selfChunk(ch.Src, ch.Dst) {
+				continue
+			}
+			chunks = append(chunks, rc{item: i, ch: ch})
+		}
+	}
+	sort.SliceStable(chunks, func(a, b int) bool { return chunks[a].ch.Src < chunks[b].ch.Src })
+
+	want := make([]int64, len(t.items))
+	cur := 0
 	for p, pl := range recv {
+		start := cur
+		for cur < len(chunks) && chunks[cur].ch.Src == p {
+			cur++
+		}
+		mine := chunks[start:cur]
 		// A peer's size vector announces its total bytes per item; the plan
 		// may split that total over several chunks, so the check must
 		// accumulate per (peer, item) and demand exact totals. Comparing each
 		// chunk against the announced total would let an over-announcing peer
-		// slip through. Verify before touching any item.
-		want := make([]int64, len(t.items))
-		for i, it := range t.items {
-			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
-				if ch.Src != p || t.v.selfChunk(ch.Src, ch.Dst) {
-					continue
-				}
-				want[i] += it.WireBytes(ch.Lo, ch.Hi)
-			}
+		// slip through. Verify before touching any item. A nil size vector is
+		// the sparse all-zeros announcement.
+		for i := range want {
+			want[i] = 0
+		}
+		for _, m := range mine {
+			want[m.item] += t.items[m.item].WireBytes(m.ch.Lo, m.ch.Hi)
 		}
 		if t.sizes != nil {
 			for i, it := range t.items {
-				if t.sizes[p][i] != want[i] {
+				var got int64
+				if t.sizes[p] != nil {
+					got = t.sizes[p][i]
+				}
+				if got != want[i] {
 					panic(fmt.Sprintf("core: peer %d announced %d bytes for %q, plan needs %d",
-						p, t.sizes[p][i], it.Name(), want[i]))
+						p, got, it.Name(), want[i]))
 				}
 			}
 		}
 		var off int64
-		for i, it := range t.items {
-			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
-				if ch.Src != p || t.v.selfChunk(ch.Src, ch.Dst) {
-					continue
-				}
-				n := it.WireBytes(ch.Lo, ch.Hi)
-				it.Install(ch.Lo, ch.Hi, pl.Slice(off, off+n))
-				off += n
-				t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo})
-			}
+		for _, m := range mine {
+			it := t.items[m.item]
+			n := it.WireBytes(m.ch.Lo, m.ch.Hi)
+			it.Install(m.ch.Lo, m.ch.Hi, pl.Slice(off, off+n))
+			off += n
+			t.hooks.ack(chunkKey{item: m.item, src: m.ch.Src, dst: m.ch.Dst, lo: m.ch.Lo})
 		}
 		if off != pl.Size {
 			panic(fmt.Sprintf("core: decoded %d of %d bytes from peer %d", off, pl.Size, p))

@@ -99,6 +99,14 @@ type Config struct {
 	Spawn   SpawnMethod
 	Comm    CommMethod
 	Overlap Overlap
+
+	// MemCeiling caps the per-rank redistribution transfer footprint in
+	// bytes: the P2P and RMA passes issue their chunks in waves whose
+	// in-flight payload bytes stay within the ceiling, segmenting chunks
+	// larger than it (see waves.go). Zero means unlimited — the paper's
+	// one-shot schedule, byte-identical to prior behavior. COL and CR
+	// ignore the ceiling, as do resilient passes.
+	MemCeiling int64
 }
 
 // String renders the paper's naming, e.g. "Merge COLA" or "Baseline P2PS".

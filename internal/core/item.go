@@ -8,7 +8,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/mpi"
 	"repro/internal/partition"
@@ -331,34 +330,22 @@ func TotalWireBytes(items []Item) int64 {
 	return n
 }
 
-// planCache memoizes redistribution plans keyed by (elements, ns, nt):
-// every rank of every run with the same geometry shares one immutable plan,
-// which keeps the planner off the simulator's critical path.
-var planCache sync.Map
-
-type planKey struct {
-	n      int64
-	ns, nt int
+// sendChunksFor returns the chunks source rank s sends for item it when
+// redistributing from ns to nt parts, in ascending target order.
+//
+// The enumeration is the sparse interval-overlap walk: O(own peers) per
+// call, never the O(NS+NT) global plan the memoized planFor of earlier
+// revisions handed out. At 10k–100k ranks the global plan is itself the
+// scaling hazard — every rank filtering a shared million-chunk slice is an
+// O((NS+NT)²) aggregate scan per pass.
+func sendChunksFor(it Item, ns, nt, s int) []partition.Chunk {
+	return partition.SendOverlaps(distFor(it, ns), distFor(it, nt), s)
 }
 
-// planFor returns the redistribution plan of an item between its ns- and
-// nt-part distributions. Block-to-block plans are memoized; items with
-// custom distributions are planned directly. The result is shared and must
-// not be mutated.
-func planFor(it Item, ns, nt int) *partition.Plan {
-	if _, custom := it.(Distributed); custom {
-		if d, ok := it.(*DenseItem); !ok || d.distFn != nil {
-			p := partition.PlanBetween(distFor(it, ns), distFor(it, nt))
-			return &p
-		}
-	}
-	key := planKey{n: it.Elements(), ns: ns, nt: nt}
-	if p, ok := planCache.Load(key); ok {
-		return p.(*partition.Plan)
-	}
-	p := partition.NewPlan(key.n, ns, nt)
-	actual, _ := planCache.LoadOrStore(key, &p)
-	return actual.(*partition.Plan)
+// recvChunksFor returns the chunks target rank t receives for item it, in
+// ascending source order. See sendChunksFor.
+func recvChunksFor(it Item, ns, nt, t int) []partition.Chunk {
+	return partition.RecvOverlaps(distFor(it, ns), distFor(it, nt), t)
 }
 
 func maxI64(a, b int64) int64 {

@@ -27,7 +27,36 @@ type p2pTransfer struct {
 	// passes): chunk retention/acknowledgement, RTT samples, progress ticks.
 	hooks *ladderHooks
 
+	// ceiling is Config.MemCeiling. When positive (and hooks are off — the
+	// ladder's chunk ledger assumes the one-shot schedule), the source
+	// issues its staged sends in waves whose value bytes stay within the
+	// ceiling instead of all at once; see waves.go.
+	ceiling     int64
+	staged      []stagedSend
+	waveEnd     []int // wave cut indices into staged (pairs stay together)
+	wave        int   // waves issued so far
+	waveBytes   int64 // value bytes of the active wave
+	waveReqs    []mpi.Request
+	lazyExtract bool // pure source on the wave schedule: extract at issue
+	gauge       liveGauge
+	reported    bool
+
 	started bool
+}
+
+// stagedSend is one deferred source send. On the one-shot schedule (and on
+// wave-scheduled ranks that are also targets) extraction happens at staging
+// time, before Prepare may replace a Merge rank's block; on wave-scheduled
+// pure sources nothing replaces the block, so extraction is deferred to
+// wave issue and the staged payload is a sized placeholder — the staging
+// footprint itself stays within the ceiling, not just the wire traffic.
+type stagedSend struct {
+	dst, tag int
+	pl       mpi.Payload
+	item     int   // index into items, for deferred extraction
+	lo, hi   int64 // element range, for deferred extraction
+	size     int64 // size-message value, encoded at issue time
+	isSize   bool
 }
 
 type p2pRecvMeta struct {
@@ -58,29 +87,38 @@ func newP2PTransfer(v *view, items []Item, tagIdx []int) *p2pTransfer {
 	return &p2pTransfer{v: v, items: items, tagIdx: tagIdx, prepared: map[int]bool{}}
 }
 
-// start issues the source sends and posts the target size receives.
+// waved reports whether this pass runs the memory-ceiling wave schedule.
+// Evaluated after setLadderHooks: resilient passes keep the one-shot
+// schedule regardless of the ceiling.
+func (t *p2pTransfer) waved() bool { return t.ceiling > 0 && t.hooks == nil }
+
+// start stages the source sends and posts the target size receives. With
+// the wave schedule off, every staged send is issued here (the paper's
+// one-shot Algorithm 1); with it on, only the first wave goes out and
+// advanceWaves releases the rest as earlier waves complete.
 func (t *p2pTransfer) start(c *mpi.Ctx) {
 	if t.started {
 		return
 	}
 	t.started = true
 	copyRate := c.World().Options().CopyRate
+	var ceil int64
+	if t.waved() {
+		ceil = t.ceiling
+		// A pure source's block is never replaced during the pass, so its
+		// extractions can wait for their wave; a rank that is also a target
+		// must still extract before Prepare.
+		t.lazyExtract = !t.v.isTarget()
+	}
 
 	// Stage the source extractions first: a Merge rank that is both source
 	// and target must read its old block before Prepare replaces it. The
 	// extracted slices stay valid because Prepare allocates fresh storage.
-	type stagedSend struct {
-		dst, tag int
-		pl       mpi.Payload
-		size     int64 // size-message value, encoded at issue time
-		isSize   bool
-	}
-	var staged []stagedSend
 	var scratch [8]byte // size-message encode buffer; Isend clones synchronously
 	if t.v.isSource() {
 		for i, it := range t.items {
 			sizeTag, valueTag := itemTags(t.tagIdx[i])
-			for _, ch := range planFor(it, t.v.ns, t.v.nt).SendChunks(t.v.srcRank) {
+			for _, ch := range sendChunksFor(it, t.v.ns, t.v.nt, t.v.srcRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
 					// memcpy path: Prepare preserves the local overlap; only
 					// the copy cost is charged here. Delivered by construction,
@@ -91,18 +129,30 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 					t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo})
 					continue
 				}
-				pl := it.Extract(ch.Lo, ch.Hi)
-				t.hooks.retain(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}, pl)
-				staged = append(staged,
-					stagedSend{dst: ch.Dst, tag: sizeTag, size: pl.Size, isSize: true},
-					stagedSend{dst: ch.Dst, tag: valueTag, pl: pl})
+				// Segments of one chunk travel the same tag pair in ascending
+				// lo order; matching is FIFO per (peer, tag), so the target's
+				// identically-ordered receives pair up without extra metadata.
+				for _, sp := range segmentSpans(it, ch.Lo, ch.Hi, ceil) {
+					var pl mpi.Payload
+					if t.lazyExtract {
+						pl = mpi.Virtual(it.WireBytes(sp.lo, sp.hi))
+					} else {
+						pl = it.Extract(sp.lo, sp.hi)
+						t.hooks.retain(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: sp.lo}, pl)
+					}
+					t.staged = append(t.staged,
+						stagedSend{dst: ch.Dst, tag: sizeTag, size: pl.Size, isSize: true},
+						stagedSend{dst: ch.Dst, tag: valueTag, pl: pl, item: i, lo: sp.lo, hi: sp.hi})
+				}
 			}
 		}
 	}
 
 	// Targets prepare their new blocks and post one size receive per
-	// incoming chunk (tag 77 family), before sends are issued so rendezvous
-	// values can stream immediately.
+	// incoming chunk segment (tag 77 family), before sends are issued so
+	// rendezvous values can stream immediately. The segmentation is a pure
+	// function of (item, range, ceiling), so it reproduces the source's
+	// boundaries exactly.
 	if t.v.isTarget() {
 		for i, it := range t.items {
 			if !t.prepared[i] {
@@ -111,27 +161,98 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 				t.prepared[i] = true
 			}
 			sizeTag, _ := itemTags(t.tagIdx[i])
-			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
+			for _, ch := range recvChunksFor(it, t.v.ns, t.v.nt, t.v.tgtRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
 					continue // local copy handled on the send side
 				}
-				t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, ch.Src, sizeTag))
-				t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: i, src: ch.Src, lo: ch.Lo, hi: ch.Hi, isSize: true, posted: c.Now()})
-				t.numRcv++
+				for _, sp := range segmentSpans(it, ch.Lo, ch.Hi, ceil) {
+					t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, ch.Src, sizeTag))
+					t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: i, src: ch.Src, lo: sp.lo, hi: sp.hi, isSize: true, posted: c.Now()})
+					t.numRcv++
+				}
 			}
 		}
+	}
+
+	if t.waved() {
+		// Wave cuts count value bytes and keep each (size, value) pair —
+		// adjacent staged entries — in one wave; a size message is 8 bytes
+		// of metadata riding alongside its values.
+		pairSizes := make([]int64, len(t.staged)/2)
+		for i := range pairSizes {
+			pairSizes[i] = t.staged[2*i+1].pl.Size
+		}
+		for _, cut := range waveCuts(pairSizes, t.ceiling) {
+			t.waveEnd = append(t.waveEnd, 2*cut)
+		}
+		t.advanceWaves(c)
+		return
 	}
 
 	// Issue the staged sends (a pair of MPI_Isend per chunk, Algorithm 1).
 	// Size messages encode into one reusable scratch buffer: Isend clones
 	// the payload before returning, so the next iteration may overwrite it.
-	for _, s := range staged {
+	for _, s := range t.staged {
 		pl := s.pl
 		if s.isSize {
 			pl = mpi.Bytes(mpi.AppendInt64s(scratch[:0], s.size))
 		}
 		t.sendReqs = append(t.sendReqs, t.v.sendTo(c, s.dst, s.tag, pl))
 	}
+	t.staged = nil
+}
+
+// advanceWaves issues further send waves as earlier ones complete. It
+// never blocks: the blocking loop's wait set includes the active wave so
+// a source parked on receives still observes its own send completions.
+func (t *p2pTransfer) advanceWaves(c *mpi.Ctx) {
+	if !t.waved() {
+		return
+	}
+	var scratch [8]byte
+	for c.Testall(t.waveReqs) {
+		t.gauge.sub(t.waveBytes)
+		t.waveBytes = 0
+		t.waveReqs = t.waveReqs[:0]
+		if t.wave >= len(t.waveEnd) {
+			return
+		}
+		start := 0
+		if t.wave > 0 {
+			start = t.waveEnd[t.wave-1]
+		}
+		for j, s := range t.staged[start:t.waveEnd[t.wave]] {
+			pl := s.pl
+			if s.isSize {
+				pl = mpi.Bytes(mpi.AppendInt64s(scratch[:0], s.size))
+			} else {
+				if t.lazyExtract {
+					pl = t.items[s.item].Extract(s.lo, s.hi)
+				}
+				t.waveBytes += pl.Size
+				t.staged[start+j].pl = mpi.Payload{} // wave issued: drop the staging reference
+			}
+			req := t.v.sendTo(c, s.dst, s.tag, pl)
+			t.sendReqs = append(t.sendReqs, req)
+			t.waveReqs = append(t.waveReqs, req)
+		}
+		t.gauge.add(t.waveBytes)
+		t.wave++
+	}
+}
+
+// sendsIssued reports whether every wave has been released (vacuously true
+// on the one-shot schedule, where start issued everything).
+func (t *p2pTransfer) sendsIssued() bool { return t.wave >= len(t.waveEnd) }
+
+// reportPeak publishes the pass's high-water footprint once, when a wave
+// schedule completes.
+func (t *p2pTransfer) reportPeak(c *mpi.Ctx) {
+	if t.reported || !t.waved() {
+		return
+	}
+	t.reported = true
+	reportPeakLive(c, t.gauge.peak)
 }
 
 // progress advances the receiver state machine without blocking and reports
@@ -140,6 +261,7 @@ func (t *p2pTransfer) progress(c *mpi.Ctx) bool {
 	if !t.started {
 		t.start(c)
 	}
+	t.advanceWaves(c)
 	for idx := range t.recvReqs {
 		rr, ok := t.recvReqs[idx].(*mpi.RecvReq)
 		if !ok || !rr.Done() || rr.Handled() {
@@ -147,13 +269,25 @@ func (t *p2pTransfer) progress(c *mpi.Ctx) bool {
 		}
 		t.handleRecv(c, idx, rr)
 	}
-	return t.numRcv == 0 && c.Testall(t.sendReqs)
+	done := t.numRcv == 0 && t.sendsIssued() && c.Testall(t.sendReqs)
+	if done {
+		t.reportPeak(c)
+	}
+	return done
 }
 
 // run drives the pass to completion, blocking per Algorithm 1: a
-// Waitany-driven receive loop, then MPI_Waitall on the sends.
+// Waitany-driven receive loop, then MPI_Waitall on the sends. The wave
+// schedule adds the active wave's sends to the wait set, so a rank blocked
+// on receives still releases its next wave the moment the current one
+// completes — without that, two ranks could park on each other's
+// still-unissued waves.
 func (t *p2pTransfer) run(c *mpi.Ctx) {
 	t.start(c)
+	if t.waved() {
+		t.runWaves(c)
+		return
+	}
 	for t.numRcv > 0 {
 		idx := c.Waitany(t.recvReqs)
 		if idx < 0 {
@@ -166,6 +300,34 @@ func (t *p2pTransfer) run(c *mpi.Ctx) {
 		t.handleRecv(c, idx, rr)
 	}
 	c.Waitall(t.sendReqs)
+}
+
+// runWaves is the blocking loop of the wave schedule.
+func (t *p2pTransfer) runWaves(c *mpi.Ctx) {
+	for {
+		t.advanceWaves(c)
+		if t.numRcv == 0 && t.sendsIssued() {
+			break
+		}
+		nr := len(t.recvReqs)
+		reqs := make([]mpi.Request, 0, nr+len(t.waveReqs))
+		reqs = append(reqs, t.recvReqs...)
+		reqs = append(reqs, t.waveReqs...)
+		idx := c.Waitany(reqs)
+		if idx < 0 {
+			panic("core: p2p receive loop exhausted requests with messages pending")
+		}
+		if idx < nr {
+			rr := t.recvReqs[idx].(*mpi.RecvReq)
+			if rr.Handled() {
+				continue
+			}
+			t.handleRecv(c, idx, rr)
+		}
+		// idx >= nr: a wave send completed; loop back to advance the wave.
+	}
+	c.Waitall(t.sendReqs)
+	t.reportPeak(c)
 }
 
 // handleRecv processes one completed receive: a size message posts the
@@ -181,12 +343,18 @@ func (t *p2pTransfer) handleRecv(c *mpi.Ctx, idx int, rr *mpi.RecvReq) {
 				it.Name(), size, meta.src, want))
 		}
 		t.hooks.tick()
+		if t.waved() {
+			t.gauge.add(size) // incoming values are live from here to install
+		}
 		_, valueTag := itemTags(t.tagIdx[meta.item])
 		t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, meta.src, valueTag))
 		t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: meta.item, src: meta.src, lo: meta.lo, hi: meta.hi, posted: c.Now()})
 		return
 	}
 	it.Install(meta.lo, meta.hi, rr.Payload())
+	if t.waved() {
+		t.gauge.sub(rr.Payload().Size)
+	}
 	t.numRcv--
 	t.hooks.sample(c.Now() - meta.posted)
 	t.hooks.ack(chunkKey{item: meta.item, src: meta.src, dst: t.v.tgtRank, lo: meta.lo})

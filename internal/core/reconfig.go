@@ -72,16 +72,22 @@ type colXfer struct{ *colTransfer }
 func (x colXfer) runBlockingAll(c *mpi.Ctx) { x.runBlocking(c) }
 func (x colXfer) drain(c *mpi.Ctx)          { x.runNonBlockingToCompletion(c) }
 
-// newXfer builds a redistribution pass for the given items. blocking
+// newXfer builds a redistribution pass for the given items. cfg.Comm
 // selects the algorithm family (pairwise inter-communicator collectives vs
 // scattered non-blocking), matching what the sources use so both sides run
-// the same exchange.
-func newXfer(method CommMethod, v *view, items []Item, tagIdx []int) xfer {
-	switch method {
+// the same exchange; cfg.MemCeiling switches P2P and RMA onto the wave
+// schedule (waves.go). Both sides derive the same waves from the shared
+// cfg, so no extra coordination is exchanged.
+func newXfer(cfg Config, v *view, items []Item, tagIdx []int) xfer {
+	switch cfg.Comm {
 	case P2P:
-		return p2pXfer{newP2PTransfer(v, items, tagIdx)}
+		x := newP2PTransfer(v, items, tagIdx)
+		x.ceiling = cfg.MemCeiling
+		return p2pXfer{x}
 	case RMA:
-		return rmaXfer{newRMATransfer(v, items)}
+		x := newRMATransfer(v, items)
+		x.ceiling = cfg.MemCeiling
+		return rmaXfer{x}
 	case CR:
 		return crXfer{newCRTransfer(v, items)}
 	default:
@@ -220,7 +226,7 @@ func StartReconfigRes(c *mpi.Ctx, cfg Config, appComm *mpi.Comm, nt int,
 			if cfg.Overlap == Thread {
 				withPhase(t, trace.PhaseRedistConst, func() {
 					items, _, idx, _ := itemPhases(cfg, store)
-					x := newXfer(cfg.Comm, r.v, items, idx)
+					x := newXfer(cfg, r.v, items, idx)
 					x.runBlockingAll(t)
 				})
 				r.threadDone = true
@@ -289,7 +295,7 @@ func runTargetSide(c *mpi.Ctx, cfg Config, v *view, st *Store, res *Resilience) 
 	async, final, asyncIdx, finalIdx := itemPhases(cfg, st)
 	if len(async) > 0 {
 		tagPhase(c, trace.PhaseRedistConst, func() {
-			x := newXfer(cfg.Comm, v, async, asyncIdx)
+			x := newXfer(cfg, v, async, asyncIdx)
 			if cfg.Overlap == NonBlocking {
 				x.drain(c)
 			} else {
@@ -305,7 +311,7 @@ func runTargetSide(c *mpi.Ctx, cfg Config, v *view, st *Store, res *Resilience) 
 	}
 	if len(final) > 0 {
 		tagPhase(c, trace.PhaseRedistVar, func() {
-			x := newXfer(cfg.Comm, v, final, finalIdx)
+			x := newXfer(cfg, v, final, finalIdx)
 			if cfg.Overlap == NonBlocking {
 				x.drain(c)
 			} else {
@@ -340,7 +346,7 @@ func (r *Reconfig) Test(c *mpi.Ctx) bool {
 				return true
 			}
 			r.constStart = c.Now()
-			r.constXfer = newXfer(r.cfg.Comm, r.v, items, idx)
+			r.constXfer = newXfer(r.cfg, r.v, items, idx)
 		}
 		// Tag the progress call so any traffic it posts is attributed to the
 		// constant pass; the span for the whole pass is recorded once, when
@@ -372,7 +378,7 @@ func (r *Reconfig) Wait(c *mpi.Ctx) {
 		runResilientPass(c, r.cfg, r.v, final, finalIdx, r.res, true)
 	} else {
 		withPhase(c, trace.PhaseRedistVar, func() {
-			newXfer(r.cfg.Comm, r.v, final, finalIdx).runBlockingAll(c)
+			newXfer(r.cfg, r.v, final, finalIdx).runBlockingAll(c)
 		})
 	}
 	r.handover(c)
@@ -406,7 +412,7 @@ func (r *Reconfig) Finish(c *mpi.Ctx) {
 				items, _, idx, _ := itemPhases(r.cfg, r.store)
 				if len(items) > 0 {
 					r.constStart = c.Now()
-					r.constXfer = newXfer(r.cfg.Comm, r.v, items, idx)
+					r.constXfer = newXfer(r.cfg, r.v, items, idx)
 				}
 			}
 			if r.constXfer != nil {
@@ -424,7 +430,7 @@ func (r *Reconfig) Finish(c *mpi.Ctx) {
 	_, final, _, finalIdx := itemPhases(r.cfg, r.store)
 	if len(final) > 0 {
 		withPhase(c, trace.PhaseRedistVar, func() {
-			x := newXfer(r.cfg.Comm, r.v, final, finalIdx)
+			x := newXfer(r.cfg, r.v, final, finalIdx)
 			if r.cfg.Overlap == NonBlocking {
 				x.drain(c)
 			} else {

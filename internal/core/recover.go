@@ -514,7 +514,7 @@ func (rp *resilientPass) newFailure(failedAtPlan map[int]bool) int {
 // transfer is wired into the ladder's ack tracking so a later selective
 // round knows exactly which chunks landed.
 func (rp *resilientPass) attempt(c *mpi.Ctx, failedAtPlan map[int]bool) string {
-	x := newXfer(rp.cfg.Comm, rp.v, rp.items, rp.tagIdx)
+	x := newXfer(rp.cfg, rp.v, rp.items, rp.tagIdx)
 	if aa, ok := x.(ackAware); ok {
 		aa.setLadderHooks(rp.hooks)
 	}
@@ -643,7 +643,7 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 	if v.isSource() && !full && !failedAtPlan[v.sourceGID(v.srcRank)] {
 		occ := map[[2]int]int{}
 		for i, it := range rp.items {
-			for _, ch := range planFor(it, v.ns, v.nt).SendChunks(v.srcRank) {
+			for _, ch := range sendChunksFor(it, v.ns, v.nt, v.srcRank) {
 				k := [2]int{i, ch.Dst}
 				seq := occ[k]
 				occ[k]++
@@ -676,7 +676,7 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 				rp.prepared[i] = true
 			}
 			occ := map[[2]int]int{}
-			for _, ch := range planFor(it, v.ns, v.nt).RecvChunks(v.tgtRank) {
+			for _, ch := range recvChunksFor(it, v.ns, v.nt, v.tgtRank) {
 				k := [2]int{i, ch.Src}
 				seq := occ[k]
 				occ[k]++

@@ -34,6 +34,27 @@ type rmaTransfer struct {
 	// single bulk pass, preserving the non-resilient timing exactly.
 	hooks    *ladderHooks
 	prepared map[int]bool
+
+	// ceiling is Config.MemCeiling. When positive (and hooks are off), the
+	// target issues its Gets in waves whose payload bytes stay within the
+	// ceiling, installing each wave before pulling the next; see waves.go.
+	ceiling   int64
+	pending   []rmaPendingGet
+	pWaveEnd  []int // wave cut indices into pending
+	pWave     int   // waves issued so far
+	waveStart int   // index into gets where the active wave begins
+	waveBytes int64
+	gauge     liveGauge
+	reported  bool
+}
+
+// rmaPendingGet is one deferred, possibly segmented Get on the wave
+// schedule.
+type rmaPendingGet struct {
+	item   int
+	src    int
+	off, n int64
+	lo, hi int64
 }
 
 type rmaMeta struct {
@@ -76,7 +97,7 @@ func (t *rmaTransfer) setup(c *mpi.Ctx) {
 			exposures[i] = it.Extract(lo, hi)
 			// Account the local share of a Merge rank now, as P2P/COL do.
 			// Delivered by construction, so the ladder acks it at setup time.
-			for _, ch := range planFor(it, t.v.ns, t.v.nt).SendChunks(t.v.srcRank) {
+			for _, ch := range sendChunksFor(it, t.v.ns, t.v.nt, t.v.srcRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
 					if copyRate > 0 {
 						c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
@@ -94,8 +115,15 @@ func (t *rmaTransfer) setup(c *mpi.Ctx) {
 		t.wins[i] = c.WinCreate(t.v.comm, exposures[i])
 	}
 
-	// Targets prepare new blocks and pull their chunks.
+	// Targets prepare new blocks and pull their chunks. On the wave
+	// schedule the pulls are staged (segmented within the ceiling) and only
+	// the first wave is issued here; each wave installs before the next is
+	// pulled, so the target's live Get payloads stay within the ceiling.
 	if t.v.isTarget() {
+		var ceil int64
+		if t.waved() {
+			ceil = t.ceiling
+		}
 		for i, it := range t.items {
 			if !t.prepared[i] {
 				lo, hi := targetRange(it, t.v.nt, t.v.tgtRank)
@@ -103,23 +131,98 @@ func (t *rmaTransfer) setup(c *mpi.Ctx) {
 				t.prepared[i] = true
 			}
 			srcDist := distFor(it, t.v.ns)
-			for _, ch := range planFor(it, t.v.ns, t.v.nt).RecvChunks(t.v.tgtRank) {
+			for _, ch := range recvChunksFor(it, t.v.ns, t.v.nt, t.v.tgtRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
 					continue
 				}
 				sLo := srcDist.Lo(ch.Src)
-				off := it.WireBytes(sLo, ch.Lo)
-				n := it.WireBytes(ch.Lo, ch.Hi)
-				t.gets = append(t.gets, c.Get(t.wins[i], ch.Src, off, off+n))
-				t.meta = append(t.meta, rmaMeta{
-					item: i, lo: ch.Lo, hi: ch.Hi,
-					key:    chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo},
-					posted: c.Now(),
-				})
+				for _, sp := range segmentSpans(it, ch.Lo, ch.Hi, ceil) {
+					off := it.WireBytes(sLo, sp.lo)
+					n := it.WireBytes(sp.lo, sp.hi)
+					if ceil > 0 {
+						t.pending = append(t.pending, rmaPendingGet{
+							item: i, src: ch.Src, off: off, n: n, lo: sp.lo, hi: sp.hi,
+						})
+						continue
+					}
+					t.gets = append(t.gets, c.Get(t.wins[i], ch.Src, off, off+n))
+					t.meta = append(t.meta, rmaMeta{
+						item: i, lo: sp.lo, hi: sp.hi,
+						key:    chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: sp.lo},
+						posted: c.Now(),
+					})
+				}
 			}
+		}
+		if t.waved() {
+			sizes := make([]int64, len(t.pending))
+			for i, p := range t.pending {
+				sizes[i] = p.n
+			}
+			t.pWaveEnd = waveCuts(sizes, t.ceiling)
+			t.issueGetWave(c)
 		}
 	}
 	t.phase = 1
+}
+
+// waved reports whether this pass runs the memory-ceiling wave schedule.
+func (t *rmaTransfer) waved() bool { return t.ceiling > 0 && t.hooks == nil }
+
+// issueGetWave pulls the next pending wave, reporting whether one was
+// issued.
+func (t *rmaTransfer) issueGetWave(c *mpi.Ctx) bool {
+	if t.pWave >= len(t.pWaveEnd) {
+		return false
+	}
+	start := 0
+	if t.pWave > 0 {
+		start = t.pWaveEnd[t.pWave-1]
+	}
+	t.waveStart = len(t.gets)
+	t.waveBytes = 0
+	for _, p := range t.pending[start:t.pWaveEnd[t.pWave]] {
+		t.gets = append(t.gets, c.Get(t.wins[p.item], p.src, p.off, p.off+p.n))
+		t.meta = append(t.meta, rmaMeta{
+			item: p.item, lo: p.lo, hi: p.hi,
+			key:    chunkKey{item: p.item, src: p.src, dst: t.v.tgtRank, lo: p.lo},
+			posted: c.Now(),
+		})
+		t.waveBytes += p.n
+	}
+	t.gauge.add(t.waveBytes)
+	t.pWave++
+	return true
+}
+
+// waveDone reports whether every Get of the active wave completed.
+func (t *rmaTransfer) waveDone() bool {
+	for _, g := range t.gets[t.waveStart:] {
+		if !g.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// installWave stores the active wave's fetched chunks, releasing their
+// live bytes.
+func (t *rmaTransfer) installWave(c *mpi.Ctx) {
+	for i := t.waveStart; i < len(t.gets); i++ {
+		t.installOne(c, i)
+	}
+	t.gauge.sub(t.waveBytes)
+	t.waveBytes = 0
+}
+
+// reportPeak publishes the pass's high-water footprint once, when a wave
+// schedule completes.
+func (t *rmaTransfer) reportPeak(c *mpi.Ctx) {
+	if t.reported || !t.waved() {
+		return
+	}
+	t.reported = true
+	reportPeakLive(c, t.gauge.peak)
 }
 
 // getsDone reports whether every issued Get completed.
@@ -192,11 +295,36 @@ func (t *rmaTransfer) progress(c *mpi.Ctx) bool {
 		}
 		return all
 	}
+	if t.waved() {
+		for t.waveDone() {
+			t.installWave(c)
+			if !t.issueGetWave(c) {
+				t.installed = true
+				t.phase = 2
+				t.reportPeak(c)
+				return true
+			}
+		}
+		return false
+	}
 	if t.getsDone() {
 		t.install(c)
 		return true
 	}
 	return false
+}
+
+// runWaves drives the wave schedule to completion, blocking per wave.
+func (t *rmaTransfer) runWaves(c *mpi.Ctx) {
+	for {
+		c.Waitall(rmaRequests(t.gets[t.waveStart:]))
+		t.installWave(c)
+		if !t.issueGetWave(c) {
+			break
+		}
+	}
+	t.installed = true
+	t.reportPeak(c)
 }
 
 // reap harvests Gets that completed after the epoch aborted, installing
@@ -210,12 +338,18 @@ func (t *rmaTransfer) reap(c *mpi.Ctx) {
 	}
 }
 
-// runBlockingAll performs the fenced epoch: expose, pull, fence.
+// runBlockingAll performs the fenced epoch: expose, pull, fence. On the
+// wave schedule the pull phase waits, installs, and re-pulls one wave at a
+// time instead of holding every Get's payload live at once.
 func (t *rmaTransfer) runBlockingAll(c *mpi.Ctx) {
 	t.setup(c)
 	if t.v.isTarget() {
-		c.Waitall(rmaRequests(t.gets))
-		t.install(c)
+		if t.waved() {
+			t.runWaves(c)
+		} else {
+			c.Waitall(rmaRequests(t.gets))
+			t.install(c)
+		}
 	}
 	// Closing fence: sources leave only after every pull completed.
 	if len(t.wins) > 0 {
@@ -230,8 +364,12 @@ func (t *rmaTransfer) drain(c *mpi.Ctx) {
 		t.setup(c)
 	}
 	if t.v.isTarget() && !t.installed {
-		c.Waitall(rmaRequests(t.gets))
-		t.install(c)
+		if t.waved() {
+			t.runWaves(c)
+		} else {
+			c.Waitall(rmaRequests(t.gets))
+			t.install(c)
+		}
 	}
 	t.phase = 2
 }
@@ -318,7 +456,7 @@ func (rp *resilientPass) rmaRecoveryRound(c *mpi.Ctx, round int, failedAtPlan ma
 				rp.prepared[i] = true
 			}
 			srcDist := distFor(it, v.ns)
-			for _, ch := range planFor(it, v.ns, v.nt).RecvChunks(v.tgtRank) {
+			for _, ch := range recvChunksFor(it, v.ns, v.nt, v.tgtRank) {
 				key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}
 				if v.selfChunk(ch.Src, ch.Dst) {
 					// Kept in place by Prepare; delivered by construction.

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/partition"
+)
+
+// This file is the memory-ceiling wave scheduler: with Config.MemCeiling
+// set, the P2P and RMA passes split a redistribution into consecutive
+// waves whose in-flight payload bytes stay within the per-rank ceiling,
+// so extreme-scale worlds complete with a bounded transfer footprint
+// instead of posting every chunk at once. Chunks larger than the ceiling
+// are segmented into element ranges; segmentation is a pure function of
+// (item, range, ceiling), so sources and targets derive identical
+// boundaries without exchanging metadata. COL ignores the ceiling
+// (Algorithm 2's single Alltoallv owns its buffers), and resilient
+// passes keep the one-shot schedule (the recovery ladder's chunk ledger
+// assumes one message per planned chunk).
+
+// span is one contiguous element range of a segmented chunk.
+type span struct {
+	lo, hi int64
+}
+
+// segmentSpans splits [lo, hi) into consecutive element ranges whose wire
+// size each stays within ceiling, using binary search over the item's
+// monotone WireBytes. A single element wider than the ceiling gets a span
+// of its own, so the walk always makes progress. A ceiling of zero (or a
+// range already within it) yields the range unsplit.
+func segmentSpans(it Item, lo, hi int64, ceiling int64) []span {
+	if ceiling <= 0 || it.WireBytes(lo, hi) <= ceiling {
+		return []span{{lo, hi}}
+	}
+	var out []span
+	for cur := lo; cur < hi; {
+		// n = the largest element count with WireBytes(cur, cur+n) within
+		// the ceiling, clamped to at least one element.
+		n := int64(sort.Search(int(hi-cur), func(i int) bool {
+			return it.WireBytes(cur, cur+int64(i)+1) > ceiling
+		}))
+		if n == 0 {
+			n = 1
+		}
+		out = append(out, span{cur, cur + n})
+		cur += n
+	}
+	return out
+}
+
+// waveCuts partitions consecutive payload sizes into waves whose sums stay
+// within ceiling, returning each wave's exclusive end index. An entry
+// larger than the ceiling forms a wave of its own (segmentation already
+// bounded everything it could). With no entries there are no waves.
+func waveCuts(sizes []int64, ceiling int64) []int {
+	if len(sizes) == 0 {
+		return nil
+	}
+	var cuts []int
+	start, sum := 0, int64(0)
+	for i, n := range sizes {
+		if i > start && sum+n > ceiling {
+			cuts = append(cuts, i)
+			start, sum = i, 0
+		}
+		sum += n
+	}
+	return append(cuts, len(sizes))
+}
+
+// PlanWaveSchedule derives, without running a simulation, the wave
+// schedule a source with the given outgoing chunks follows under the
+// ceiling: the segment count after ceiling segmentation, the number of
+// waves, and the peak summed wire bytes of any single wave. It runs the
+// exact segmentation and grouping the P2P and RMA transfers use, so
+// extreme-scale planner benchmarks measure the real schedule. As in the
+// transfers, every wave stays within the ceiling unless a single element
+// already exceeds it.
+func PlanWaveSchedule(it Item, chunks []partition.Chunk, ceiling int64) (segments, waves int, peakWaveBytes int64) {
+	var sizes []int64
+	for _, ch := range chunks {
+		for _, sp := range segmentSpans(it, ch.Lo, ch.Hi, ceiling) {
+			sizes = append(sizes, it.WireBytes(sp.lo, sp.hi))
+		}
+	}
+	cuts := waveCuts(sizes, ceiling)
+	prev := 0
+	for _, end := range cuts {
+		var sum int64
+		for _, n := range sizes[prev:end] {
+			sum += n
+		}
+		if sum > peakWaveBytes {
+			peakWaveBytes = sum
+		}
+		prev = end
+	}
+	return len(sizes), len(cuts), peakWaveBytes
+}
+
+// liveGauge tracks a transfer's live payload bytes and their high-water
+// mark: wave issues and value-receive posts add, completions and installs
+// subtract.
+type liveGauge struct {
+	live, peak int64
+}
+
+func (g *liveGauge) add(n int64) {
+	g.live += n
+	if g.live > g.peak {
+		g.peak = g.live
+	}
+}
+
+func (g *liveGauge) sub(n int64) { g.live -= n }
+
+// PeakLiveBytesGauge is the obs gauge name transfers report their
+// per-rank high-water payload footprint under. The sink keeps the
+// maximum across ranks, so reporting order cannot change the result.
+const PeakLiveBytesGauge = "redist/peak_live_bytes"
+
+// gaugeSink is the slice of obs.Stream the transfers report through; the
+// assertion keeps core decoupled from the obs package. Sinks without
+// gauges (trace recorders, tees) are silently skipped.
+type gaugeSink interface {
+	SetGauge(name string, v float64)
+}
+
+// reportPeakLive publishes a completed pass's high-water footprint when
+// the world's sink can hold gauges.
+func reportPeakLive(c *mpi.Ctx, peak int64) {
+	if peak <= 0 {
+		return
+	}
+	if gs, ok := c.World().Sink().(gaugeSink); ok {
+		gs.SetGauge(PeakLiveBytesGauge, float64(peak))
+	}
+}

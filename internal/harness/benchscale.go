@@ -1,0 +1,390 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/partition"
+)
+
+// BenchScaleSchema versions the BENCH_scale.json layout so CI consumers
+// can detect incompatible changes.
+const BenchScaleSchema = "repro/bench-scale/v1"
+
+// ScaleCell is one full-simulation redistribution at scale: a Merge 2:1
+// shrink over a virtual dense item under a per-rank memory ceiling, timed
+// in real wall-clock (the extreme-scale throughput trend metric).
+type ScaleCell struct {
+	// Ranks is the source world size; NT the (Ranks/2) target count.
+	Ranks int `json:"ranks"`
+	NT    int `json:"nt"`
+
+	Config       string `json:"config"`
+	ElemsPerRank int64  `json:"elemsPerRank"`
+
+	// WallSeconds is the real time of launch + reconfiguration + kernel
+	// drain; RanksPerSec is Ranks over WallSeconds.
+	WallSeconds float64 `json:"wallSeconds"`
+	RanksPerSec float64 `json:"ranksPerSec"`
+
+	// PeakLiveBytes is the redist/peak_live_bytes gauge: the largest
+	// per-rank live payload footprint any rank saw. The wave scheduler
+	// bounds a rank's own outgoing (or pulled) wave by the ceiling;
+	// inbound traffic adds the concurrent waves of its block neighbours,
+	// so at this 2:1 shrink geometry the hard bound is a small multiple
+	// of the ceiling (ValidateBenchScale enforces 4x).
+	PeakLiveBytes int64 `json:"peakLiveBytes"`
+
+	// AllocsPerRank is the heap allocation count of the whole cell divided
+	// by the world size (allocation diet trend metric).
+	AllocsPerRank float64 `json:"allocsPerRank"`
+}
+
+// ScalePlanner is the extreme-scale planner-level cell: per-rank overlap
+// enumeration and wave scheduling at a world size too large to simulate
+// in full, exercising the exact sparse iterators and segmentation the
+// transfers use.
+type ScalePlanner struct {
+	NS       int   `json:"ns"`
+	NT       int   `json:"nt"`
+	Elements int64 `json:"elements"`
+
+	PlanSeconds float64 `json:"planSeconds"`
+	RanksPerSec float64 `json:"ranksPerSec"`
+
+	// Chunks and Segments count every source's outgoing chunks and their
+	// post-segmentation pieces; MaxWavesPerRank and PeakWaveBytes describe
+	// the worst per-rank schedule. PeakWaveBytes <= the ceiling is the
+	// memory contract the validator enforces.
+	Chunks          int64 `json:"chunks"`
+	Segments        int64 `json:"segments"`
+	MaxWavesPerRank int   `json:"maxWavesPerRank"`
+	PeakWaveBytes   int64 `json:"peakWaveBytes"`
+
+	// SparseMetadataBytes is what the per-rank interval-overlap iterators
+	// materialize across all sources (24 bytes per chunk: peer + range);
+	// DenseMetadataBytes what the seed-era dense walk would (the full
+	// NS x NT count matrix at 8 bytes per pair). MetadataRatio is
+	// dense over sparse — the tentpole's metadata saving.
+	SparseMetadataBytes int64   `json:"sparseMetadataBytes"`
+	DenseMetadataBytes  int64   `json:"denseMetadataBytes"`
+	MetadataRatio       float64 `json:"metadataRatio"`
+}
+
+// BenchScale is the machine-readable record BenchmarkScale emits as
+// BENCH_scale.json: extreme-scale redistribution throughput under a
+// per-rank memory ceiling, the 100k-rank planner contract, the sparse
+// versus dense metadata ratio, and the -j determinism bit of a sweep run
+// on the calendar-queue kernel. ValidateBenchScale gates CI on it.
+type BenchScale struct {
+	Schema string `json:"schema"`
+
+	Net        string `json:"net"`
+	MemCeiling int64  `json:"memCeiling"`
+
+	Cells   []ScaleCell  `json:"cells"`
+	Planner ScalePlanner `json:"planner"`
+
+	// Workers is the parallel worker count of the determinism sweep;
+	// Identical reports that its CSV serialization was byte-identical to
+	// the sequential (-j 1) sweep — the calendar-queue kernel's
+	// determinism contract under ceiling-scheduled cells.
+	Workers   int  `json:"workers"`
+	Identical bool `json:"identical"`
+}
+
+// BenchScaleSpec parameterizes BuildBenchScale. The zero value is not
+// useful; start from DefaultBenchScaleSpec.
+type BenchScaleSpec struct {
+	Net string
+	// Ranks are the full-simulation source world sizes; each cell shrinks
+	// 2:1 with ElemsPerRank virtual elements (8 bytes each) per source.
+	Ranks        []int
+	ElemsPerRank int64
+	MemCeiling   int64
+	// PlannerRanks is the planner-level cell's source count (shrinking
+	// 2:1), typically an order of magnitude above the simulable sizes.
+	PlannerRanks int
+	// Workers is the parallel worker count of the determinism sweep.
+	Workers int
+	// SweepMemCeiling is the determinism sweep's ceiling. The sweep runs
+	// the CG application (about 4 GB of data, some 50 MB per source at its
+	// pair sizes), so its ceiling must be proportionate: segments per
+	// chunk scale as blockBytes/ceiling, and a ceiling sized for the
+	// synthetic 64 KiB blocks would explode the cells into hundreds of
+	// thousands of segments.
+	SweepMemCeiling int64
+}
+
+// DefaultBenchScaleSpec is the CI artifact's shape: full simulations to
+// 10k ranks, the planner contract at 100k, a 16 KiB per-rank ceiling over
+// 64 KiB per-rank blocks (so every cell runs a multi-wave schedule).
+func DefaultBenchScaleSpec() BenchScaleSpec {
+	return BenchScaleSpec{
+		Net:             "ethernet",
+		Ranks:           []int{1000, 4000, 10000},
+		ElemsPerRank:    8192,
+		MemCeiling:      16 << 10,
+		PlannerRanks:    100000,
+		Workers:         8,
+		SweepMemCeiling: 16 << 20,
+	}
+}
+
+// scaleConfig is the cell configuration every scale run uses: Merge
+// spawning (no new processes on a shrink) with point-to-point transfers,
+// the pairing where the wave scheduler carries the whole footprint story.
+func scaleConfig(ceiling int64) core.Config {
+	return core.Config{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Sync, MemCeiling: ceiling}
+}
+
+// runScaleCell simulates one 2:1 shrink at full fidelity and reads the
+// peak-footprint gauge back out of the streaming sink.
+func (spec BenchScaleSpec) runScaleCell(setup Setup, ranks int) (ScaleCell, error) {
+	nt := ranks / 2
+	n := int64(ranks) * spec.ElemsPerRank
+	elems := spec.ElemsPerRank
+	cfg := scaleConfig(spec.MemCeiling)
+
+	w := setup.NewWorld(0)
+	stream := obs.NewStream()
+	w.SetSink(stream)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	w.Launch(ranks, nil, func(c *mpi.Ctx, comm *mpi.Comm) {
+		st := core.NewStore()
+		it := core.NewDenseVirtual("x", n, 8, false)
+		r := int64(comm.Rank(c))
+		it.SetBlock(r*elems, (r+1)*elems)
+		st.Register(it)
+		rc := core.StartReconfig(c, cfg, comm, nt, st,
+			func() *core.Store {
+				st := core.NewStore()
+				st.Register(core.NewDenseVirtual("x", n, 8, false))
+				return st
+			},
+			func(*mpi.Ctx, *mpi.Comm, *core.Store) {})
+		rc.Wait(c)
+	})
+	if err := w.Kernel().Run(); err != nil {
+		return ScaleCell{}, fmt.Errorf("bench scale %d ranks: %w", ranks, err)
+	}
+	wall := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&after)
+
+	cell := ScaleCell{
+		Ranks: ranks, NT: nt,
+		Config:        cfg.String(),
+		ElemsPerRank:  elems,
+		WallSeconds:   wall,
+		PeakLiveBytes: int64(stream.Gauge(core.PeakLiveBytesGauge)),
+		AllocsPerRank: float64(after.Mallocs-before.Mallocs) / float64(ranks),
+	}
+	if wall > 0 {
+		cell.RanksPerSec = float64(ranks) / wall
+	}
+	return cell, nil
+}
+
+// planAtScale runs the planner-level cell: every source's overlap
+// enumeration and wave schedule at spec.PlannerRanks, via the same
+// partition iterators and core wave planner the transfers execute.
+func (spec BenchScaleSpec) planAtScale() ScalePlanner {
+	ns := spec.PlannerRanks
+	nt := ns / 2
+	n := int64(ns) * spec.ElemsPerRank
+	it := core.NewDenseVirtual("x", n, 8, false)
+	src := partition.NewBlockDist(n, ns)
+	dst := partition.NewBlockDist(n, nt)
+
+	pl := ScalePlanner{NS: ns, NT: nt, Elements: n}
+	t0 := time.Now()
+	var chunks []partition.Chunk
+	for s := 0; s < ns; s++ {
+		chunks = chunks[:0]
+		partition.VisitSendOverlaps(src, dst, s, func(ch partition.Chunk) {
+			chunks = append(chunks, ch)
+		})
+		segs, waves, peak := core.PlanWaveSchedule(it, chunks, spec.MemCeiling)
+		pl.Chunks += int64(len(chunks))
+		pl.Segments += int64(segs)
+		if waves > pl.MaxWavesPerRank {
+			pl.MaxWavesPerRank = waves
+		}
+		if peak > pl.PeakWaveBytes {
+			pl.PeakWaveBytes = peak
+		}
+	}
+	pl.PlanSeconds = time.Since(t0).Seconds()
+	if pl.PlanSeconds > 0 {
+		pl.RanksPerSec = float64(ns) / pl.PlanSeconds
+	}
+
+	// A sparse chunk is (peer, lo, hi) at 8 bytes each; the dense walk
+	// materializes the full pairwise count matrix.
+	pl.SparseMetadataBytes = pl.Chunks * 24
+	pl.DenseMetadataBytes = int64(ns) * int64(nt) * 8
+	if pl.SparseMetadataBytes > 0 {
+		pl.MetadataRatio = float64(pl.DenseMetadataBytes) / float64(pl.SparseMetadataBytes)
+	}
+	return pl
+}
+
+// sweepIdentical runs a small ceiling-scheduled sweep grid sequentially
+// and at spec.Workers and reports whether the CSV serializations are
+// byte-identical — the determinism contract of the calendar-queue kernel
+// and the wave scheduler under parallel cell execution.
+func (spec BenchScaleSpec) sweepIdentical(setup Setup) (bool, error) {
+	pairs := []Pair{{NS: 80, NT: 40}, {NS: 40, NT: 80}}
+	var configs []core.Config
+	for _, cfg := range SyncConfigs() {
+		cfg.MemCeiling = spec.SweepMemCeiling
+		configs = append(configs, cfg)
+	}
+	run := func(workers int) ([]byte, error) {
+		s := setup
+		s.Reps = 2
+		s.Workers = workers
+		m, err := s.Sweep(pairs, configs, nil)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, m); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	seq, err := run(1)
+	if err != nil {
+		return false, fmt.Errorf("bench scale sequential sweep: %w", err)
+	}
+	par, err := run(spec.Workers)
+	if err != nil {
+		return false, fmt.Errorf("bench scale -j %d sweep: %w", spec.Workers, err)
+	}
+	return bytes.Equal(seq, par), nil
+}
+
+// BuildBenchScale runs the spec's full-simulation cells, the planner-level
+// cell, and the determinism sweep, and assembles the record.
+func BuildBenchScale(spec BenchScaleSpec) (BenchScale, error) {
+	net, err := ParseNet(spec.Net)
+	if err != nil {
+		return BenchScale{}, err
+	}
+	setup := DefaultSetup(net)
+
+	bs := BenchScale{
+		Schema:     BenchScaleSchema,
+		Net:        spec.Net,
+		MemCeiling: spec.MemCeiling,
+		Workers:    spec.Workers,
+	}
+	for _, ranks := range spec.Ranks {
+		cell, err := spec.runScaleCell(setup, ranks)
+		if err != nil {
+			return BenchScale{}, err
+		}
+		bs.Cells = append(bs.Cells, cell)
+	}
+	bs.Planner = spec.planAtScale()
+	bs.Identical, err = spec.sweepIdentical(setup)
+	if err != nil {
+		return BenchScale{}, err
+	}
+	return bs, nil
+}
+
+// WriteJSON emits the record with a fixed field layout: deterministic
+// input produces bit-identical bytes.
+func (bs BenchScale) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bs)
+}
+
+// ValidateBenchScale parses a BENCH_scale.json and checks its invariants:
+// known schema, sane cells with finite positive metrics, every per-rank
+// footprint within four ceilings (own wave + inbound neighbour waves at
+// the 2:1 shrink geometry), the planner's peak wave within the ceiling
+// itself, a sparse metadata footprint strictly below the dense matrix
+// with a consistent ratio, and a true -j determinism bit. It is the CI
+// gate against both malformed artifacts and scalability regressions.
+func ValidateBenchScale(r io.Reader) (BenchScale, error) {
+	var bs BenchScale
+	if err := json.NewDecoder(r).Decode(&bs); err != nil {
+		return bs, fmt.Errorf("bench scale: %w", err)
+	}
+	if bs.Schema != BenchScaleSchema {
+		return bs, fmt.Errorf("bench scale: schema %q (want %q)", bs.Schema, BenchScaleSchema)
+	}
+	if bs.MemCeiling <= 0 {
+		return bs, fmt.Errorf("bench scale: memCeiling = %d", bs.MemCeiling)
+	}
+	if len(bs.Cells) == 0 {
+		return bs, fmt.Errorf("bench scale: no cells")
+	}
+	for _, c := range bs.Cells {
+		if c.Ranks < 2 || c.NT < 1 || c.NT > c.Ranks {
+			return bs, fmt.Errorf("bench scale: bad cell geometry %d->%d", c.Ranks, c.NT)
+		}
+		for name, v := range map[string]float64{
+			"wallSeconds": c.WallSeconds, "ranksPerSec": c.RanksPerSec,
+			"allocsPerRank": c.AllocsPerRank,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return bs, fmt.Errorf("bench scale: cell %d ranks: %s = %v", c.Ranks, name, v)
+			}
+		}
+		if got := float64(c.Ranks) / c.WallSeconds; math.Abs(got-c.RanksPerSec) > 0.01*got+1e-9 {
+			return bs, fmt.Errorf("bench scale: cell %d ranks: ranksPerSec %v inconsistent with %v",
+				c.Ranks, c.RanksPerSec, got)
+		}
+		if c.PeakLiveBytes <= 0 || c.PeakLiveBytes > 4*bs.MemCeiling {
+			return bs, fmt.Errorf("bench scale: cell %d ranks: peak live bytes %d outside (0, 4x%d]",
+				c.Ranks, c.PeakLiveBytes, bs.MemCeiling)
+		}
+	}
+	p := bs.Planner
+	if p.NS < 2 || p.NT < 1 || p.NT > p.NS || p.Elements <= 0 {
+		return bs, fmt.Errorf("bench scale: bad planner geometry %d->%d over %d elements",
+			p.NS, p.NT, p.Elements)
+	}
+	if p.PlanSeconds <= 0 || math.IsNaN(p.PlanSeconds) || math.IsInf(p.PlanSeconds, 0) {
+		return bs, fmt.Errorf("bench scale: planner planSeconds = %v", p.PlanSeconds)
+	}
+	if p.Chunks < int64(p.NS) || p.Segments < p.Chunks || p.MaxWavesPerRank < 1 {
+		return bs, fmt.Errorf("bench scale: planner chunks=%d segments=%d waves=%d",
+			p.Chunks, p.Segments, p.MaxWavesPerRank)
+	}
+	if p.PeakWaveBytes <= 0 || p.PeakWaveBytes > bs.MemCeiling {
+		return bs, fmt.Errorf("bench scale: planner peak wave %d outside (0, %d] — schedule breaks the ceiling",
+			p.PeakWaveBytes, bs.MemCeiling)
+	}
+	if p.SparseMetadataBytes <= 0 || p.SparseMetadataBytes >= p.DenseMetadataBytes {
+		return bs, fmt.Errorf("bench scale: sparse metadata %d not below dense %d",
+			p.SparseMetadataBytes, p.DenseMetadataBytes)
+	}
+	if got := float64(p.DenseMetadataBytes) / float64(p.SparseMetadataBytes); math.Abs(got-p.MetadataRatio) > 0.01*got+1e-9 {
+		return bs, fmt.Errorf("bench scale: metadata ratio %v inconsistent with dense/sparse = %v",
+			p.MetadataRatio, got)
+	}
+	if bs.Workers < 2 {
+		return bs, fmt.Errorf("bench scale: determinism sweep ran with %d workers (want >= 2)", bs.Workers)
+	}
+	if !bs.Identical {
+		return bs, fmt.Errorf("bench scale: -j %d sweep output was not byte-identical to sequential", bs.Workers)
+	}
+	return bs, nil
+}

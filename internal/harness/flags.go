@@ -96,7 +96,9 @@ func FaultConfigs(family string) ([]core.Config, error) {
 
 // ParseConfigFamily resolves a configuration-family name: all (the paper's
 // twelve), sync, async, rma (the §5 extension), extended (all + RMA + the
-// §2 checkpoint/restart baseline).
+// §2 checkpoint/restart baseline), scale (the ceiling-capable Merge
+// variants — P2P and RMA, no pairwise collectives — usable at 10k+ ranks,
+// where COL's O(NSxNT) message pattern is off the table).
 func ParseConfigFamily(name string) ([]core.Config, error) {
 	switch name {
 	case "all":
@@ -112,6 +114,11 @@ func ParseConfigFamily(name string) ([]core.Config, error) {
 		return append(configs,
 			core.Config{Spawn: core.Baseline, Comm: core.CR, Overlap: core.Sync},
 			core.Config{Spawn: core.Merge, Comm: core.CR, Overlap: core.Sync}), nil
+	case "scale":
+		return []core.Config{
+			{Spawn: core.Merge, Comm: core.P2P, Overlap: core.Sync},
+			{Spawn: core.Merge, Comm: core.RMA, Overlap: core.Sync},
+		}, nil
 	}
-	return nil, fmt.Errorf("unknown configuration family %q (want all, sync, async, rma, extended)", name)
+	return nil, fmt.Errorf("unknown configuration family %q (want all, sync, async, rma, extended, scale)", name)
 }

@@ -20,6 +20,12 @@ type KV struct {
 	Value int64  `json:"value"`
 }
 
+// GaugeKV is one named high-water gauge in a snapshot.
+type GaugeKV struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
 // NamedHist is one named histogram in a snapshot.
 type NamedHist struct {
 	Name string       `json:"name"`
@@ -49,7 +55,11 @@ type Snapshot struct {
 	TimeLast  float64 `json:"timeLast"`
 	Makespan  float64 `json:"makespan"`
 
-	Counters  []KV        `json:"counters"`
+	Counters []KV `json:"counters"`
+	// Gauges are the high-water gauges (e.g. the redistribution's peak
+	// live payload bytes); omitted entirely when no gauge was ever set, so
+	// snapshots from gauge-free runs serialize exactly as before.
+	Gauges    []GaugeKV   `json:"gauges,omitempty"`
 	Hists     []NamedHist `json:"hists"`
 	RankStats []RankStat  `json:"rankStats"`
 
@@ -74,6 +84,15 @@ func (s Snapshot) Counter(key string) int64 {
 	i := sort.Search(len(s.Counters), func(i int) bool { return s.Counters[i].Key >= key })
 	if i < len(s.Counters) && s.Counters[i].Key == key {
 		return s.Counters[i].Value
+	}
+	return 0
+}
+
+// Gauge returns a snapshot gauge's value (0 when absent).
+func (s Snapshot) Gauge(key string) float64 {
+	i := sort.Search(len(s.Gauges), func(i int) bool { return s.Gauges[i].Key >= key })
+	if i < len(s.Gauges) && s.Gauges[i].Key == key {
+		return s.Gauges[i].Value
 	}
 	return 0
 }
@@ -103,6 +122,14 @@ func (s *Stream) Snapshot() Snapshot {
 	}
 	for _, k := range s.sortedCounterKeys() {
 		snap.Counters = append(snap.Counters, KV{Key: k, Value: s.counters[k]})
+	}
+	gkeys := make([]string, 0, len(s.gauges))
+	for k := range s.gauges {
+		gkeys = append(gkeys, k)
+	}
+	sort.Strings(gkeys)
+	for _, k := range gkeys {
+		snap.Gauges = append(snap.Gauges, GaugeKV{Key: k, Value: s.gauges[k]})
 	}
 	named := []NamedHist{
 		{Name: "msg/bytes", Hist: s.hBytes.Snapshot()},

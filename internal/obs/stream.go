@@ -34,6 +34,7 @@ type Stream struct {
 	hRung  [5]*Hist         // recovery-stage span durations by active rung
 
 	counters map[string]int64
+	gauges   map[string]float64 // high-water gauges: SetGauge keeps the max
 
 	ranks map[int]*RankTelemetry
 
@@ -69,6 +70,7 @@ func NewStreamCap(recentCap, anomalyCap int) *Stream {
 		hSpawn: NewHist(), hRTT: NewHist(), hBytes: NewHist(),
 		hPhase:   map[string]*Hist{},
 		counters: map[string]int64{},
+		gauges:   map[string]float64{},
 		ranks:    map[int]*RankTelemetry{},
 	}
 	for i := range s.hRung {
@@ -204,6 +206,19 @@ func (s *Stream) phaseHist(name string) *Hist {
 	return h
 }
 
+// SetGauge folds one sample into a named high-water gauge: the stored
+// value is the maximum ever set, so reporting order (and rank
+// interleaving) cannot change the result. The redistribution transfers
+// report their per-rank peak live payload bytes here.
+func (s *Stream) SetGauge(name string, v float64) {
+	if cur, ok := s.gauges[name]; !ok || v > cur {
+		s.gauges[name] = v
+	}
+}
+
+// Gauge returns a high-water gauge's value (0 when never set).
+func (s *Stream) Gauge(name string) float64 { return s.gauges[name] }
+
 // Events returns the total number of events folded in.
 func (s *Stream) Events() uint64 { return s.events }
 
@@ -253,6 +268,9 @@ func (s *Stream) Merge(other *Stream) {
 	for k, v := range other.counters {
 		s.counters[k] += v
 	}
+	for k, v := range other.gauges {
+		s.SetGauge(k, v)
+	}
 	for id, rt := range other.ranks {
 		dst := s.rank(id)
 		if dst.First < 0 || (rt.First >= 0 && rt.First < dst.First) {
@@ -299,6 +317,9 @@ func (s *Stream) Reset() {
 	for k := range s.counters {
 		delete(s.counters, k)
 	}
+	for k := range s.gauges {
+		delete(s.gauges, k)
+	}
 	for k := range s.ranks {
 		delete(s.ranks, k)
 	}
@@ -323,6 +344,7 @@ func (s *Stream) MemoryBytes() int64 {
 		n += h.memoryBytes()
 	}
 	n += int64(len(s.counters)) * 48 // key + value + bucket overhead
+	n += int64(len(s.gauges)) * 48
 	n += int64(len(s.ranks)) * 96
 	return n
 }

@@ -45,11 +45,12 @@ func ExampleNewWeightedDist() {
 func ExampleNewSparsePlan() {
 	rowPtr := []int64{0, 4, 6, 7, 10} // 4 rows with 4, 2, 1, 3 non-zeros
 	sp := partition.NewSparsePlan(rowPtr, 2, 4)
-	counts := sp.NnzCounts()
-	for s := range counts {
-		fmt.Printf("source %d sends nnz %v\n", s, counts[s])
+	for i, ch := range sp.Rows.Chunks {
+		fmt.Printf("source %d -> target %d: %d non-zeros\n", ch.Src, ch.Dst, sp.ChunkNnz(i))
 	}
 	// Output:
-	// source 0 sends nnz [4 2 0 0]
-	// source 1 sends nnz [0 0 1 3]
+	// source 0 -> target 0: 4 non-zeros
+	// source 0 -> target 1: 2 non-zeros
+	// source 1 -> target 2: 1 non-zeros
+	// source 1 -> target 3: 3 non-zeros
 }

@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// bruteOverlaps is the quadratic reference: intersect every (s, t) pair of
+// ranges directly, with no cursor or owner math shared with the code under
+// test.
+func bruteOverlaps(src, dst Dist) []Chunk {
+	var out []Chunk
+	for s := 0; s < src.NumParts(); s++ {
+		for t := 0; t < dst.NumParts(); t++ {
+			lo := maxI64(src.Lo(s), dst.Lo(t))
+			hi := minI64(src.Hi(s), dst.Hi(t))
+			if lo < hi {
+				out = append(out, Chunk{Src: s, Dst: t, Lo: lo, Hi: hi})
+			}
+		}
+	}
+	return out
+}
+
+func filterSrc(chunks []Chunk, s int) []Chunk {
+	var out []Chunk
+	for _, c := range chunks {
+		if c.Src == s {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func filterDst(chunks []Chunk, t int) []Chunk {
+	var out []Chunk
+	for _, c := range chunks {
+		if c.Dst == t {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// checkOverlapEquivalence asserts that the sparse iterators reproduce the
+// brute-force pair intersection and the dense plan per rank, in order.
+func checkOverlapEquivalence(t *testing.T, src, dst Dist) {
+	t.Helper()
+	brute := bruteOverlaps(src, dst)
+	plan := PlanBetween(src, dst)
+	if !reflect.DeepEqual(plan.Chunks, brute) {
+		t.Fatalf("PlanBetween disagrees with brute force: %v vs %v", plan.Chunks, brute)
+	}
+	for s := 0; s < src.NumParts(); s++ {
+		want := filterSrc(brute, s)
+		if got := SendOverlaps(src, dst, s); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SendOverlaps(s=%d) = %v, want %v", s, got, want)
+		}
+		if got, want := SendOverlaps(src, dst, s), plan.SendChunks(s); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SendOverlaps(s=%d) = %v, dense SendChunks = %v", s, got, want)
+		}
+		wantPeers := []int(nil)
+		for _, c := range want {
+			if n := len(wantPeers); n == 0 || wantPeers[n-1] != c.Dst {
+				wantPeers = append(wantPeers, c.Dst)
+			}
+		}
+		if got := SendPeers(src, dst, s); !reflect.DeepEqual(got, wantPeers) {
+			t.Fatalf("SendPeers(s=%d) = %v, want %v", s, got, wantPeers)
+		}
+	}
+	for d := 0; d < dst.NumParts(); d++ {
+		want := filterDst(brute, d)
+		if got := RecvOverlaps(src, dst, d); !reflect.DeepEqual(got, want) {
+			t.Fatalf("RecvOverlaps(t=%d) = %v, want %v", d, got, want)
+		}
+		if got, want := RecvOverlaps(src, dst, d), plan.RecvChunks(d); !reflect.DeepEqual(got, want) {
+			t.Fatalf("RecvOverlaps(t=%d) = %v, dense RecvChunks = %v", d, got, want)
+		}
+		wantPeers := []int(nil)
+		for _, c := range want {
+			if n := len(wantPeers); n == 0 || wantPeers[n-1] != c.Src {
+				wantPeers = append(wantPeers, c.Src)
+			}
+		}
+		if got := RecvPeers(src, dst, d); !reflect.DeepEqual(got, wantPeers) {
+			t.Fatalf("RecvPeers(t=%d) = %v, want %v", d, got, wantPeers)
+		}
+	}
+}
+
+// TestOverlapsMatchBruteForceAdversarial covers the geometries most likely
+// to break cursor or owner arithmetic: coprime part counts, 1×N and N×1
+// fan-out, huge skew in either direction, parts outnumbering elements
+// (empty parts), and the degenerate empty space.
+func TestOverlapsMatchBruteForceAdversarial(t *testing.T) {
+	cases := []struct {
+		n      int64
+		ns, nt int
+	}{
+		{1, 1, 1},
+		{1000, 1, 64},
+		{1000, 64, 1},
+		{1009, 7, 13},     // coprime counts, prime elements
+		{997, 160, 96},    // paper-scale shape with prime elements
+		{1 << 20, 3, 997}, // huge skew, coprime
+		{1 << 20, 997, 3},
+		{100000, 2, 4096}, // extreme fan-out
+		{100000, 4096, 2},
+		{10, 7, 64},  // most target parts empty
+		{10, 64, 7},  // most source parts empty
+		{5, 64, 64},  // both sides mostly empty
+		{0, 4, 8},    // empty element space
+		{63, 64, 63}, // off-by-one pressure
+	}
+	for _, c := range cases {
+		src := NewBlockDist(c.n, c.ns)
+		dst := NewBlockDist(c.n, c.nt)
+		checkOverlapEquivalence(t, src, dst)
+		// The block-to-block iterators must also agree with NewPlan.
+		plan := NewPlan(c.n, c.ns, c.nt)
+		if !reflect.DeepEqual(plan.Chunks, bruteOverlaps(src, dst)) {
+			t.Fatalf("NewPlan(%d,%d,%d) disagrees with brute force", c.n, c.ns, c.nt)
+		}
+	}
+}
+
+// blindDist hides a distribution's Owner method, forcing ownerOf onto its
+// generic binary-search path.
+type blindDist struct{ d Dist }
+
+func (b blindDist) Elements() int64 { return b.d.Elements() }
+func (b blindDist) NumParts() int   { return b.d.NumParts() }
+func (b blindDist) Lo(r int) int64  { return b.d.Lo(r) }
+func (b blindDist) Hi(r int) int64  { return b.d.Hi(r) }
+
+func TestOverlapsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 300; iter++ {
+		n := int64(rng.Intn(2000))
+		ns := 1 + rng.Intn(40)
+		nt := 1 + rng.Intn(40)
+		var src, dst Dist = NewBlockDist(n, ns), NewBlockDist(n, nt)
+		switch iter % 4 {
+		case 1: // weighted source: random monotone prefix over n elements
+			src = randWeighted(rng, n, ns)
+		case 2:
+			dst = randWeighted(rng, n, nt)
+		case 3:
+			src, dst = randWeighted(rng, n, ns), randWeighted(rng, n, nt)
+		}
+		if iter%5 == 0 {
+			src, dst = blindDist{src}, blindDist{dst}
+		}
+		checkOverlapEquivalence(t, src, dst)
+	}
+}
+
+func randWeighted(rng *rand.Rand, n int64, parts int) WeightedDist {
+	prefix := make([]int64, n+1)
+	for i := int64(0); i < n; i++ {
+		prefix[i+1] = prefix[i] + int64(rng.Intn(20)) // zero weights allowed
+	}
+	return NewWeightedDist(prefix, parts)
+}
+
+// TestOverlapsKeepOwnDists exercises the §5 keep-own remappings, whose
+// empty tail/split parts stress the cursor walks.
+func TestOverlapsKeepOwnDists(t *testing.T) {
+	for _, c := range []struct {
+		n      int64
+		ns, nt int
+	}{
+		{1000, 16, 7}, {1000, 7, 16}, {64, 64, 3}, {64, 3, 64}, {10, 8, 2},
+	} {
+		block := NewBlockDist(c.n, c.ns)
+		if c.nt <= c.ns {
+			checkOverlapEquivalence(t, block, KeepOwnShrinkDist(c.n, c.ns, c.nt))
+		} else {
+			checkOverlapEquivalence(t, block, KeepOwnExpandDist(c.n, c.ns, c.nt))
+		}
+	}
+}
+
+// TestOverlapPeerCountIsSparse pins the asymptotic claim: a middle rank's
+// peer count is ~⌈nt/ns⌉+1, not nt.
+func TestOverlapPeerCountIsSparse(t *testing.T) {
+	src := NewBlockDist(1<<30, 100)
+	dst := NewBlockDist(1<<30, 100000)
+	for _, s := range []int{0, 1, 50, 99} {
+		peers := SendPeers(src, dst, s)
+		if len(peers) > 100000/100+2 {
+			t.Fatalf("rank %d has %d peers, want O(nt/ns)=~1000", s, len(peers))
+		}
+		if len(peers) < 100000/100-2 {
+			t.Fatalf("rank %d has %d peers, expected ~1000", s, len(peers))
+		}
+	}
+}

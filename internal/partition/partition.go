@@ -9,7 +9,10 @@
 // paper has each source announce sizes before values.
 package partition
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // BlockDist is the standard block distribution of n elements over p parts:
 // the first n%p parts get ⌈n/p⌉ elements, the rest ⌊n/p⌋.
@@ -118,16 +121,26 @@ func NewPlan(n int64, ns, nt int) Plan {
 	return p
 }
 
+// srcRange returns the half-open index range [i, j) of source part s's
+// chunks. Chunks are sorted by (Src, Lo), so the range is contiguous and a
+// binary search finds it in O(log chunks).
+func (p Plan) srcRange(s int) (int, int) {
+	i := sort.Search(len(p.Chunks), func(k int) bool { return p.Chunks[k].Src >= s })
+	j := i
+	for j < len(p.Chunks) && p.Chunks[j].Src == s {
+		j++
+	}
+	return i, j
+}
+
 // SendChunks returns the chunks source part s must send, in ascending
 // target order.
 func (p Plan) SendChunks(s int) []Chunk {
-	var out []Chunk
-	for _, c := range p.Chunks {
-		if c.Src == s {
-			out = append(out, c)
-		}
+	i, j := p.srcRange(s)
+	if i == j {
+		return nil
 	}
-	return out
+	return append([]Chunk(nil), p.Chunks[i:j]...)
 }
 
 // RecvChunks returns the chunks target part t will receive, in ascending

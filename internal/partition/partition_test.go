@@ -205,7 +205,6 @@ func TestSparsePlanCountsFromRowPtr(t *testing.T) {
 	if sp.TotalNnz() != 10 {
 		t.Fatalf("TotalNnz = %d, want 10", sp.TotalNnz())
 	}
-	counts := sp.NnzCounts()
 	// Sources: rows [0,2) and [2,4); targets one row each.
 	want := [][]int64{
 		{1, 2, 0, 0},
@@ -213,9 +212,34 @@ func TestSparsePlanCountsFromRowPtr(t *testing.T) {
 	}
 	for s := range want {
 		for d := range want[s] {
-			if counts[s][d] != want[s][d] {
-				t.Fatalf("nnz[%d][%d] = %d, want %d", s, d, counts[s][d], want[s][d])
+			if got := sp.PeerNnz(s, d); got != want[s][d] {
+				t.Fatalf("PeerNnz(%d,%d) = %d, want %d", s, d, got, want[s][d])
 			}
+		}
+	}
+	// The dense matrix (test-only, O(NS×NT)) must agree with the sparse
+	// accessors entry for entry.
+	counts := sp.NnzCounts()
+	for s := range counts {
+		var sent int64
+		for d := range counts[s] {
+			if counts[s][d] != sp.PeerNnz(s, d) {
+				t.Fatalf("NnzCounts[%d][%d] = %d disagrees with PeerNnz %d",
+					s, d, counts[s][d], sp.PeerNnz(s, d))
+			}
+			sent += counts[s][d]
+		}
+		if sent != sp.SendNnz(s) {
+			t.Fatalf("SendNnz(%d) = %d, want %d", s, sp.SendNnz(s), sent)
+		}
+	}
+	for d := 0; d < sp.Rows.NT; d++ {
+		var recv int64
+		for s := range counts {
+			recv += counts[s][d]
+		}
+		if recv != sp.RecvNnz(d) {
+			t.Fatalf("RecvNnz(%d) = %d, want %d", d, sp.RecvNnz(d), recv)
 		}
 	}
 }

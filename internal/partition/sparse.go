@@ -30,7 +30,53 @@ func NewSparsePlan(rowPtr []int64, ns, nt int) SparsePlan {
 	return sp
 }
 
+// ChunkNnz returns the non-zero count of chunk i (parallel to
+// Rows.Chunks). It is the per-chunk size a source announces on the tag-77
+// size message.
+func (sp SparsePlan) ChunkNnz(i int) int64 { return sp.Nnz[i] }
+
+// PeerNnz returns the non-zeros moving from source part s to target part t,
+// in O(log chunks + chunks-of-s) — the sparse replacement for indexing the
+// dense NnzCounts matrix.
+func (sp SparsePlan) PeerNnz(s, t int) int64 {
+	i, j := sp.Rows.srcRange(s)
+	var n int64
+	for ; i < j; i++ {
+		if sp.Rows.Chunks[i].Dst == t {
+			n += sp.Nnz[i]
+		}
+	}
+	return n
+}
+
+// SendNnz returns the total non-zeros source part s sends, at the cost of
+// scanning only s's own chunks.
+func (sp SparsePlan) SendNnz(s int) int64 {
+	i, j := sp.Rows.srcRange(s)
+	var n int64
+	for ; i < j; i++ {
+		n += sp.Nnz[i]
+	}
+	return n
+}
+
+// RecvNnz returns the total non-zeros target part t receives.
+func (sp SparsePlan) RecvNnz(t int) int64 {
+	var n int64
+	for i, c := range sp.Rows.Chunks {
+		if c.Dst == t {
+			n += sp.Nnz[i]
+		}
+	}
+	return n
+}
+
 // NnzCounts returns the ns×nt matrix of non-zero counts.
+//
+// The matrix is O(NS×NT) in both time and memory — at extreme scale that is
+// exactly the dense metadata this package's overlap iterators exist to
+// avoid. It is kept for tests and small-world inspection; production paths
+// use ChunkNnz/PeerNnz/SendNnz/RecvNnz.
 func (sp SparsePlan) NnzCounts() [][]int64 {
 	m := make([][]int64, sp.Rows.NS)
 	for s := range m {

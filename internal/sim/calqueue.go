@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// calQueue is a calendar queue (Brown 1988): the kernel's pending events
+// hashed by time into width-sized slots over a ring of buckets, each
+// bucket sorted by (at, seq). With the bucket count tracking the event
+// count and the width tracking the inter-event gap, both Push and Pop are
+// O(1) amortized — at millions of in-flight events the binary heap this
+// replaces pays an O(log n) sift per operation on the kernel's hottest
+// path.
+//
+// Every placement and scan decision goes through slotOf — an event's
+// absolute slot index ⌊at/width⌋ — never through accumulated float
+// boundaries, so an event can never be misclassified relative to the slot
+// it was hashed into. Determinism is inherited from the (at, seq) total
+// order: a slot's events live in one bucket in scheduling order, and the
+// sparse-fallback scan compares (at, seq) exactly, so Pop yields the exact
+// sequence the heap did (calqueue_test.go asserts this event-for-event).
+type calQueue struct {
+	buckets []calBucket
+	width   float64 // slot width in virtual seconds
+	size    int     // queued events, including lazily-canceled ones
+	last    float64 // time floor for scans; monotone (Pop order is monotone)
+}
+
+// calBucket is one bucket: evs[head:] are the queued events in ascending
+// (at, seq) order. Pop consumes from head so dequeue is O(1); the array
+// compacts once the dead prefix dominates.
+type calBucket struct {
+	head int
+	evs  []*event
+}
+
+const (
+	calMinBuckets = 16
+	calMinWidth   = 1e-12
+	calMaxSlot    = math.MaxInt64 / 2 // clamp for huge clock/width ratios
+	calSample     = 64                // width estimation sample size on resize
+)
+
+func newCalQueue() *calQueue {
+	return &calQueue{buckets: make([]calBucket, calMinBuckets), width: 1}
+}
+
+// Len reports the queued event count.
+func (q *calQueue) Len() int { return q.size }
+
+// slotOf maps a timestamp to its absolute slot index. Clamped so a huge
+// clock over a tiny width cannot overflow; clamped slots degrade to one
+// shared bucket, which stays correct (the bucket is sorted) if slower.
+func (q *calQueue) slotOf(at float64) int64 {
+	s := at / q.width
+	if s >= calMaxSlot {
+		return calMaxSlot
+	}
+	return int64(s)
+}
+
+// Push enqueues e, keeping its bucket sorted by (at, seq). The event's
+// index field records the bucket (>= 0 means queued), preserving the
+// Timer.Cancel pending-report contract.
+func (q *calQueue) Push(e *event) {
+	b := int(q.slotOf(e.at) % int64(len(q.buckets)))
+	bk := &q.buckets[b]
+	live := bk.evs[bk.head:]
+	i := sort.Search(len(live), func(i int) bool {
+		return live[i].at > e.at || (live[i].at == e.at && live[i].seq > e.seq)
+	})
+	bk.evs = append(bk.evs, nil)
+	live = bk.evs[bk.head:]
+	copy(live[i+1:], live[i:])
+	live[i] = e
+	e.index = b
+	q.size++
+	if q.size > 2*len(q.buckets) {
+		q.resize(2 * len(q.buckets))
+	}
+}
+
+// Pop removes and returns the earliest event by (at, seq), or nil when
+// empty.
+//
+// The scan walks the nb consecutive slots starting at last's slot; each
+// maps to a distinct bucket, and a bucket's head wins exactly when its own
+// slot index equals the scanned slot. Every queued event is >= last (the
+// kernel never schedules into the past), so the first hit is the earliest
+// occupied slot, and within one slot the bucket order is the (at, seq)
+// order.
+func (q *calQueue) Pop() *event {
+	if q.size == 0 {
+		return nil
+	}
+	if len(q.buckets) > calMinBuckets && q.size < len(q.buckets)/2 {
+		q.resize(len(q.buckets) / 2)
+	}
+	nb := int64(len(q.buckets))
+	s0 := q.slotOf(q.last)
+	for i := int64(0); i < nb; i++ {
+		s := s0 + i
+		bk := &q.buckets[s%nb]
+		if bk.head < len(bk.evs) {
+			if e := bk.evs[bk.head]; q.slotOf(e.at) == s {
+				q.popHead(bk)
+				q.last = e.at
+				return e
+			}
+		}
+	}
+	// Sparse queue: every head lies beyond the scanned window, so fall back
+	// to a direct (at, seq) minimum over the bucket heads.
+	var best *calBucket
+	var be *event
+	for b := range q.buckets {
+		bk := &q.buckets[b]
+		if bk.head >= len(bk.evs) {
+			continue
+		}
+		e := bk.evs[bk.head]
+		if be == nil || e.at < be.at || (e.at == be.at && e.seq < be.seq) {
+			be, best = e, bk
+		}
+	}
+	q.popHead(best)
+	q.last = be.at
+	return be
+}
+
+// popHead consumes a bucket's earliest event and compacts the bucket once
+// the dead prefix dominates.
+func (q *calQueue) popHead(bk *calBucket) {
+	e := bk.evs[bk.head]
+	bk.evs[bk.head] = nil
+	bk.head++
+	if bk.head == len(bk.evs) {
+		bk.head, bk.evs = 0, bk.evs[:0]
+	} else if bk.head > 32 && bk.head > len(bk.evs)/2 {
+		n := copy(bk.evs, bk.evs[bk.head:])
+		for i := n; i < len(bk.evs); i++ {
+			bk.evs[i] = nil
+		}
+		bk.head, bk.evs = 0, bk.evs[:n]
+	}
+	e.index = -1
+	q.size--
+}
+
+// resize rebuilds the ring with newNB buckets and a width re-estimated
+// from the live events' inter-arrival gaps. Triggered on size doublings
+// and halvings, so the O(n) rebuild amortizes to O(1) per operation; the
+// trigger and the estimate depend only on queue state, keeping runs
+// deterministic.
+func (q *calQueue) resize(newNB int) {
+	all := make([]*event, 0, q.size)
+	for b := range q.buckets {
+		bk := &q.buckets[b]
+		all = append(all, bk.evs[bk.head:]...)
+	}
+	q.width = q.estimateWidth(all)
+	q.buckets = make([]calBucket, newNB)
+	q.size = 0
+	for _, e := range all {
+		q.Push(e) // cannot re-trigger resize: len(all) <= 2*newNB on both paths
+	}
+}
+
+// estimateWidth picks a slot width ~3× the mean gap between sampled event
+// times, so one slot holds a handful of events. Clumped or identical
+// timestamps keep the previous width.
+func (q *calQueue) estimateWidth(all []*event) float64 {
+	if len(all) < 2 {
+		return q.width
+	}
+	stride := len(all)/calSample + 1
+	sample := make([]float64, 0, calSample+1)
+	for i := 0; i < len(all); i += stride {
+		sample = append(sample, all[i].at)
+	}
+	sort.Float64s(sample)
+	var gaps float64
+	var n int
+	for i := 1; i < len(sample); i++ {
+		if g := sample[i] - sample[i-1]; g > 0 {
+			gaps += g
+			n++
+		}
+	}
+	if n == 0 {
+		return q.width
+	}
+	w := 3 * gaps / float64(n)
+	if w < calMinWidth || math.IsNaN(w) || math.IsInf(w, 0) {
+		return q.width
+	}
+	return w
+}

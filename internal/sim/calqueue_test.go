@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the binary heap the calendar queue replaced, kept here as the
+// ordering oracle for the event-for-event equivalence stress test.
+type refHeap []*event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// TestCalQueueMatchesHeapEventForEvent drives a calendar queue and the
+// reference heap through the same seeded schedule — bursts of simultaneous
+// events, long-tail timers, interleaved pushes and pops through many
+// resize cycles — and asserts the two structures agree on every single
+// dequeue.
+func TestCalQueueMatchesHeapEventForEvent(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	q := newCalQueue()
+	var h refHeap
+	var seq uint64
+	now := 0.0
+	mk := func(at float64) *event {
+		e := &event{at: at, seq: seq}
+		seq++
+		return e
+	}
+	push := func(at float64) {
+		e := mk(at)
+		q.Push(e)
+		heap.Push(&h, &event{at: e.at, seq: e.seq})
+	}
+	pops := 0
+	for step := 0; step < 200000; step++ {
+		switch {
+		case h.Len() == 0 || rng.Float64() < 0.55:
+			at := now
+			switch rng.Intn(5) {
+			case 0: // simultaneous with the clock (tie-break pressure)
+			case 1:
+				at += rng.Float64() * 1e-6 // microsecond jitter
+			case 2:
+				at += rng.Float64() // mid-range
+			case 3:
+				at += rng.Float64() * 1e4 // long-tail timer
+			case 4:
+				at += float64(rng.Intn(8)) * 0.125 // exact slot-boundary values
+			}
+			push(at)
+		default:
+			want := heap.Pop(&h).(*event)
+			got := q.Pop()
+			if got == nil || got.at != want.at || got.seq != want.seq {
+				t.Fatalf("pop %d: calendar gave (at=%v seq=%d), heap gave (at=%v seq=%d)",
+					pops, got.at, got.seq, want.at, want.seq)
+			}
+			if got.at < now {
+				t.Fatalf("pop %d: time went backwards: %v < %v", pops, got.at, now)
+			}
+			now = got.at
+			pops++
+		}
+	}
+	for h.Len() > 0 {
+		want := heap.Pop(&h).(*event)
+		got := q.Pop()
+		if got == nil || got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain pop %d: calendar gave (at=%v seq=%d), heap gave (at=%v seq=%d)",
+				pops, got.at, got.seq, want.at, want.seq)
+		}
+		pops++
+	}
+	if q.Len() != 0 || q.Pop() != nil {
+		t.Fatalf("calendar queue not drained: %d left", q.Len())
+	}
+}
+
+// TestCalQueueSparseFallback pins the fallback path: events far beyond the
+// scan window (many empty slots ahead) still come out in order.
+func TestCalQueueSparseFallback(t *testing.T) {
+	q := newCalQueue()
+	ats := []float64{1e9, 3, 7e6, 42, 1e9, 0.5}
+	for i, at := range ats {
+		q.Push(&event{at: at, seq: uint64(i)})
+	}
+	want := []struct {
+		at  float64
+		seq uint64
+	}{{0.5, 5}, {3, 1}, {42, 3}, {7e6, 2}, {1e9, 0}, {1e9, 4}}
+	for i, w := range want {
+		e := q.Pop()
+		if e.at != w.at || e.seq != w.seq {
+			t.Fatalf("pop %d = (at=%v seq=%d), want (at=%v seq=%d)", i, e.at, e.seq, w.at, w.seq)
+		}
+	}
+}
+
+// TestCalQueueResizeCycles forces growth past several doublings and a full
+// drain back through the shrink path.
+func TestCalQueueResizeCycles(t *testing.T) {
+	q := newCalQueue()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		q.Push(&event{at: float64(i%997) * 0.001, seq: uint64(i)})
+	}
+	if len(q.buckets) <= calMinBuckets {
+		t.Fatalf("queue never grew: %d buckets for %d events", len(q.buckets), n)
+	}
+	var prevAt float64
+	var prevSeq uint64
+	for i := 0; i < n; i++ {
+		e := q.Pop()
+		if e == nil {
+			t.Fatalf("pop %d: empty with %d remaining", i, n-i)
+		}
+		if i > 0 && (e.at < prevAt || (e.at == prevAt && e.seq < prevSeq)) {
+			t.Fatalf("pop %d out of order: (%v,%d) after (%v,%d)", i, e.at, e.seq, prevAt, prevSeq)
+		}
+		prevAt, prevSeq = e.at, e.seq
+	}
+	if len(q.buckets) > calMinBuckets {
+		t.Fatalf("queue never shrank: %d buckets after drain", len(q.buckets))
+	}
+}
+
+// TestFreelistCappedAfterSpike is the freelist-cap satellite: a burst of
+// events far beyond maxFreeEvents must not stay pinned on the freelist
+// after it drains.
+func TestFreelistCappedAfterSpike(t *testing.T) {
+	k := NewKernel()
+	const spike = 5 * maxFreeEvents
+	fired := 0
+	for i := 0; i < spike; i++ {
+		k.After(float64(i)*1e-3, func() { fired++ })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != spike {
+		t.Fatalf("fired %d of %d events", fired, spike)
+	}
+	if len(k.free) > maxFreeEvents {
+		t.Fatalf("freelist holds %d events after the spike, cap is %d", len(k.free), maxFreeEvents)
+	}
+	if cap(k.free) > 2*maxFreeEvents {
+		t.Fatalf("freelist capacity %d grew past the cap", cap(k.free))
+	}
+}

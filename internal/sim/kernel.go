@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -24,7 +23,7 @@ import (
 type Kernel struct {
 	now    float64
 	seq    uint64
-	events eventHeap
+	events *calQueue
 	free   []*event // recycled events; see newEvent/recycle
 
 	current *Proc
@@ -56,44 +55,16 @@ type event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 when popped
+	index    int // calendar bucket index, -1 when popped
 	gen      uint32
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
 }
 
 // NewKernel returns a kernel with the clock at zero and no events.
 func NewKernel() *Kernel {
 	return &Kernel{
-		yield: make(chan yieldMsg),
-		live:  make(map[*Proc]struct{}),
+		events: newCalQueue(),
+		yield:  make(chan yieldMsg),
+		live:   make(map[*Proc]struct{}),
 	}
 }
 
@@ -140,11 +111,21 @@ func (k *Kernel) newEvent(at float64, fn func()) *event {
 	return e
 }
 
+// maxFreeEvents caps the event freelist. An uncapped freelist would pin
+// the memory of the largest burst a run ever saw (millions of in-flight
+// events at extreme scale) for the kernel's whole lifetime; beyond the cap,
+// recycled events are dropped for the garbage collector to reclaim.
+const maxFreeEvents = 4096
+
 // recycle returns a popped event to the freelist, bumping its generation
-// so outstanding Timer handles go stale.
+// so outstanding Timer handles go stale. Past the freelist cap the event
+// is released to the collector instead.
 func (k *Kernel) recycle(e *event) {
 	e.gen++
 	e.fn = nil
+	if len(k.free) >= maxFreeEvents {
+		return
+	}
 	k.free = append(k.free, e)
 }
 
@@ -155,7 +136,7 @@ func (k *Kernel) At(at float64, fn func()) *Timer {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", at, k.now))
 	}
 	e := k.newEvent(at, fn)
-	heap.Push(&k.events, e)
+	k.events.Push(e)
 	return &Timer{ev: e, gen: e.gen, when: at}
 }
 
@@ -188,7 +169,7 @@ func (k *Kernel) Run() error {
 	}
 	k.running = true
 	for k.events.Len() > 0 {
-		e := heap.Pop(&k.events).(*event)
+		e := k.events.Pop()
 		if e.canceled {
 			k.recycle(e)
 			continue
