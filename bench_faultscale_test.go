@@ -1,0 +1,183 @@
+package repro
+
+// The resilience-at-scale regression harness: BenchmarkFaultScale runs
+// wave-addressed crash and drop cells against the recovery ladder at up
+// to 10k ranks under a per-rank memory ceiling, plus a -j determinism
+// chaos campaign on the scale configurations, and writes
+// BENCH_faultscale.json — survival, maximum recovery rung, peak
+// live+retained footprint, and rung-0 retransmission volume — validated
+// by `tracetool validate-bench` and archived by CI.
+// REPRO_BENCH_FAULTSCALE_OUT overrides the output path (default
+// BENCH_faultscale.json); REPRO_BENCH_FAULTSCALE_SMOKE=1 shrinks the spec
+// to a seconds-long smoke shape (race CI).
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func benchFaultScaleOut() string {
+	if s := os.Getenv("REPRO_BENCH_FAULTSCALE_OUT"); s != "" {
+		return s
+	}
+	return "BENCH_faultscale.json"
+}
+
+func benchFaultScaleSpec() harness.BenchFaultScaleSpec {
+	spec := harness.DefaultBenchFaultScaleSpec()
+	if os.Getenv("REPRO_BENCH_FAULTSCALE_SMOKE") == "1" {
+		spec.Ranks = []int{500, 1000}
+		spec.ChaosRanks = 200
+	}
+	return spec
+}
+
+// BenchmarkFaultScale emits BENCH_faultscale.json. Like the other bench
+// records it is a benchmark only to ride the `go test -bench` entry point
+// CI already runs; the regression signal is the archived artifact.
+func BenchmarkFaultScale(b *testing.B) {
+	spec := benchFaultScaleSpec()
+	for i := 0; i < b.N; i++ {
+		bf, err := harness.BuildBenchFaultScale(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && printOnce(b.Name()) {
+			var buf bytes.Buffer
+			if err := bf.WriteJSON(&buf); err != nil {
+				b.Fatal(err)
+			}
+			// Validate before writing: CI must never archive a malformed record.
+			if _, err := harness.ValidateBenchFaultScale(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			out := benchFaultScaleOut()
+			if err := os.WriteFile(out, buf.Bytes(), 0o644); err != nil {
+				b.Fatal(err)
+			}
+			top := bf.Cells[len(bf.Cells)-1]
+			b.Logf("wrote %s (%d cells to %d ranks, last: %s %s rung %d, live+retained %d B under %d B ceiling, identical=%v)",
+				out, len(bf.Cells), top.Ranks, top.Config, top.Fault, top.MaxRung,
+				top.PeakLiveBytes+top.PeakRetainedBytes, bf.MemCeiling, bf.Identical)
+		}
+	}
+}
+
+// TestBenchFaultScaleRecord builds a small-spec record twice and checks
+// that the freshly built record passes its own validator and that every
+// simulation-derived (wall-clock-free) field is reproducible across
+// builds.
+func TestBenchFaultScaleRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-rank resilient simulations in -short mode")
+	}
+	spec := harness.DefaultBenchFaultScaleSpec()
+	spec.Ranks = []int{200, 400}
+	spec.ChaosRanks = 100
+	spec.Workers = 4
+
+	build := func() harness.BenchFaultScale {
+		t.Helper()
+		bf, err := harness.BuildBenchFaultScale(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := bf.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := harness.ValidateBenchFaultScale(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("freshly built record fails validation: %v", err)
+		}
+		return bf
+	}
+	a, b := build(), build()
+
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		ca.WallSeconds, cb.WallSeconds = 0, 0
+		if ca != cb {
+			t.Errorf("cell %d: simulation-derived fields differ:\n%+v\nvs\n%+v", i, ca, cb)
+		}
+	}
+	if !a.Identical || !b.Identical {
+		t.Errorf("chaos determinism campaign not identical: %v, %v", a.Identical, b.Identical)
+	}
+}
+
+// TestBenchFaultScaleValidatorRejects feeds ValidateBenchFaultScale
+// malformed records and requires a rejection for each.
+func TestBenchFaultScaleValidatorRejects(t *testing.T) {
+	good := harness.BenchFaultScale{
+		Schema:     harness.BenchFaultScaleSchema,
+		Net:        "ethernet",
+		MemCeiling: 16384,
+		Cells: []harness.FaultScaleCell{
+			{
+				Ranks: 1000, NT: 500, Config: "merge p2p sync",
+				ElemsPerRank: 8192, Fault: harness.FaultCrashWave,
+				Wave: 2, VictimGID: 999, Survived: true, MaxRung: 2,
+				WallSeconds: 0.5, PeakLiveBytes: 40000, PeakRetainedBytes: 16384,
+			},
+			{
+				Ranks: 1000, NT: 500, Config: "merge p2p sync",
+				ElemsPerRank: 8192, Fault: harness.FaultDropWave,
+				Wave: 2, VictimGID: -1, Survived: true, MaxRung: 0,
+				WallSeconds: 0.5, PeakLiveBytes: 40000, PeakRetainedBytes: 16384,
+				RetransmittedBytes: 16384, WaveVolumeBytes: 16384000,
+			},
+		},
+		ChaosRanks: 400, ChaosPlans: 2, Workers: 8, Identical: true,
+	}
+	cases := map[string]func(*harness.BenchFaultScale){
+		"bad schema":         func(bf *harness.BenchFaultScale) { bf.Schema = "repro/bench-faultscale/v0" },
+		"no cells":           func(bf *harness.BenchFaultScale) { bf.Cells = nil },
+		"zero ceiling":       func(bf *harness.BenchFaultScale) { bf.MemCeiling = 0 },
+		"cell died":          func(bf *harness.BenchFaultScale) { bf.Cells[0].Survived = false },
+		"rung beyond replan": func(bf *harness.BenchFaultScale) { bf.Cells[0].MaxRung = 3 },
+		// A two-sided crash cell that never climbed the ladder did not
+		// actually exercise recovery (only one-sided passes may ride
+		// through on their exposure snapshots).
+		"two-sided crash without recovery": func(bf *harness.BenchFaultScale) { bf.Cells[0].MaxRung = -1 },
+		"footprint blown": func(bf *harness.BenchFaultScale) {
+			bf.Cells[0].PeakLiveBytes = 4 * bf.MemCeiling
+		},
+		"retained over ceiling": func(bf *harness.BenchFaultScale) {
+			bf.Cells[0].PeakRetainedBytes = bf.MemCeiling + 1
+		},
+		"drop escalated":        func(bf *harness.BenchFaultScale) { bf.Cells[1].MaxRung = 2 },
+		"nothing retransmitted": func(bf *harness.BenchFaultScale) { bf.Cells[1].RetransmittedBytes = 0 },
+		"retransmitted a full wave": func(bf *harness.BenchFaultScale) {
+			bf.Cells[1].RetransmittedBytes = bf.Cells[1].WaveVolumeBytes
+		},
+		"unknown fault":   func(bf *harness.BenchFaultScale) { bf.Cells[0].Fault = "bitflip" },
+		"not identical":   func(bf *harness.BenchFaultScale) { bf.Identical = false },
+		"sequential only": func(bf *harness.BenchFaultScale) { bf.Workers = 1 },
+	}
+	// The unmutated baseline must pass, or the rejection cases prove nothing.
+	var buf bytes.Buffer
+	if err := good.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := harness.ValidateBenchFaultScale(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("baseline record rejected: %v", err)
+	}
+	for name, mutate := range cases {
+		bf := good
+		bf.Cells = append([]harness.FaultScaleCell(nil), good.Cells...)
+		mutate(&bf)
+		buf.Reset()
+		if err := bf.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := harness.ValidateBenchFaultScale(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Errorf("%s: validator accepted the malformed record", name)
+		}
+	}
+}

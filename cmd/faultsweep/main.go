@@ -27,6 +27,14 @@
 //	faultsweep -plan plan.json
 //
 // which exits 0 when the run fails as recorded and 1 when it survives.
+//
+// The extreme-scale axes mirror cmd/redistsweep: -ranks replaces -ns/-nt
+// with 2:1 shrink cells over the built-in scale app (one campaign per
+// listed source count), and -mem-ceiling caps each rank's in-flight
+// redistribution bytes, switching the resilient P2P and RMA passes onto
+// the wave schedule:
+//
+//	faultsweep -ranks 1000,10000 -family scale -mem-ceiling 16384 -chaos
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -48,11 +57,14 @@ func main() {
 	netName := flag.String("net", "ethernet", "interconnect: ethernet or infiniband")
 	reps := flag.Int("reps", 3, "repetitions per configuration (distinct seeds)")
 	workers := flag.Int("j", harness.DefaultWorkers(), "worker count: cells simulated concurrently (1: sequential; output is identical at any -j)")
-	family := flag.String("family", "all", `config family: "all" (18 configs), "sync" (S only), or "rma" (one-sided only)`)
+	family := flag.String("family", "all", `config family: "all" (18 configs), "sync" (S only), "rma" (one-sided only), or "scale" (ceiling-capable Merge P2P/RMA)`)
 	timeout := flag.Float64("timeout", 0, "resilient epoch deadline in seconds (0: runtime default)")
 	detect := flag.Float64("detect-latency", 0, "failure-detector latency in seconds (0: default)")
 	crashFrac := flag.Float64("crash-frac", 0.5, "crash position inside the redistribution window (0..1)")
 	configPath := flag.String("config", "", "synthetic application configuration (JSON); default: built-in CG emulation")
+	ranksList := flag.String("ranks", "", "extreme-scale axis: comma-separated source counts, each a 2:1 shrink over the built-in scale app (overrides -ns/-nt and -config)")
+	elemsPerRank := flag.Int64("elems-per-rank", 8192, "scale-app dense elements per source rank (with -ranks)")
+	memCeiling := flag.Int64("mem-ceiling", 0, "per-rank in-flight redistribution byte ceiling (0: the paper's one-shot schedule)")
 	chaos := flag.Bool("chaos", false, "chaos mode: seeded randomized fault plans instead of the fixed crash")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos campaign master seed")
 	chaosPlans := flag.Int("chaos-plans", 4, "chaos plans per configuration")
@@ -69,17 +81,38 @@ func main() {
 	setup := harness.DefaultSetup(net)
 	setup.Reps = *reps
 	setup.Workers = *workers
-	if *configPath != "" {
+	scale := *ranksList != ""
+	if *configPath != "" && !scale {
 		app, err := synthapp.LoadConfig(*configPath)
 		if err != nil {
 			fail(err)
 		}
 		setup.Cfg = app
 	}
+	pairs := []harness.Pair{{NS: *ns, NT: *nt}}
+	if scale {
+		if pairs, err = scalePairs(*ranksList); err != nil {
+			fail(err)
+		}
+	}
+	// scaleApp swaps in the per-pair scale application when -ranks is set:
+	// the dense item's size follows the source count, so every listed rank
+	// count redistributes the same volume per rank.
+	scaleApp := func(s harness.Setup, p harness.Pair) harness.Setup {
+		if scale {
+			s.Cfg = synthapp.ScaleConfig(p.NS, *elemsPerRank)
+		}
+		return s
+	}
 
 	configs, err := harness.FaultConfigs(*family)
 	if err != nil {
 		fail(err)
+	}
+	if *memCeiling > 0 {
+		for i := range configs {
+			configs[i].MemCeiling = *memCeiling
+		}
 	}
 
 	fp := harness.FaultParams{
@@ -89,6 +122,15 @@ func main() {
 	}
 
 	if *planPath != "" {
+		if scale {
+			// A plan recorded on a scale campaign replays against the same
+			// per-pair app its NS names.
+			pf, err := fault.LoadPlanFile(*planPath)
+			if err != nil {
+				fail(err)
+			}
+			setup.Cfg = synthapp.ScaleConfig(pf.NS, *elemsPerRank)
+		}
 		replayPlan(setup, configs, fp, *planPath)
 		return
 	}
@@ -104,43 +146,69 @@ func main() {
 	}()
 
 	if *chaos {
-		rep := harness.NewProgress(os.Stdout, len(configs)**chaosPlans)
+		rep := harness.NewProgress(os.Stdout, len(pairs)*len(configs)**chaosPlans)
 		finishObs := attachMeter(&setup, of, rep)
-		runChaos(setup, harness.Pair{NS: *ns, NT: *nt}, configs, harness.ChaosParams{
-			Seed: *chaosSeed, Plans: *chaosPlans, MaxFaults: *chaosFaults,
-			FaultParams: fp,
-		}, *chaosOut, rep, finishObs)
+		failed := 0
+		for _, p := range pairs {
+			failed += runChaos(scaleApp(setup, p), p, configs, harness.ChaosParams{
+				Seed: *chaosSeed, Plans: *chaosPlans, MaxFaults: *chaosFaults,
+				FaultParams: fp,
+			}, *chaosOut, rep)
+		}
+		if err := finishObs(); err != nil {
+			fail(err)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
 		return
 	}
-
-	fmt.Printf("# fault campaign on %s: %d -> %d processes, app %q, %d rep(s), crash at %.0f%% of the redistribution window\n",
-		net.Name, *ns, *nt, setup.Cfg.Name, *reps, 100**crashFrac)
 
 	// One Step per per-config summary line with [done/total eta]; DIED
 	// lines are out-of-band notes. Completion callbacks arrive serialized
 	// in campaign order whatever -j is.
-	rep := harness.NewProgress(os.Stdout, len(configs))
+	rep := harness.NewProgress(os.Stdout, len(pairs)*len(configs))
 	finishObs := attachMeter(&setup, of, rep)
-	rows, err := setup.RunFaultCampaign(harness.Pair{NS: *ns, NT: *nt}, configs, fp,
-		func(line string) {
-			if strings.Contains(line, " DIED: ") {
-				rep.Note("  " + line)
-			} else {
-				rep.Step(line)
-			}
-		})
-	if err != nil {
-		fail(err)
+	for _, p := range pairs {
+		s := scaleApp(setup, p)
+		fmt.Printf("# fault campaign on %s: %d -> %d processes, app %q, %d rep(s), crash at %.0f%% of the redistribution window\n",
+			net.Name, p.NS, p.NT, s.Cfg.Name, *reps, 100**crashFrac)
+
+		rows, err := s.RunFaultCampaign(p, configs, fp,
+			func(line string) {
+				if strings.Contains(line, " DIED: ") {
+					rep.Note("  " + line)
+				} else {
+					rep.Step(line)
+				}
+			})
+		if err != nil {
+			fail(err)
+		}
+
+		fmt.Printf("\n%-18s %10s %12s %14s\n", "config", "survival", "overhead(s)", "recovery(s)")
+		for _, row := range rows {
+			fmt.Printf("%-18s %7d/%-2d %12.4f %14.4f\n",
+				row.Config.String(), row.Survived, row.Runs, row.Overhead, row.RecoveryPath)
+		}
 	}
 	if err := finishObs(); err != nil {
 		fail(err)
 	}
+}
 
-	fmt.Printf("\n%-18s %10s %12s %14s\n", "config", "survival", "overhead(s)", "recovery(s)")
-	for _, row := range rows {
-		fmt.Printf("%-18s %7d/%-2d %12.4f %14.4f\n",
-			row.Config.String(), row.Survived, row.Runs, row.Overhead, row.RecoveryPath)
+// scalePairs parses the -ranks axis: each listed source count becomes one
+// 2:1 shrink campaign, the geometry the extreme-scale benchmarks measure.
+func scalePairs(list string) ([]harness.Pair, error) {
+	var pairs []harness.Pair
+	for _, s := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad -ranks entry %q (want integers >= 2)", s)
+		}
+		pairs = append(pairs, harness.Pair{NS: n, NT: n / 2})
 	}
+	return pairs, nil
 }
 
 // attachMeter wires -obs-out telemetry into the setup: live emission
@@ -166,19 +234,16 @@ func attachMeter(setup *harness.Setup, of *harness.ObsFlags, rep *harness.Progre
 	}
 }
 
-// runChaos executes the chaos campaign, writes minimal reproducers for
-// failing plans into outDir (when set), and exits nonzero if any plan
+// runChaos executes one pair's chaos campaign, writes minimal reproducers
+// for failing plans into outDir (when set), and returns how many plans
 // failed.
 func runChaos(setup harness.Setup, p harness.Pair, configs []core.Config,
-	cp harness.ChaosParams, outDir string, rep *harness.Progress, finishObs func() error) {
+	cp harness.ChaosParams, outDir string, rep *harness.Progress) int {
 
 	fmt.Printf("# chaos campaign: %d -> %d processes, %d configs x %d plans, seed %d, <= %d faults/plan\n",
 		p.NS, p.NT, len(configs), cp.Plans, cp.Seed, cp.MaxFaults)
 	outcomes, err := setup.RunChaosCampaign(p, configs, cp, rep.Step)
 	if err != nil {
-		fail(err)
-	}
-	if err := finishObs(); err != nil {
 		fail(err)
 	}
 	failed := 0
@@ -208,9 +273,7 @@ func runChaos(setup harness.Setup, p harness.Pair, configs []core.Config,
 			path, len(o.MinimalPlan.Actions), len(o.Plan.Actions))
 	}
 	fmt.Printf("\nchaos: %d/%d plans survived\n", len(outcomes)-failed, len(outcomes))
-	if failed > 0 {
-		os.Exit(1)
-	}
+	return failed
 }
 
 // replayPlan re-runs an emitted plan file. Exit 0: the failure reproduces

@@ -7,7 +7,7 @@
 //	tracetool diff [-json] cola.events.json cols.events.json
 //	tracetool top [-n 20] run.events.json
 //	tracetool report [-o report.html] run.events.json|camp.snapshot.json
-//	tracetool validate-bench BENCH_trace.json|BENCH_sweep.json|BENCH_obs.json|BENCH_scale.json
+//	tracetool validate-bench BENCH_trace.json|BENCH_sweep.json|BENCH_obs.json|BENCH_scale.json|BENCH_faultscale.json
 //
 // Inputs are auto-detected: the raw event log (<prefix>.events.json), a
 // bare JSON array of events, the Chrome trace export (<prefix>.json), or —
@@ -59,7 +59,8 @@ func usage() {
   tracetool report [-o out.html] [-title T] <in>  self-contained HTML report (histograms, per-rank
                                                   utilization, fault/rung breakdown) from an event
                                                   log or an -obs-out snapshot
-  tracetool validate-bench <BENCH_*.json>         check a benchmark regression record (trace, sweep, obs, or scale)
+  tracetool validate-bench <BENCH_*.json>         check a benchmark regression record (trace, sweep,
+                                                  obs, scale, or faultscale)
 
 <events-file> is a -trace output of malleasim or redistsweep: the raw
 event log (<prefix>.events.json) or the Chrome trace (<prefix>.json).
@@ -233,6 +234,14 @@ func cmdValidateBench(args []string) {
 		top := bsc.Cells[len(bsc.Cells)-1]
 		fmt.Printf("%s: ok (schema %s, %d simulated + %d planned ranks under %d B ceiling, metadata ratio %.0fx, -j identical)\n",
 			fs.Arg(0), bsc.Schema, top.Ranks, bsc.Planner.NS, bsc.MemCeiling, bsc.Planner.MetadataRatio)
+	case harness.BenchFaultScaleSchema:
+		bfs, err := harness.ValidateBenchFaultScale(bytes.NewReader(raw))
+		if err != nil {
+			fail(err)
+		}
+		top := bfs.Cells[len(bfs.Cells)-1]
+		fmt.Printf("%s: ok (schema %s, %d cells to %d ranks under %d B ceiling, all survived at rung <= 2, -j identical)\n",
+			fs.Arg(0), bfs.Schema, len(bfs.Cells), top.Ranks, bfs.MemCeiling)
 	default:
 		bt, err := harness.ValidateBenchTrace(bytes.NewReader(raw))
 		if err != nil {

@@ -103,10 +103,23 @@ type Config struct {
 	// MemCeiling caps the per-rank redistribution transfer footprint in
 	// bytes: the P2P and RMA passes issue their chunks in waves whose
 	// in-flight payload bytes stay within the ceiling, segmenting chunks
-	// larger than it (see waves.go). Zero means unlimited — the paper's
-	// one-shot schedule, byte-identical to prior behavior. COL and CR
-	// ignore the ceiling, as do resilient passes.
+	// larger than it (see waves.go). Resilient passes run the same wave
+	// schedule — the recovery ladder keys its ack ledger on the segmented
+	// spans, bounds retained staging copies by the ceiling, and paces
+	// recovery-round traffic in the same waves. Zero means unlimited — the
+	// paper's one-shot schedule, byte-identical to prior behavior.
+	// Negative values are rejected by Validate. COL and CR ignore the
+	// ceiling.
 	MemCeiling int64
+}
+
+// Validate rejects impossible configurations; StartReconfig panics on a
+// non-nil error so mistakes surface at the call site.
+func (c Config) Validate() error {
+	if c.MemCeiling < 0 {
+		return fmt.Errorf("core: negative MemCeiling %d (want 0 for unlimited, or a positive byte bound)", c.MemCeiling)
+	}
+	return nil
 }
 
 // String renders the paper's naming, e.g. "Merge COLA" or "Baseline P2PS".

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/mpi"
 	"repro/internal/trace"
 )
@@ -9,10 +11,11 @@ import (
 // resilient pass escalates only as far as the fault demands:
 //
 //	rung 0  selective retransmission: a timed-out epoch resends only the
-//	        chunks no target acknowledged, from retained in-memory copies.
+//	        chunk spans no target acknowledged, from retained in-memory
+//	        copies.
 //	rung 1  adaptive deadlines: RTT-driven epoch extensions with bounded
 //	        exponential backoff (per-rank, transient; see resilientDrive).
-//	rung 2  partial re-plan over survivors: only chunks whose source copy
+//	rung 2  partial re-plan over survivors: only spans whose source copy
 //	        died reroute; everything acked stays put.
 //	rung 3  checkpoint restore: the selective path itself is compromised,
 //	        every chunk re-reads from the protect files.
@@ -31,21 +34,33 @@ const (
 	rungUnrecoverable = 4
 )
 
-// chunkKey names one planned chunk of a pass: the item's position in the
-// pass item slice plus the plan's (source rank, target rank, lo) triple.
-// Both sides enumerate the same deterministic plan, so the key needs no
-// per-pair sequence number.
+// chunkKey names one planned span of a pass: the item's position in the
+// pass item slice, the plan's (source rank, target rank) pair, and the
+// element range [lo, hi) after memory-ceiling segmentation. Both sides
+// derive the same deterministic segmentation from the shared
+// segmentSpans/waveCuts functions, so the key needs no metadata exchange
+// and no per-pair sequence number.
 type chunkKey struct {
 	item     int
 	src, dst int
-	lo       int64
+	lo, hi   int64
 }
 
-// chunkState is the shared delivery state of one chunk.
+// chunkID names a key's (item, source, target) coordinate without the
+// element range — the axis the acked-span intervals merge along.
+type chunkID struct {
+	item     int
+	src, dst int
+}
+
+func (k chunkKey) id() chunkID { return chunkID{item: k.item, src: k.src, dst: k.dst} }
+
+// chunkState is the shared in-flight state of one unacked span.
 type chunkState struct {
-	// acked is set when the target installed the chunk (any path: normal
-	// tag, recovery tag, local copy, or checkpoint read).
-	acked bool
+	// sent is set when the span's payload entered the wire (a wave issue, a
+	// one-shot Isend, or an RMA Get). Recovery uses it to tell a genuine
+	// retransmission from the first transmission of a never-issued wave.
+	sent bool
 	// retained is the source's staged extraction, kept so a later selective
 	// round can resend without touching the (possibly re-Prepared) item.
 	// Extracted slices stay valid because Prepare allocates fresh storage.
@@ -53,16 +68,49 @@ type chunkState struct {
 	hasRetained bool
 }
 
-// ackTracker is the pass-wide chunk acknowledgement map, shared by all
+// ackTracker is the pass-wide span acknowledgement ledger, shared by all
 // ranks of one resilient pass through its epochState. Like the rest of the
 // epoch coordination block it is only ever touched under the owning
 // world's single-threaded kernel.
+//
+// The ledger is memory-bounded by construction: only unacked spans hold a
+// chunkState, an ack reaps the entry immediately, and delivered spans
+// collapse into sorted merged [lo, hi) intervals per (item, src, dst) —
+// a fully delivered chunk costs one interval no matter how many ceiling
+// segments it travelled as. Retained staging copies respect a per-source
+// byte budget (the memory ceiling): beyond it the copy is dropped and a
+// recovery round re-extracts or falls back to the protect checkpoint.
 type ackTracker struct {
 	chunks map[chunkKey]*chunkState
+	done   map[chunkID][]span
+
+	// retainBudget caps one source rank's live retained bytes (0:
+	// unlimited); retained tracks the live bytes per source rank and
+	// peakRetained their high-water mark across sources.
+	retainBudget int64
+	retained     map[int]int64
+	peakRetained int64
+
+	// resentBytes sums recovery-round payload bytes whose span had already
+	// been transmitted once — the ladder's true retransmission volume,
+	// excluding first sends of waves an aborted attempt never issued.
+	resentBytes int64
 }
 
 func newAckTracker() *ackTracker {
-	return &ackTracker{chunks: map[chunkKey]*chunkState{}}
+	return &ackTracker{
+		chunks:   map[chunkKey]*chunkState{},
+		done:     map[chunkID][]span{},
+		retained: map[int]int64{},
+	}
+}
+
+// setRetainBudget installs the per-source retention ceiling (idempotent;
+// the pass's Config.MemCeiling).
+func (a *ackTracker) setRetainBudget(b int64) {
+	if b > 0 {
+		a.retainBudget = b
+	}
 }
 
 func (a *ackTracker) state(k chunkKey) *chunkState {
@@ -74,27 +122,93 @@ func (a *ackTracker) state(k chunkKey) *chunkState {
 	return st
 }
 
-// retain keeps the source's staged payload for possible retransmission.
+// retain keeps the source's staged payload for possible retransmission,
+// unless the span is already delivered or the source's retention budget is
+// exhausted (drop-and-re-extract: recovery re-extracts a pristine block or
+// reads the protect checkpoint instead).
 func (a *ackTracker) retain(k chunkKey, pl mpi.Payload) {
+	if a.acked(k) {
+		return
+	}
 	st := a.state(k)
-	if !st.hasRetained {
-		st.retained = pl
-		st.hasRetained = true
+	if st.hasRetained {
+		return
+	}
+	if a.retainBudget > 0 && a.retained[k.src]+pl.Size > a.retainBudget {
+		return
+	}
+	st.retained = pl
+	st.hasRetained = true
+	a.retained[k.src] += pl.Size
+	if a.retained[k.src] > a.peakRetained {
+		a.peakRetained = a.retained[k.src]
 	}
 }
 
-// ack marks the chunk delivered and drops the retained copy (it can never
-// be resent again, so the bytes need not be held).
-func (a *ackTracker) ack(k chunkKey) {
-	st := a.state(k)
-	st.acked = true
-	st.retained = mpi.Payload{}
-	st.hasRetained = false
+// markSent notes that the span's payload entered the wire.
+func (a *ackTracker) markSent(k chunkKey) {
+	if a.acked(k) {
+		return
+	}
+	a.state(k).sent = true
 }
 
-func (a *ackTracker) acked(k chunkKey) bool {
+// wasSent reports whether the span was ever transmitted (still-live spans
+// only; acked spans are never resent, so the question does not arise).
+func (a *ackTracker) wasSent(k chunkKey) bool {
 	st := a.chunks[k]
-	return st != nil && st.acked
+	return st != nil && st.sent
+}
+
+// noteResend accounts one recovery-round transmission: only spans that
+// already travelled once count toward the retransmission volume.
+func (a *ackTracker) noteResend(k chunkKey, bytes int64) {
+	if a.wasSent(k) {
+		a.resentBytes += bytes
+	}
+}
+
+// ack marks the span delivered: its live entry (and retained copy) is
+// reaped immediately and the element range merges into the per-chunk
+// delivered intervals. Idempotent.
+func (a *ackTracker) ack(k chunkKey) {
+	if st := a.chunks[k]; st != nil {
+		if st.hasRetained {
+			a.retained[k.src] -= st.retained.Size
+		}
+		delete(a.chunks, k)
+	}
+	a.mergeDone(k.id(), span{k.lo, k.hi})
+}
+
+// mergeDone inserts [s.lo, s.hi) into the chunk's sorted interval set,
+// coalescing overlapping and adjacent ranges so contiguous delivery
+// collapses to a single interval.
+func (a *ackTracker) mergeDone(id chunkID, s span) {
+	spans := a.done[id]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].hi >= s.lo })
+	j := i
+	for j < len(spans) && spans[j].lo <= s.hi {
+		if spans[j].lo < s.lo {
+			s.lo = spans[j].lo
+		}
+		if spans[j].hi > s.hi {
+			s.hi = spans[j].hi
+		}
+		j++
+	}
+	out := append(spans[:i:i], s)
+	out = append(out, spans[j:]...)
+	a.done[id] = out
+}
+
+// acked reports whether the span's whole element range has been delivered
+// (under any segmentation: containment is checked against the merged
+// intervals, so a recovery round segmented differently still agrees).
+func (a *ackTracker) acked(k chunkKey) bool {
+	spans := a.done[k.id()]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].hi > k.lo })
+	return i < len(spans) && spans[i].lo <= k.lo && k.hi <= spans[i].hi
 }
 
 // retainedCopy returns the source's staged payload, if one is held.
@@ -106,8 +220,12 @@ func (a *ackTracker) retainedCopy(k chunkKey) (mpi.Payload, bool) {
 	return st.retained, true
 }
 
+// liveSpans reports how many unacked spans still hold ledger state — the
+// bounded-memory invariant the reap tests assert.
+func (a *ackTracker) liveSpans() int { return len(a.chunks) }
+
 // ladderHooks threads the ladder's bookkeeping into a transfer: the shared
-// ack map, the rank-local Prepare ledger (so a selective round never
+// ack ledger, the rank-local Prepare ledger (so a selective round never
 // re-Prepares — and thereby wipes — an item holding installed chunks), the
 // RTT estimator, and the progress counter the adaptive deadline watches.
 // All methods tolerate a nil receiver, which is the non-resilient path.
@@ -126,7 +244,15 @@ func (h *ladderHooks) retain(k chunkKey, pl mpi.Payload) {
 	h.acks.retain(k, pl)
 }
 
-// ack marks a chunk installed and counts it as epoch progress.
+// markSent records that a span's payload entered the wire.
+func (h *ladderHooks) markSent(k chunkKey) {
+	if h == nil {
+		return
+	}
+	h.acks.markSent(k)
+}
+
+// ack marks a span installed and counts it as epoch progress.
 func (h *ladderHooks) ack(k chunkKey) {
 	if h == nil {
 		return
@@ -178,6 +304,13 @@ type ackAware interface {
 // resent by the next recovery round.
 type reaper interface {
 	reap(c *mpi.Ctx)
+}
+
+// livePeaker is implemented by transfers that track a live-byte high-water
+// mark; the resilient pass folds an aborted attempt's peak into the
+// footprint it reports.
+type livePeaker interface {
+	livePeak() int64
 }
 
 // recordEscalation emits the typed rung-transition event: an instant

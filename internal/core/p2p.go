@@ -27,10 +27,11 @@ type p2pTransfer struct {
 	// passes): chunk retention/acknowledgement, RTT samples, progress ticks.
 	hooks *ladderHooks
 
-	// ceiling is Config.MemCeiling. When positive (and hooks are off — the
-	// ladder's chunk ledger assumes the one-shot schedule), the source
-	// issues its staged sends in waves whose value bytes stay within the
-	// ceiling instead of all at once; see waves.go.
+	// ceiling is Config.MemCeiling. When positive, the source issues its
+	// staged sends in waves whose value bytes stay within the ceiling
+	// instead of all at once; see waves.go. Resilient passes run the same
+	// schedule — the ladder's ack ledger is keyed on the segmented spans,
+	// so both modes agree on ledger entries without metadata exchange.
 	ceiling     int64
 	staged      []stagedSend
 	waveEnd     []int // wave cut indices into staged (pairs stay together)
@@ -64,6 +65,7 @@ type p2pRecvMeta struct {
 	src    int
 	lo, hi int64
 	isSize bool
+	vtag   int     // tag of the values message this size message announces
 	posted float64 // post time, for the ladder's RTT samples
 }
 
@@ -88,9 +90,7 @@ func newP2PTransfer(v *view, items []Item, tagIdx []int) *p2pTransfer {
 }
 
 // waved reports whether this pass runs the memory-ceiling wave schedule.
-// Evaluated after setLadderHooks: resilient passes keep the one-shot
-// schedule regardless of the ceiling.
-func (t *p2pTransfer) waved() bool { return t.ceiling > 0 && t.hooks == nil }
+func (t *p2pTransfer) waved() bool { return t.ceiling > 0 }
 
 // start stages the source sends and posts the target size receives. With
 // the wave schedule off, every staged send is issued here (the paper's
@@ -118,6 +118,7 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 	if t.v.isSource() {
 		for i, it := range t.items {
 			sizeTag, valueTag := itemTags(t.tagIdx[i])
+			occ := map[int]int{}
 			for _, ch := range sendChunksFor(it, t.v.ns, t.v.nt, t.v.srcRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
 					// memcpy path: Prepare preserves the local overlap; only
@@ -126,23 +127,31 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 					if copyRate > 0 {
 						c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
 					}
-					t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo})
+					t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo, hi: ch.Hi})
 					continue
 				}
-				// Segments of one chunk travel the same tag pair in ascending
-				// lo order; matching is FIFO per (peer, tag), so the target's
-				// identically-ordered receives pair up without extra metadata.
+				// One-shot: segments of one chunk travel the item's shared tag
+				// pair in ascending lo order; matching is FIFO per (peer, tag),
+				// so the target's identically-ordered receives pair up without
+				// extra metadata. Waved: each segment owns a per-sequence tag
+				// pair (waveTags), so a dropped segment cannot shift later
+				// segments of the chunk into the wrong posted receive.
 				for _, sp := range segmentSpans(it, ch.Lo, ch.Hi, ceil) {
+					sTag, vTag := sizeTag, valueTag
+					if t.waved() {
+						sTag, vTag = waveTags(t.tagIdx[i], occ[ch.Dst])
+						occ[ch.Dst]++
+					}
 					var pl mpi.Payload
 					if t.lazyExtract {
 						pl = mpi.Virtual(it.WireBytes(sp.lo, sp.hi))
 					} else {
 						pl = it.Extract(sp.lo, sp.hi)
-						t.hooks.retain(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: sp.lo}, pl)
+						t.hooks.retain(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: sp.lo, hi: sp.hi}, pl)
 					}
 					t.staged = append(t.staged,
-						stagedSend{dst: ch.Dst, tag: sizeTag, size: pl.Size, isSize: true},
-						stagedSend{dst: ch.Dst, tag: valueTag, pl: pl, item: i, lo: sp.lo, hi: sp.hi})
+						stagedSend{dst: ch.Dst, tag: sTag, size: pl.Size, isSize: true},
+						stagedSend{dst: ch.Dst, tag: vTag, pl: pl, item: i, lo: sp.lo, hi: sp.hi})
 				}
 			}
 		}
@@ -160,14 +169,20 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 				it.Prepare(lo, hi)
 				t.prepared[i] = true
 			}
-			sizeTag, _ := itemTags(t.tagIdx[i])
+			sizeTag, valueTag := itemTags(t.tagIdx[i])
+			occ := map[int]int{}
 			for _, ch := range recvChunksFor(it, t.v.ns, t.v.nt, t.v.tgtRank) {
 				if t.v.selfChunk(ch.Src, ch.Dst) {
 					continue // local copy handled on the send side
 				}
 				for _, sp := range segmentSpans(it, ch.Lo, ch.Hi, ceil) {
-					t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, ch.Src, sizeTag))
-					t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: i, src: ch.Src, lo: sp.lo, hi: sp.hi, isSize: true, posted: c.Now()})
+					sTag, vTag := sizeTag, valueTag
+					if t.waved() {
+						sTag, vTag = waveTags(t.tagIdx[i], occ[ch.Src])
+						occ[ch.Src]++
+					}
+					t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, ch.Src, sTag))
+					t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: i, src: ch.Src, lo: sp.lo, hi: sp.hi, isSize: true, vtag: vTag, posted: c.Now()})
 					t.numRcv++
 				}
 			}
@@ -196,6 +211,8 @@ func (t *p2pTransfer) start(c *mpi.Ctx) {
 		pl := s.pl
 		if s.isSize {
 			pl = mpi.Bytes(mpi.AppendInt64s(scratch[:0], s.size))
+		} else {
+			t.hooks.markSent(chunkKey{item: s.item, src: t.v.srcRank, dst: s.dst, lo: s.lo, hi: s.hi})
 		}
 		t.sendReqs = append(t.sendReqs, t.v.sendTo(c, s.dst, s.tag, pl))
 	}
@@ -221,14 +238,20 @@ func (t *p2pTransfer) advanceWaves(c *mpi.Ctx) {
 		if t.wave > 0 {
 			start = t.waveEnd[t.wave-1]
 		}
+		announceWave(c, t.wave+1)
 		for j, s := range t.staged[start:t.waveEnd[t.wave]] {
 			pl := s.pl
 			if s.isSize {
 				pl = mpi.Bytes(mpi.AppendInt64s(scratch[:0], s.size))
 			} else {
+				key := chunkKey{item: s.item, src: t.v.srcRank, dst: s.dst, lo: s.lo, hi: s.hi}
 				if t.lazyExtract {
 					pl = t.items[s.item].Extract(s.lo, s.hi)
+					// The deferred extraction doubles as the ladder's rung-0
+					// reservoir, subject to the per-source retention budget.
+					t.hooks.retain(key, pl)
 				}
+				t.hooks.markSent(key)
 				t.waveBytes += pl.Size
 				t.staged[start+j].pl = mpi.Payload{} // wave issued: drop the staging reference
 			}
@@ -244,6 +267,10 @@ func (t *p2pTransfer) advanceWaves(c *mpi.Ctx) {
 // sendsIssued reports whether every wave has been released (vacuously true
 // on the one-shot schedule, where start issued everything).
 func (t *p2pTransfer) sendsIssued() bool { return t.wave >= len(t.waveEnd) }
+
+// livePeak exposes the high-water footprint for the resilient pass's
+// end-of-pass report (an aborted attempt never reaches reportPeak).
+func (t *p2pTransfer) livePeak() int64 { return t.gauge.peak }
 
 // reportPeak publishes the pass's high-water footprint once, when a wave
 // schedule completes.
@@ -262,7 +289,13 @@ func (t *p2pTransfer) progress(c *mpi.Ctx) bool {
 		t.start(c)
 	}
 	t.advanceWaves(c)
-	for idx := range t.recvReqs {
+	// Index loop, not range: handling a size message appends the matching
+	// value receive, and that receive may already be complete (its envelope
+	// arrived eagerly before the post — the completion broadcast fires while
+	// this rank is running and is lost). It must be handled in this same
+	// pass: if it is the last outstanding receive, no future event will wake
+	// the rank again and it would sleep to its epoch deadline.
+	for idx := 0; idx < len(t.recvReqs); idx++ {
 		rr, ok := t.recvReqs[idx].(*mpi.RecvReq)
 		if !ok || !rr.Done() || rr.Handled() {
 			continue
@@ -346,8 +379,7 @@ func (t *p2pTransfer) handleRecv(c *mpi.Ctx, idx int, rr *mpi.RecvReq) {
 		if t.waved() {
 			t.gauge.add(size) // incoming values are live from here to install
 		}
-		_, valueTag := itemTags(t.tagIdx[meta.item])
-		t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, meta.src, valueTag))
+		t.recvReqs = append(t.recvReqs, t.v.recvFrom(c, meta.src, meta.vtag))
 		t.recvMeta = append(t.recvMeta, p2pRecvMeta{item: meta.item, src: meta.src, lo: meta.lo, hi: meta.hi, posted: c.Now()})
 		return
 	}
@@ -357,7 +389,7 @@ func (t *p2pTransfer) handleRecv(c *mpi.Ctx, idx int, rr *mpi.RecvReq) {
 	}
 	t.numRcv--
 	t.hooks.sample(c.Now() - meta.posted)
-	t.hooks.ack(chunkKey{item: meta.item, src: meta.src, dst: t.v.tgtRank, lo: meta.lo})
+	t.hooks.ack(chunkKey{item: meta.item, src: meta.src, dst: t.v.tgtRank, lo: meta.lo, hi: meta.hi})
 }
 
 // reap harvests value receives that completed after the epoch aborted, so

@@ -193,6 +193,9 @@ func StartReconfigRes(c *mpi.Ctx, cfg Config, appComm *mpi.Comm, nt int,
 	if nt <= 0 {
 		panic(fmt.Sprintf("core: reconfiguration to %d targets", nt))
 	}
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	if cfg.Comm == CR && cfg.Overlap != Sync {
 		panic("core: checkpoint/restart (CR) supports only the synchronous strategy (§2)")
 	}

@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"repro/internal/mpi"
-	"repro/internal/partition"
 	"repro/internal/trace"
 )
 
@@ -200,7 +199,7 @@ func recoveryTag(round, itemIdx, chunk int) int {
 // crNamespaces it is keyed by world and matching context; the simulation is
 // single-threaded per kernel.
 type epochState struct {
-	arrived map[string]map[int]bool
+	arrived map[string]*softBarrier
 	abort   map[int]bool
 
 	// acks is the pass-wide chunk delivery state driving selective
@@ -239,7 +238,7 @@ func epochStateFor(w *mpi.World, ctxID int) *epochState {
 	st := per[ctxID]
 	if st == nil {
 		st = &epochState{
-			arrived: map[string]map[int]bool{}, abort: map[int]bool{},
+			arrived: map[string]*softBarrier{}, abort: map[int]bool{},
 			acks: newAckTracker(), rung: -1, escalated: map[int]bool{},
 		}
 		per[ctxID] = st
@@ -318,6 +317,9 @@ type resilientPass struct {
 	rtt      *RTTEstimator
 	ticks    int
 	prepared map[int]bool
+	// gauge tracks the live payload bytes of wave-paced recovery rounds;
+	// the pass-end report folds it with the attempt transfer's own peak.
+	gauge liveGauge
 	// x is the rank's round-0 attempt transfer, kept so recovery rounds can
 	// reap receives that completed after the abort.
 	x xfer
@@ -342,6 +344,7 @@ func runResilientPass(c *mpi.Ctx, cfg Config, v *view, items []Item, tagIdx []in
 		prepared:    map[int]bool{},
 	}
 	rp.acks = rp.st.acks
+	rp.acks.setRetainBudget(cfg.MemCeiling)
 	rp.hooks = &ladderHooks{acks: rp.acks, prepared: rp.prepared, rtt: rp.rtt, ticks: &rp.ticks}
 
 	// Protect: every source persists its pass items before the epoch, so a
@@ -411,9 +414,26 @@ func runResilientPass(c *mpi.Ctx, cfg Config, v *view, items []Item, tagIdx []in
 			rp.inPhase(c, trace.PhaseRecovery, commit)
 		}
 		if !rp.st.abort[round] {
+			rp.reportPassTelemetry(c)
 			return
 		}
 	}
+}
+
+// reportPassTelemetry publishes the pass's footprint and ladder gauges on
+// success: the high-water live bytes across the attempt and every
+// recovery round, the retained-copy high-water (rung-0 reservoir, bounded
+// by the retention budget), and the true retransmission volume. Every
+// rank reports the same pass-wide values; the sink's max-merge makes the
+// order irrelevant.
+func (rp *resilientPass) reportPassTelemetry(c *mpi.Ctx) {
+	peak := rp.gauge.peak
+	if lp, ok := rp.x.(livePeaker); ok && lp.livePeak() > peak {
+		peak = lp.livePeak()
+	}
+	reportPeakLive(c, peak)
+	reportGauge(c, PeakRetainedBytesGauge, rp.acks.peakRetained)
+	reportGauge(c, RetransmittedBytesGauge, rp.acks.resentBytes)
 }
 
 // escalateTo proposes rung r for the pass. The shared rung only moves up,
@@ -554,10 +574,17 @@ func (rp *resilientPass) resilientDrive(c *mpi.Ctx, failedAtPlan map[int]bool,
 
 	det := rp.res.Detector
 	reason := ""
+	// The failure scan is O(parts); gate it on the detector version so the
+	// per-wake predicate — evaluated on every message delivery — only pays
+	// for it when a new failure could actually have appeared.
+	ver := -1
 	pred := func() bool {
-		if g := rp.newFailure(failedAtPlan); g >= 0 {
-			reason = fmt.Sprintf("g%d failed", g)
-			return true
+		if v := det.Version(); v != ver {
+			ver = v
+			if g := rp.newFailure(failedAtPlan); g >= 0 {
+				reason = fmt.Sprintf("g%d failed", g)
+				return true
+			}
 		}
 		return step()
 	}
@@ -591,19 +618,25 @@ func (rp *resilientPass) resilientDrive(c *mpi.Ctx, failedAtPlan map[int]bool,
 	}
 }
 
-// recoveryRound re-transfers the chunks the previous rounds did not land,
-// over the survivor set and with round-scoped tags.
+// recoveryRound re-transfers the spans the previous rounds did not land,
+// over the survivor set and with round-scoped tags. Spans are re-derived
+// from the shared memory-ceiling segmentation (segmentSpans of whatever
+// plan survives), so both sides name identical ledger entries without
+// metadata exchange, and the acked-interval merge lets a round recognize
+// data delivered under any earlier segmentation.
 //
-// Selective mode (full == false; rungs 0 and 2): chunks the ack tracker
+// Selective mode (full == false; rungs 0 and 2): spans the ack ledger
 // marks delivered are skipped on both sides. For the rest, a live source
 // resends from its retained staging copy when it holds one, re-extracts
 // when its in-memory block is still pristine, and otherwise the target
-// restores the chunk from the protect checkpoint. Both sides consult the
+// restores the span from the protect checkpoint. Both sides consult the
 // same shared ack map — stable between the previous round's commit barrier
 // and this round's sends — so their plans agree without extra messages.
+// Source resends are paced in waves under the same ceiling as the attempt,
+// so recovery traffic also respects the per-rank memory bound.
 //
 // Full mode (full == true; rung 3 and the CR method) ignores the ack state
-// and restores every chunk from the checkpoint.
+// and restores every span from the checkpoint.
 //
 // The one-sided method has its own selective path (no sources participate
 // in a re-pull); full mode is already comm-agnostic — checkpoint reads
@@ -616,6 +649,7 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 	}
 
 	v := rp.v
+	ceiling := rp.cfg.MemCeiling
 
 	// pristine reports whether source rank src still holds its original
 	// block in memory: it must be alive, and must not be a Merge rank that
@@ -640,29 +674,46 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 	}
 	var installs []pendingInstall
 
+	// Source resends are staged first and issued in ceiling-bounded waves
+	// inside the drive loop, so a recovery round's in-flight bytes respect
+	// the same bound as the attempt it repairs.
+	type stagedResend struct {
+		dst, tag int
+		pl       mpi.Payload
+	}
+	var resends []stagedResend
+
 	if v.isSource() && !full && !failedAtPlan[v.sourceGID(v.srcRank)] {
 		occ := map[[2]int]int{}
 		for i, it := range rp.items {
 			for _, ch := range sendChunksFor(it, v.ns, v.nt, v.srcRank) {
 				k := [2]int{i, ch.Dst}
-				seq := occ[k]
-				occ[k]++
-				key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}
-				if rp.acks.acked(key) {
-					continue // already delivered
+				for _, sp := range segmentSpans(it, ch.Lo, ch.Hi, ceiling) {
+					// Every span owns one tag slot on both sides, acked or
+					// not, so a skip can never shift the pairing.
+					seq := occ[k]
+					occ[k]++
+					key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: sp.lo, hi: sp.hi}
+					if rp.acks.acked(key) {
+						continue // already delivered
+					}
+					if failedAtPlan[v.targetGID(ch.Dst)] {
+						continue // no survivor to receive it
+					}
+					var pl mpi.Payload
+					if cp, ok := rp.acks.retainedCopy(key); ok {
+						pl = cp
+					} else if pristine(v.srcRank) {
+						pl = it.Extract(sp.lo, sp.hi)
+					} else {
+						continue // copy gone: the target reads the checkpoint
+					}
+					rp.acks.noteResend(key, pl.Size)
+					rp.acks.markSent(key)
+					resends = append(resends, stagedResend{
+						dst: ch.Dst, tag: recoveryTag(round, rp.tagIdx[i], seq), pl: pl,
+					})
 				}
-				if failedAtPlan[v.targetGID(ch.Dst)] {
-					continue // no survivor to receive it
-				}
-				var pl mpi.Payload
-				if cp, ok := rp.acks.retainedCopy(key); ok {
-					pl = cp
-				} else if pristine(v.srcRank) {
-					pl = it.Extract(ch.Lo, ch.Hi)
-				} else {
-					continue // copy gone: the target reads the checkpoint
-				}
-				reqs = append(reqs, v.sendTo(c, ch.Dst, recoveryTag(round, rp.tagIdx[i], seq), pl))
 			}
 		}
 	}
@@ -678,31 +729,66 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 			occ := map[[2]int]int{}
 			for _, ch := range recvChunksFor(it, v.ns, v.nt, v.tgtRank) {
 				k := [2]int{i, ch.Src}
-				seq := occ[k]
-				occ[k]++
-				key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}
-				if !full && rp.acks.acked(key) {
-					continue // already delivered
-				}
-				resendable := false
-				if !full && !failedAtPlan[v.sourceGID(ch.Src)] {
-					_, hasCopy := rp.acks.retainedCopy(key)
-					resendable = hasCopy || pristine(ch.Src)
-				}
-				if resendable {
-					rr := v.recvFrom(c, ch.Src, recoveryTag(round, rp.tagIdx[i], seq))
-					reqs = append(reqs, rr)
-					installs = append(installs, pendingInstall{item: i, lo: ch.Lo, hi: ch.Hi, rr: rr, key: key})
-				} else {
-					rp.readChunk(c, i, it, ch)
-					rp.acks.ack(key)
+				for _, sp := range segmentSpans(it, ch.Lo, ch.Hi, ceiling) {
+					seq := occ[k]
+					occ[k]++
+					key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: sp.lo, hi: sp.hi}
+					if !full && rp.acks.acked(key) {
+						continue // already delivered
+					}
+					resendable := false
+					if !full && !failedAtPlan[v.sourceGID(ch.Src)] {
+						_, hasCopy := rp.acks.retainedCopy(key)
+						resendable = hasCopy || pristine(ch.Src)
+					}
+					if resendable {
+						rr := v.recvFrom(c, ch.Src, recoveryTag(round, rp.tagIdx[i], seq))
+						reqs = append(reqs, rr)
+						installs = append(installs, pendingInstall{item: i, lo: sp.lo, hi: sp.hi, rr: rr, key: key})
+					} else {
+						rp.readSpan(c, i, it, ch.Src, sp.lo, sp.hi)
+						rp.acks.ack(key)
+					}
 				}
 			}
 		}
 	}
 
+	// Wave-paced resend issue: without a ceiling everything forms one wave.
+	sizes := make([]int64, len(resends))
+	for i, s := range resends {
+		sizes[i] = s.pl.Size
+	}
+	var srcCuts []int
+	if ceiling > 0 {
+		srcCuts = waveCuts(sizes, ceiling)
+	} else if len(resends) > 0 {
+		srcCuts = []int{len(resends)}
+	}
+	srcWave, issued := 0, 0
+	var waveReqs []mpi.Request
+	var waveBytes int64
+	issueNext := func() {
+		for srcWave < len(srcCuts) && c.Testall(waveReqs) {
+			rp.gauge.sub(waveBytes)
+			waveBytes = 0
+			waveReqs = waveReqs[:0]
+			end := srcCuts[srcWave]
+			for _, s := range resends[issued:end] {
+				req := v.sendTo(c, s.dst, s.tag, s.pl)
+				reqs = append(reqs, req)
+				waveReqs = append(waveReqs, req)
+				waveBytes += s.pl.Size
+			}
+			issued = end
+			rp.gauge.add(waveBytes)
+			srcWave++
+		}
+	}
+
 	seenDone := 0
 	done := func() bool {
+		issueNext()
 		n := 0
 		for _, r := range reqs {
 			if r.Done() {
@@ -714,12 +800,13 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 			rp.ticks += n - seenDone
 			seenDone = n
 		}
-		return n == len(reqs)
+		return srcWave >= len(srcCuts) && n == len(reqs)
 	}
 	if reason := rp.resilientDrive(c, failedAtPlan, done,
 		fmt.Sprintf("recovery round %d", round)); reason != "" {
 		return reason
 	}
+	rp.gauge.sub(waveBytes)
 	for _, p := range installs {
 		it := rp.items[p.item]
 		want := it.WireBytes(p.lo, p.hi)
@@ -733,50 +820,78 @@ func (rp *resilientPass) recoveryRound(c *mpi.Ctx, round int, failedAtPlan map[i
 	return ""
 }
 
-// readChunk restores one chunk from the protect checkpoint, paying the
-// filesystem cost. A missing completion mark means the source crashed
+// readSpan restores one element span from the protect checkpoint, paying
+// the filesystem cost. A missing completion mark means the source crashed
 // mid-write and its in-memory copy is also gone: unrecoverable.
-func (rp *resilientPass) readChunk(c *mpi.Ctx, i int, it Item, ch partition.Chunk) {
-	if !rp.files.complete[ch.Src] {
+func (rp *resilientPass) readSpan(c *mpi.Ctx, i int, it Item, src int, lo, hi int64) {
+	if !rp.files.complete[src] {
 		rp.escalateTo(c, rungUnrecoverable)
 		panic(&UnrecoverableError{Reason: fmt.Sprintf(
-			"item %q: source %d crashed before completing its protect checkpoint", it.Name(), ch.Src)})
+			"item %q: source %d crashed before completing its protect checkpoint", it.Name(), src)})
 	}
-	blk, ok := rp.files.blocks[crKey{item: i, src: ch.Src}]
+	blk, ok := rp.files.blocks[crKey{item: i, src: src}]
 	if !ok {
 		rp.escalateTo(c, rungUnrecoverable)
 		panic(&UnrecoverableError{Reason: fmt.Sprintf(
-			"item %q: no checkpoint block for source %d", it.Name(), ch.Src)})
+			"item %q: no checkpoint block for source %d", it.Name(), src)})
 	}
 	srcDist := distFor(it, rp.v.ns)
-	off := it.WireBytes(srcDist.Lo(ch.Src), ch.Lo)
-	n := it.WireBytes(ch.Lo, ch.Hi)
+	off := it.WireBytes(srcDist.Lo(src), lo)
+	n := it.WireBytes(lo, hi)
 	fsIO(c, "cr-restore", n)
 	if blk.Data == nil {
-		it.Install(ch.Lo, ch.Hi, mpi.Virtual(n))
+		it.Install(lo, hi, mpi.Virtual(n))
 	} else {
-		it.Install(ch.Lo, ch.Hi, mpi.Payload{Size: n, Data: blk.Data[off : off+n]})
+		it.Install(lo, hi, mpi.Payload{Size: n, Data: blk.Data[off : off+n]})
 	}
+}
+
+// softBarrier is the shared arrival state of one labeled soft barrier.
+// next is a cursor into the pass's participant list: both release
+// conditions (arrived, detected-failed) are monotone within a pass, so a
+// participant once satisfied stays satisfied and the repeated predicate
+// only ever re-inspects the first unsatisfied one. Without the cursor the
+// barrier is a full O(parts) scan per wake per waiter — super-quadratic
+// across a 10k-rank world.
+type softBarrier struct {
+	set  map[int]bool
+	next int
+}
+
+// done reports whether every participant has arrived at b or been detected
+// as failed, advancing the shared cursor past satisfied participants.
+func (rp *resilientPass) barrierDone(b *softBarrier) bool {
+	det := rp.res.Detector
+	for b.next < len(rp.parts) {
+		g := rp.parts[b.next]
+		if !b.set[g] && !det.Failed(g) {
+			return false
+		}
+		b.next++
+	}
+	return true
 }
 
 // arrive is a soft barrier: it completes once every participant has either
 // arrived at the same label or been detected as failed, so a crash can
 // never wedge the protocol the way a hardware barrier would.
+//
+// Only the arrival that completes the barrier broadcasts a wake-up: an
+// earlier arrival cannot flip any waiter's predicate (the condition is
+// global and monotone), and a barrier completed by a failure instead of an
+// arrival is woken by the detector's own WakeAll. Waking on every arrival
+// costs O(parts) broadcasts each — the dominant term at extreme scale.
 func (rp *resilientPass) arrive(c *mpi.Ctx, label string) {
-	set := rp.st.arrived[label]
-	if set == nil {
-		set = map[int]bool{}
-		rp.st.arrived[label] = set
+	b := rp.st.arrived[label]
+	if b == nil {
+		b = &softBarrier{set: map[int]bool{}}
+		rp.st.arrived[label] = b
 	}
-	set[c.Proc().GID()] = true
-	c.World().WakeAll()
-	det := rp.res.Detector
-	c.WaitUntil(func() bool {
-		for _, g := range rp.parts {
-			if !set[g] && !det.Failed(g) {
-				return false
-			}
-		}
-		return true
-	}, fmt.Sprintf("core: resilient barrier %q on comm %d", label, rp.v.comm.CtxID()))
+	b.set[c.Proc().GID()] = true
+	if rp.barrierDone(b) {
+		c.World().WakeAll()
+		return
+	}
+	c.WaitUntil(func() bool { return rp.barrierDone(b) },
+		fmt.Sprintf("core: resilient barrier %q on comm %d", label, rp.v.comm.CtxID()))
 }

@@ -35,9 +35,11 @@ type rmaTransfer struct {
 	hooks    *ladderHooks
 	prepared map[int]bool
 
-	// ceiling is Config.MemCeiling. When positive (and hooks are off), the
-	// target issues its Gets in waves whose payload bytes stay within the
-	// ceiling, installing each wave before pulling the next; see waves.go.
+	// ceiling is Config.MemCeiling. When positive, the target issues its
+	// Gets in waves whose payload bytes stay within the ceiling, installing
+	// each wave before pulling the next; see waves.go. Resilient passes run
+	// the same schedule, installing completions incrementally within the
+	// active wave.
 	ceiling   int64
 	pending   []rmaPendingGet
 	pWaveEnd  []int // wave cut indices into pending
@@ -102,7 +104,7 @@ func (t *rmaTransfer) setup(c *mpi.Ctx) {
 					if copyRate > 0 {
 						c.Compute(float64(it.WireBytes(ch.Lo, ch.Hi)) / copyRate)
 					}
-					t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo})
+					t.hooks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo, hi: ch.Hi})
 				}
 			}
 		}
@@ -145,11 +147,11 @@ func (t *rmaTransfer) setup(c *mpi.Ctx) {
 						})
 						continue
 					}
+					key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: sp.lo, hi: sp.hi}
+					t.hooks.markSent(key)
 					t.gets = append(t.gets, c.Get(t.wins[i], ch.Src, off, off+n))
 					t.meta = append(t.meta, rmaMeta{
-						item: i, lo: sp.lo, hi: sp.hi,
-						key:    chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: sp.lo},
-						posted: c.Now(),
+						item: i, lo: sp.lo, hi: sp.hi, key: key, posted: c.Now(),
 					})
 				}
 			}
@@ -167,7 +169,11 @@ func (t *rmaTransfer) setup(c *mpi.Ctx) {
 }
 
 // waved reports whether this pass runs the memory-ceiling wave schedule.
-func (t *rmaTransfer) waved() bool { return t.ceiling > 0 && t.hooks == nil }
+func (t *rmaTransfer) waved() bool { return t.ceiling > 0 }
+
+// livePeak exposes the high-water footprint for the resilient pass's
+// end-of-pass report (an aborted attempt never reaches reportPeak).
+func (t *rmaTransfer) livePeak() int64 { return t.gauge.peak }
 
 // issueGetWave pulls the next pending wave, reporting whether one was
 // issued.
@@ -181,12 +187,13 @@ func (t *rmaTransfer) issueGetWave(c *mpi.Ctx) bool {
 	}
 	t.waveStart = len(t.gets)
 	t.waveBytes = 0
+	announceWave(c, t.pWave+1)
 	for _, p := range t.pending[start:t.pWaveEnd[t.pWave]] {
+		key := chunkKey{item: p.item, src: p.src, dst: t.v.tgtRank, lo: p.lo, hi: p.hi}
+		t.hooks.markSent(key)
 		t.gets = append(t.gets, c.Get(t.wins[p.item], p.src, p.off, p.off+p.n))
 		t.meta = append(t.meta, rmaMeta{
-			item: p.item, lo: p.lo, hi: p.hi,
-			key:    chunkKey{item: p.item, src: p.src, dst: t.v.tgtRank, lo: p.lo},
-			posted: c.Now(),
+			item: p.item, lo: p.lo, hi: p.hi, key: key, posted: c.Now(),
 		})
 		t.waveBytes += p.n
 	}
@@ -280,6 +287,39 @@ func (t *rmaTransfer) progress(c *mpi.Ctx) bool {
 		t.phase = 2
 		return true
 	}
+	if t.waved() {
+		for {
+			if t.hooks != nil {
+				// Resilient wave pass: install the active wave's completions
+				// as they land, so an aborted epoch's delivered spans are
+				// already acked when the next recovery round plans re-pulls.
+				for i := t.waveStart; i < len(t.gets); i++ {
+					if !t.gets[i].Done() || t.meta[i].handled {
+						continue
+					}
+					m := t.meta[i]
+					n := t.items[m.item].WireBytes(m.lo, m.hi)
+					t.gauge.sub(n)
+					t.waveBytes -= n
+					t.installOne(c, i)
+				}
+				if !t.waveDone() {
+					return false
+				}
+			} else {
+				if !t.waveDone() {
+					return false
+				}
+				t.installWave(c)
+			}
+			if !t.issueGetWave(c) {
+				t.installed = true
+				t.phase = 2
+				t.reportPeak(c)
+				return true
+			}
+		}
+	}
 	if t.hooks != nil {
 		all := true
 		for i, g := range t.gets {
@@ -294,18 +334,6 @@ func (t *rmaTransfer) progress(c *mpi.Ctx) bool {
 			t.phase = 2
 		}
 		return all
-	}
-	if t.waved() {
-		for t.waveDone() {
-			t.installWave(c)
-			if !t.issueGetWave(c) {
-				t.installed = true
-				t.phase = 2
-				t.reportPeak(c)
-				return true
-			}
-		}
-		return false
 	}
 	if t.getsDone() {
 		t.install(c)
@@ -407,9 +435,15 @@ func (x rmaXfer) drain(c *mpi.Ctx)          { x.rmaTransfer.drain(c) }
 // since the previous round's commit barrier, so their plans agree without
 // extra messages. Get completions feed the rung-1 RTT estimator, which in
 // turn drives the next epoch's adaptive deadline.
+//
+// Re-pulls are planned per ceiling-derived span (the same segmentSpans the
+// attempt used, re-derived here over whatever plan survives) and issued in
+// ceiling-bounded waves: each wave installs before the next is pulled, so
+// recovery traffic respects the same per-rank memory bound as the attempt.
 func (rp *resilientPass) rmaRecoveryRound(c *mpi.Ctx, round int, failedAtPlan map[int]bool) string {
 	v := rp.v
 	replan := rp.st.rung >= rungReplan
+	ceiling := rp.cfg.MemCeiling
 
 	// pristine reports whether source rank src still holds its original
 	// block in memory: it must be alive, and must not be a Merge rank that
@@ -442,6 +476,8 @@ func (rp *resilientPass) rmaRecoveryRound(c *mpi.Ctx, round int, failedAtPlan ma
 
 	type pendingGet struct {
 		item   int
+		src    int
+		off, n int64
 		lo, hi int64
 		req    *mpi.RMAReq
 		key    chunkKey
@@ -457,56 +493,55 @@ func (rp *resilientPass) rmaRecoveryRound(c *mpi.Ctx, round int, failedAtPlan ma
 			}
 			srcDist := distFor(it, v.ns)
 			for _, ch := range recvChunksFor(it, v.ns, v.nt, v.tgtRank) {
-				key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo}
 				if v.selfChunk(ch.Src, ch.Dst) {
 					// Kept in place by Prepare; delivered by construction.
-					rp.acks.ack(key)
+					rp.acks.ack(chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: ch.Lo, hi: ch.Hi})
 					continue
 				}
-				if rp.acks.acked(key) {
-					continue // already delivered
-				}
-				// Rung 0 pulls every chunk from the snapshot (valid even for
-				// non-pristine Merge sources: exposure cloned the original
-				// block); rung 2's fresh windows expose only pristine
-				// survivors, the rest falls back to the checkpoint.
-				fromWin := wins != nil && (!replan || pristine(ch.Src))
-				if fromWin {
-					off := it.WireBytes(srcDist.Lo(ch.Src), ch.Lo)
-					n := it.WireBytes(ch.Lo, ch.Hi)
-					gets = append(gets, pendingGet{
-						item: i, lo: ch.Lo, hi: ch.Hi, key: key, posted: c.Now(),
-						req: c.Get(wins[i], ch.Src, off, off+n),
-					})
-				} else {
-					rp.readChunk(c, i, it, ch)
-					rp.acks.ack(key)
+				for _, sp := range segmentSpans(it, ch.Lo, ch.Hi, ceiling) {
+					key := chunkKey{item: i, src: ch.Src, dst: ch.Dst, lo: sp.lo, hi: sp.hi}
+					if rp.acks.acked(key) {
+						continue // already delivered
+					}
+					// Rung 0 pulls every span from the snapshot (valid even
+					// for non-pristine Merge sources: exposure cloned the
+					// original block); rung 2's fresh windows expose only
+					// pristine survivors, the rest falls back to the
+					// checkpoint.
+					fromWin := wins != nil && (!replan || pristine(ch.Src))
+					if fromWin {
+						off := it.WireBytes(srcDist.Lo(ch.Src), sp.lo)
+						n := it.WireBytes(sp.lo, sp.hi)
+						rp.acks.noteResend(key, n)
+						rp.acks.markSent(key)
+						gets = append(gets, pendingGet{
+							item: i, src: ch.Src, off: off, n: n,
+							lo: sp.lo, hi: sp.hi, key: key,
+						})
+					} else {
+						rp.readSpan(c, i, it, ch.Src, sp.lo, sp.hi)
+						rp.acks.ack(key)
+					}
 				}
 			}
 		}
 	}
 
-	seenDone := 0
-	done := func() bool {
-		n := 0
-		for _, g := range gets {
-			if g.req.Done() {
-				n++
-			}
-		}
-		if n > seenDone {
-			// Completions are epoch progress for the adaptive deadline.
-			rp.ticks += n - seenDone
-			seenDone = n
-		}
-		return n == len(gets)
+	// Wave-paced pulls: each wave's Gets install (and release their
+	// payloads) before the next is issued. Without a ceiling everything
+	// forms one wave.
+	sizes := make([]int64, len(gets))
+	for i, g := range gets {
+		sizes[i] = g.n
 	}
-	if reason := rp.resilientDrive(c, failedAtPlan, done,
-		fmt.Sprintf("one-sided recovery round %d", round)); reason != "" {
-		return reason
+	var cuts []int
+	if ceiling > 0 {
+		cuts = waveCuts(sizes, ceiling)
+	} else if len(gets) > 0 {
+		cuts = []int{len(gets)}
 	}
 	copyRate := c.World().Options().CopyRate
-	for _, g := range gets {
+	install := func(g *pendingGet) {
 		it := rp.items[g.item]
 		want := it.WireBytes(g.lo, g.hi)
 		if got := g.req.Payload().Size; got != want {
@@ -519,6 +554,52 @@ func (rp *resilientPass) rmaRecoveryRound(c *mpi.Ctx, round int, failedAtPlan ma
 		}
 		rp.rtt.Observe(c.Now() - g.posted)
 		rp.acks.ack(g.key)
+	}
+	prevStart, issued, wave := 0, 0, 0
+	var waveBytes int64
+	seenDone := 0
+	done := func() bool {
+		n := 0
+		for i := 0; i < issued; i++ {
+			if gets[i].req.Done() {
+				n++
+			}
+		}
+		if n > seenDone {
+			// Completions are epoch progress for the adaptive deadline.
+			rp.ticks += n - seenDone
+			seenDone = n
+		}
+		for {
+			for i := prevStart; i < issued; i++ {
+				if !gets[i].req.Done() {
+					return false
+				}
+			}
+			for i := prevStart; i < issued; i++ {
+				install(&gets[i])
+			}
+			rp.gauge.sub(waveBytes)
+			waveBytes = 0
+			prevStart = issued
+			if wave >= len(cuts) {
+				return true
+			}
+			end := cuts[wave]
+			for i := issued; i < end; i++ {
+				g := &gets[i]
+				g.posted = c.Now()
+				g.req = c.Get(wins[g.item], g.src, g.off, g.off+g.n)
+				waveBytes += g.n
+			}
+			issued = end
+			rp.gauge.add(waveBytes)
+			wave++
+		}
+	}
+	if reason := rp.resilientDrive(c, failedAtPlan, done,
+		fmt.Sprintf("one-sided recovery round %d", round)); reason != "" {
+		return reason
 	}
 	return ""
 }

@@ -109,6 +109,54 @@ func itemTags(i int) (sizeTag, valueTag int) {
 	return 77 + 2*i, 88 + 2*i
 }
 
+// ItemValueTag returns the value-message wire tag of the store item at
+// index i on the one-shot schedule, for fault plans that must drop a
+// redistribution payload rather than its 8-byte size header (losing the
+// header stalls the epoch but leaves no unacknowledged span behind, so
+// nothing is retransmitted). Wave-scheduled runs (Config.MemCeiling set)
+// carry payloads on per-segment tags instead; see WaveValueTag.
+func ItemValueTag(i int) int {
+	_, v := itemTags(i)
+	return v
+}
+
+// Wave-scheduled P2P segments each travel a dedicated (size, value) tag
+// pair instead of sharing the item's pair: matching is FIFO per (peer,
+// tag), so on a shared tag a dropped segment would shift every later
+// segment of the chunk into the wrong posted receive — silent misdelivery
+// when segment sizes are uniform. Per-sequence tags confine a loss to its
+// own segment, which is exactly the span the ack ledger reports unacked.
+// The block sits above the item tags (77/88 family) and below the
+// recovery block at 1<<18.
+const (
+	waveTagBase = 1 << 16
+	waveSeqSpan = 1 << 10
+)
+
+// waveTags returns the tag pair of the seq-th segment (in ascending lo
+// order, per (item, source, target) stream) of store item itemIdx under
+// the wave schedule. Both sides derive seq from the same deterministic
+// chunk and segment enumeration, so no metadata is exchanged.
+func waveTags(itemIdx, seq int) (sizeTag, valueTag int) {
+	if seq >= waveSeqSpan {
+		panic(fmt.Sprintf("core: wave segment sequence %d exceeds the tag stride", seq))
+	}
+	base := waveTagBase + (itemIdx*waveSeqSpan+seq)*2
+	if base+1 >= recoveryTagBase {
+		panic(fmt.Sprintf("core: item index %d exceeds the wave tag space", itemIdx))
+	}
+	return base, base + 1
+}
+
+// WaveValueTag returns the value-message wire tag of the seq-th segment
+// (0-based) of store item i under the memory-ceiling wave schedule — the
+// wave-run counterpart of ItemValueTag for fault plans targeting a
+// specific redistribution payload.
+func WaveValueTag(i, seq int) int {
+	_, v := waveTags(i, seq)
+	return v
+}
+
 // requireMembers panics unless the store indexes match across phases.
 func requireItems(items []Item, phase string) {
 	if len(items) == 0 {

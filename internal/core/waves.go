@@ -15,9 +15,11 @@ import (
 // are segmented into element ranges; segmentation is a pure function of
 // (item, range, ceiling), so sources and targets derive identical
 // boundaries without exchanging metadata. COL ignores the ceiling
-// (Algorithm 2's single Alltoallv owns its buffers), and resilient
-// passes keep the one-shot schedule (the recovery ladder's chunk ledger
-// assumes one message per planned chunk).
+// (Algorithm 2's single Alltoallv owns its buffers). Resilient passes
+// run the same wave schedule: the recovery ladder's ack ledger is keyed
+// on the segmented spans themselves (see ladder.go), so selective
+// retransmission scopes to the spans of incomplete waves and recovery
+// rounds re-derive the segmentation over whatever plan survives.
 
 // span is one contiguous element range of a segmented chunk.
 type span struct {
@@ -120,6 +122,16 @@ func (g *liveGauge) sub(n int64) { g.live -= n }
 // maximum across ranks, so reporting order cannot change the result.
 const PeakLiveBytesGauge = "redist/peak_live_bytes"
 
+// PeakRetainedBytesGauge reports a resilient pass's high-water mark of
+// any single source's retained staging copies (the ladder's rung-0
+// retransmission reservoir, bounded by the memory ceiling).
+const PeakRetainedBytesGauge = "redist/peak_retained_bytes"
+
+// RetransmittedBytesGauge reports a resilient pass's total recovery-round
+// payload bytes whose span had already been transmitted once — the true
+// retransmission volume of rung-0 selective resends.
+const RetransmittedBytesGauge = "redist/retransmitted_bytes"
+
 // gaugeSink is the slice of obs.Stream the transfers report through; the
 // assertion keeps core decoupled from the obs package. Sinks without
 // gauges (trace recorders, tees) are silently skipped.
@@ -127,13 +139,28 @@ type gaugeSink interface {
 	SetGauge(name string, v float64)
 }
 
-// reportPeakLive publishes a completed pass's high-water footprint when
-// the world's sink can hold gauges.
-func reportPeakLive(c *mpi.Ctx, peak int64) {
-	if peak <= 0 {
+// reportGauge publishes one positive gauge value when the world's sink
+// can hold gauges; zero and negative values are skipped so absent
+// measurements never shadow a real one under the sink's max-merge.
+func reportGauge(c *mpi.Ctx, name string, v int64) {
+	if v <= 0 {
 		return
 	}
 	if gs, ok := c.World().Sink().(gaugeSink); ok {
-		gs.SetGauge(PeakLiveBytesGauge, float64(peak))
+		gs.SetGauge(name, float64(v))
 	}
+}
+
+// reportPeakLive publishes a completed pass's high-water footprint when
+// the world's sink can hold gauges.
+func reportPeakLive(c *mpi.Ctx, peak int64) {
+	reportGauge(c, PeakLiveBytesGauge, peak)
+}
+
+// announceWave tells the world's fault hooks (when armed and
+// wave-observing) that this rank is issuing wave index w (1-based), so
+// fault plans can address crash and drop windows by wave instead of by
+// wall-clock time. A no-op without armed hooks.
+func announceWave(c *mpi.Ctx, w int) {
+	c.World().AnnounceWave(c.Proc().GID(), w)
 }

@@ -107,6 +107,19 @@ type Action struct {
 	// wildcard rules to the redistribution phase.
 	After, Before float64
 
+	// Wave addresses the fault by memory-ceiling wave index (1-based; see
+	// core's wave schedule) instead of virtual time, so plans hit "mid-wave"
+	// without probing per-configuration timings. For CrashRank, the victim
+	// dies the moment some rank issues wave Wave (At is ignored). For
+	// DropMsg/DelayMsg, a message matches while Wave is the sending rank's
+	// own most recently issued wave — or the receiver's for one-sided Gets,
+	// whose pulling origin drives the schedule — combined with the time
+	// window, if set. Per-rank phase, not global: at scale the ranks' wave
+	// schedules drift apart by more than a wave. Zero means time-addressed,
+	// as before. Requires a run with Config.MemCeiling set; a wave that
+	// never starts leaves the action inert.
+	Wave int
+
 	// FailSpawn: failed attempts before the spawn succeeds (<= 0: one).
 	Attempts int
 

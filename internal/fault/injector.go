@@ -15,6 +15,7 @@ type msgRule struct {
 	remaining     int // < 0: unlimited
 	delay         float64
 	after, before float64 // live window; before == 0 means open-ended
+	wave          int     // > 0: live only while this wave is current
 }
 
 // Injector executes a Plan against one world: it schedules timed actions
@@ -28,6 +29,15 @@ type Injector struct {
 	rules []*msgRule
 	spawn []int // queued FailSpawn attempt counts, consumed in order
 	armed bool
+
+	// Wave-addressed state (see Action.Wave): curWave is the highest wave
+	// index any rank has announced (crash triggers), rankWave each rank's
+	// own most recently announced wave (message-rule gating — at scale the
+	// ranks' wave phases drift apart, so rules address the endpoint's wave,
+	// not a global one), waveCrash the pending victims per wave.
+	curWave   int
+	rankWave  map[int]int
+	waveCrash map[int][]int
 }
 
 // NewInjector builds an injector for w. The plan is not armed yet.
@@ -61,6 +71,13 @@ func (in *Injector) Arm() {
 		}
 		switch a.Kind {
 		case CrashRank:
+			if a.Wave > 0 {
+				if in.waveCrash == nil {
+					in.waveCrash = map[int][]int{}
+				}
+				in.waveCrash[a.Wave] = append(in.waveCrash[a.Wave], a.GID)
+				continue
+			}
 			k.At(at, func() { in.crash(a.GID) })
 		case DegradeLink:
 			if a.Factor <= 0 || a.Factor > 1 {
@@ -75,7 +92,7 @@ func (in *Injector) Arm() {
 			in.rules = append(in.rules, &msgRule{
 				kind: a.Kind, src: a.Src, dst: a.Dst, tag: a.Tag,
 				remaining: count, delay: a.Delay,
-				after: a.After, before: a.Before,
+				after: a.After, before: a.Before, wave: a.Wave,
 			})
 		case FailSpawn:
 			n := a.Attempts
@@ -118,6 +135,9 @@ func (in *Injector) FilterSend(src, dst *mpi.Process, tag int, comm *mpi.Comm, b
 		if now < r.after || (r.before > 0 && now >= r.before) {
 			continue
 		}
+		if r.wave > 0 && r.wave != in.endpointWave(src.GID(), dst.GID()) {
+			continue
+		}
 		if !matchID(r.src, src.GID()) || !matchID(r.dst, dst.GID()) || !matchID(r.tag, tag) {
 			continue
 		}
@@ -132,6 +152,43 @@ func (in *Injector) FilterSend(src, dst *mpi.Process, tag int, comm *mpi.Comm, b
 		return mpi.MsgVerdict{Delay: r.delay}
 	}
 	return mpi.MsgVerdict{}
+}
+
+// endpointWave resolves the wave a message belongs to: the sending rank's
+// most recently announced wave, or — when the sender never issues waves
+// (the exposer side of a one-sided Get, whose schedule the pulling origin
+// drives) — the receiver's. Zero when neither endpoint has announced.
+func (in *Injector) endpointWave(src, dst int) int {
+	if w, ok := in.rankWave[src]; ok {
+		return w
+	}
+	return in.rankWave[dst]
+}
+
+// WaveStarted implements mpi.WaveObserver: it tracks each rank's most
+// recently issued wave for wave-gated message rules and fires pending
+// wave-addressed crashes. The kill is scheduled an instant ahead rather
+// than executed inline, so the announcing rank's current step completes
+// first — the victim dies mid-wave, after the wave's transfers entered the
+// network. Deterministic: announcements arrive in kernel order.
+func (in *Injector) WaveStarted(gid, wave int) {
+	if in.rankWave == nil {
+		in.rankWave = map[int]int{}
+	}
+	in.rankWave[gid] = wave
+	if wave > in.curWave {
+		in.curWave = wave
+	}
+	gids := in.waveCrash[wave]
+	if len(gids) == 0 {
+		return
+	}
+	delete(in.waveCrash, wave)
+	k := in.w.Kernel()
+	for _, gid := range gids {
+		gid := gid
+		k.At(k.Now()+1e-9, func() { in.crash(gid) })
+	}
 }
 
 // SpawnFailures implements mpi.FaultHooks: each call consumes the next

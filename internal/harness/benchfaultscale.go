@@ -1,0 +1,427 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/synthapp"
+	"repro/internal/trace"
+)
+
+// BenchFaultScaleSchema versions the BENCH_faultscale.json layout so CI
+// consumers can detect incompatible changes.
+const BenchFaultScaleSchema = "repro/bench-faultscale/v1"
+
+// Fault kinds of a fault-scale cell.
+const (
+	// FaultCrashWave kills the last source rank (a pure source at the 2:1
+	// shrink) the moment the given wave starts. A two-sided pass must
+	// re-plan over the survivors (rung <= 2) and restore the victim's
+	// spans from the protect checkpoint; a one-sided pass may ride through
+	// without recovering at all, because exposure snapshots keep serving
+	// Gets after the exposer dies.
+	FaultCrashWave = "crash-wave"
+	// FaultDropWave silently drops one redistribution payload of the given
+	// wave: rung-0 selective retransmission must resend only the
+	// incomplete wave's unacked spans, strictly less than a wave's volume.
+	FaultDropWave = "drop-wave"
+)
+
+// FaultScaleCell is one resilient redistribution at scale under a
+// wave-addressed fault: a Merge 2:1 shrink of a virtual dense item under a
+// per-rank memory ceiling, with the recovery ladder's survival, rung, and
+// byte accounting read back from the streaming telemetry.
+type FaultScaleCell struct {
+	// Ranks is the source world size; NT the (Ranks/2) target count.
+	Ranks int `json:"ranks"`
+	NT    int `json:"nt"`
+
+	Config       string `json:"config"`
+	ElemsPerRank int64  `json:"elemsPerRank"`
+
+	// Fault is the injected fault kind; Wave its 1-based wave address.
+	// VictimGID is the crashed rank (crash cells only, -1 otherwise).
+	Fault     string `json:"fault"`
+	Wave      int    `json:"wave"`
+	VictimGID int    `json:"victimGid"`
+
+	// Survived is true when the faulted run completed; Err carries the
+	// failure otherwise. MaxRung is the highest escalate rung (-1: the
+	// fault was absorbed without a pass-global escalation).
+	Survived bool   `json:"survived"`
+	Err      string `json:"err,omitempty"`
+	MaxRung  int    `json:"maxRung"`
+
+	// WallSeconds is the real time of the faulted run.
+	WallSeconds float64 `json:"wallSeconds"`
+
+	// PeakLiveBytes is the redist/peak_live_bytes gauge (largest per-rank
+	// live transfer footprint); PeakRetainedBytes the
+	// redist/peak_retained_bytes gauge (largest per-source retained-copy
+	// footprint). Their sum is the memory story the validator bounds by
+	// four ceilings.
+	PeakLiveBytes     int64 `json:"peakLiveBytes"`
+	PeakRetainedBytes int64 `json:"peakRetainedBytes"`
+
+	// RetransmittedBytes is the redist/retransmitted_bytes gauge: recovery
+	// payload bytes whose span had already travelled once, summed over the
+	// pass. WaveVolumeBytes is the whole world's one-wave volume (every
+	// source's peak wave, summed) — the rung-0 contract's upper bound.
+	RetransmittedBytes int64 `json:"retransmittedBytes"`
+	WaveVolumeBytes    int64 `json:"waveVolumeBytes"`
+}
+
+// BenchFaultScale is the machine-readable record BenchmarkFaultScale emits
+// as BENCH_faultscale.json: wave-addressed crash and drop cells at up to
+// 10k ranks under a memory ceiling, plus the -j determinism bit of a chaos
+// campaign on the scale configurations. ValidateBenchFaultScale gates CI
+// on it.
+type BenchFaultScale struct {
+	Schema string `json:"schema"`
+
+	Net        string `json:"net"`
+	MemCeiling int64  `json:"memCeiling"`
+
+	Cells []FaultScaleCell `json:"cells"`
+
+	// ChaosRanks and ChaosPlans shape the determinism campaign; Workers is
+	// its parallel worker count and Identical reports that the outcome
+	// serialization was byte-identical to the sequential (-j 1) campaign.
+	ChaosRanks int  `json:"chaosRanks"`
+	ChaosPlans int  `json:"chaosPlans"`
+	Workers    int  `json:"workers"`
+	Identical  bool `json:"identical"`
+}
+
+// BenchFaultScaleSpec parameterizes BuildBenchFaultScale. The zero value
+// is not useful; start from DefaultBenchFaultScaleSpec.
+type BenchFaultScaleSpec struct {
+	Net string
+	// Ranks are the source world sizes; each cell shrinks 2:1 with
+	// ElemsPerRank virtual elements (8 bytes each) per source.
+	Ranks        []int
+	ElemsPerRank int64
+	MemCeiling   int64
+	// CrashWave and DropWave are the 1-based wave addresses of the two
+	// fault kinds ("mid-wave" without probing per-configuration timings).
+	CrashWave int
+	DropWave  int
+	// ChaosRanks sizes the determinism campaign's world; ChaosPlans its
+	// plans per configuration; Workers its parallel worker count.
+	ChaosRanks int
+	ChaosPlans int
+	Workers    int
+}
+
+// DefaultBenchFaultScaleSpec is the CI artifact's shape: crash and drop
+// cells at 1k and 10k ranks, a 16 KiB per-rank ceiling over 64 KiB
+// per-rank blocks (a four-wave schedule, so wave 2 is genuinely mid-pass),
+// and a 400-rank chaos determinism campaign.
+func DefaultBenchFaultScaleSpec() BenchFaultScaleSpec {
+	return BenchFaultScaleSpec{
+		Net:          "ethernet",
+		Ranks:        []int{1000, 10000},
+		ElemsPerRank: 8192,
+		MemCeiling:   16 << 10,
+		CrashWave:    2,
+		DropWave:     2,
+		ChaosRanks:   400,
+		ChaosPlans:   2,
+		Workers:      8,
+	}
+}
+
+// scaleSetup builds the harness setup for one scale world: the calibrated
+// machine with the extreme-scale synthetic application.
+func (spec BenchFaultScaleSpec) scaleSetup(ranks int) (Setup, error) {
+	net, err := ParseNet(spec.Net)
+	if err != nil {
+		return Setup{}, err
+	}
+	s := DefaultSetup(net)
+	s.Cfg = synthapp.ScaleConfig(ranks, spec.ElemsPerRank)
+	return s, nil
+}
+
+// waveVolume is the whole world's one-wave volume: every source's peak
+// wave under the pass's deterministic schedule, summed. Rung-0 selective
+// retransmission is scoped to the incomplete wave, so a drop cell's
+// retransmitted bytes must stay below this.
+func waveVolume(ranks int, elemsPerRank, ceiling int64) int64 {
+	nt := ranks / 2
+	n := int64(ranks) * elemsPerRank
+	it := core.NewDenseVirtual("x", n, 8, false)
+	src := partition.NewBlockDist(n, ranks)
+	dst := partition.NewBlockDist(n, nt)
+	var total int64
+	var chunks []partition.Chunk
+	for s := 0; s < ranks; s++ {
+		chunks = chunks[:0]
+		partition.VisitSendOverlaps(src, dst, s, func(ch partition.Chunk) {
+			chunks = append(chunks, ch)
+		})
+		_, _, peak := core.PlanWaveSchedule(it, chunks, ceiling)
+		total += peak
+	}
+	return total
+}
+
+// runFaultScaleCell executes one wave-addressed fault cell: a single
+// resilient run (wave addressing needs no fault-free probe) with the
+// streaming telemetry attached, the ladder's outcome read from the event
+// log and the footprint gauges from the stream.
+func (spec BenchFaultScaleSpec) runFaultScaleCell(ranks int, cfg core.Config, kind string) (FaultScaleCell, error) {
+	setup, err := spec.scaleSetup(ranks)
+	if err != nil {
+		return FaultScaleCell{}, err
+	}
+	p := Pair{NS: ranks, NT: ranks / 2}
+	cfg.MemCeiling = spec.MemCeiling
+
+	cell := FaultScaleCell{
+		Ranks: ranks, NT: p.NT,
+		Config:       cfg.String(),
+		ElemsPerRank: spec.ElemsPerRank,
+		Fault:        kind,
+		VictimGID:    -1,
+		MaxRung:      -1,
+	}
+	plan := fault.Plan{Seed: 1}
+	switch kind {
+	case FaultCrashWave:
+		cell.Wave = spec.CrashWave
+		cell.VictimGID = ranks - 1 // a pure source at the 2:1 Merge shrink
+		plan.Actions = []fault.Action{{
+			Kind: fault.CrashRank, GID: cell.VictimGID, Wave: cell.Wave,
+		}}
+	case FaultDropWave:
+		cell.Wave = spec.DropWave
+		cell.WaveVolumeBytes = waveVolume(ranks, spec.ElemsPerRank, spec.MemCeiling)
+		act := fault.Action{Kind: fault.DropMsg, Src: -1, Dst: -1, Tag: -1, Count: 1, Wave: cell.Wave}
+		if cfg.Comm == core.P2P {
+			// Two-sided: drop a value payload from the last rank — a pure
+			// source whose spans stay pristine through recovery, so rung 0
+			// genuinely retransmits. A wildcard rule could instead hit a
+			// size header or a Merge source-and-target rank whose retained
+			// copy the ceiling already evicted; both recover through the
+			// checkpoint and would leave the retransmission counter at
+			// zero. One-sided needs no such scoping: rung 0 re-pulls any
+			// lost Get from the exposure snapshot, so the rule stays a
+			// wildcard and kills the first Get of the addressed wave.
+			//
+			// At this shape every segment is exactly one ceiling and each
+			// source owns one chunk, so wave w carries the segment with
+			// sequence w-1 on its per-segment wave tag.
+			cell.VictimGID = ranks - 1
+			act.Src = cell.VictimGID
+			act.Tag = core.WaveValueTag(0, cell.Wave-1)
+		}
+		plan.Actions = []fault.Action{act}
+	default:
+		return FaultScaleCell{}, fmt.Errorf("bench faultscale: unknown fault kind %q", kind)
+	}
+
+	stream := obs.NewStream()
+	t0 := time.Now()
+	_, rec, err := setup.runWithPlan(p, cfg, 0, FaultParams{}, plan, stream)
+	cell.WallSeconds = time.Since(t0).Seconds()
+	if err != nil {
+		msg := err.Error()
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i]
+		}
+		cell.Err = msg
+		return cell, nil
+	}
+	cell.Survived = true
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.EvFault && ev.Op == "escalate" && ev.Tag > cell.MaxRung {
+			cell.MaxRung = ev.Tag
+		}
+	}
+	cell.PeakLiveBytes = int64(stream.Gauge(core.PeakLiveBytesGauge))
+	cell.PeakRetainedBytes = int64(stream.Gauge(core.PeakRetainedBytesGauge))
+	cell.RetransmittedBytes = int64(stream.Gauge(core.RetransmittedBytesGauge))
+	return cell, nil
+}
+
+// chaosIdentical runs the chaos campaign on the scale configurations
+// sequentially and at spec.Workers and reports whether the outcome
+// serializations are byte-identical — the -j determinism contract of the
+// resilient wave schedules under randomized fault plans.
+func (spec BenchFaultScaleSpec) chaosIdentical() (bool, error) {
+	p := Pair{NS: spec.ChaosRanks, NT: spec.ChaosRanks / 2}
+	configs, err := FaultConfigs("scale")
+	if err != nil {
+		return false, err
+	}
+	for i := range configs {
+		configs[i].MemCeiling = spec.MemCeiling
+	}
+	run := func(workers int) ([]byte, error) {
+		setup, err := spec.scaleSetup(spec.ChaosRanks)
+		if err != nil {
+			return nil, err
+		}
+		setup.Workers = workers
+		outcomes, err := setup.RunChaosCampaign(p, configs, ChaosParams{
+			Seed: 7, Plans: spec.ChaosPlans,
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(outcomes)
+	}
+	seq, err := run(1)
+	if err != nil {
+		return false, fmt.Errorf("bench faultscale sequential chaos: %w", err)
+	}
+	par, err := run(spec.Workers)
+	if err != nil {
+		return false, fmt.Errorf("bench faultscale -j %d chaos: %w", spec.Workers, err)
+	}
+	return bytes.Equal(seq, par), nil
+}
+
+// BuildBenchFaultScale runs the spec's crash and drop cells over the scale
+// configurations and the chaos determinism campaign, and assembles the
+// record.
+func BuildBenchFaultScale(spec BenchFaultScaleSpec) (BenchFaultScale, error) {
+	configs, err := FaultConfigs("scale")
+	if err != nil {
+		return BenchFaultScale{}, err
+	}
+	bf := BenchFaultScale{
+		Schema:     BenchFaultScaleSchema,
+		Net:        spec.Net,
+		MemCeiling: spec.MemCeiling,
+		ChaosRanks: spec.ChaosRanks,
+		ChaosPlans: spec.ChaosPlans,
+		Workers:    spec.Workers,
+	}
+	for _, ranks := range spec.Ranks {
+		for _, cfg := range configs {
+			for _, kind := range []string{FaultCrashWave, FaultDropWave} {
+				cell, err := spec.runFaultScaleCell(ranks, cfg, kind)
+				if err != nil {
+					return BenchFaultScale{}, err
+				}
+				bf.Cells = append(bf.Cells, cell)
+			}
+		}
+	}
+	bf.Identical, err = spec.chaosIdentical()
+	if err != nil {
+		return BenchFaultScale{}, err
+	}
+	return bf, nil
+}
+
+// WriteJSON emits the record with a fixed field layout: deterministic
+// input produces bit-identical bytes.
+func (bf BenchFaultScale) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}
+
+// ValidateBenchFaultScale parses a BENCH_faultscale.json and checks its
+// invariants: known schema, sane cell geometry, every cell survived its
+// wave-addressed fault, crash cells recovered at rung <= 2 with peak live
+// plus retained bytes within four ceilings, drop cells recovered at rung 0
+// retransmitting strictly less than one wave's volume, and a true -j
+// determinism bit. It is the CI gate against both malformed artifacts and
+// resilience regressions at scale.
+func ValidateBenchFaultScale(r io.Reader) (BenchFaultScale, error) {
+	var bf BenchFaultScale
+	if err := json.NewDecoder(r).Decode(&bf); err != nil {
+		return bf, fmt.Errorf("bench faultscale: %w", err)
+	}
+	if bf.Schema != BenchFaultScaleSchema {
+		return bf, fmt.Errorf("bench faultscale: schema %q (want %q)", bf.Schema, BenchFaultScaleSchema)
+	}
+	if bf.MemCeiling <= 0 {
+		return bf, fmt.Errorf("bench faultscale: memCeiling = %d", bf.MemCeiling)
+	}
+	if len(bf.Cells) == 0 {
+		return bf, fmt.Errorf("bench faultscale: no cells")
+	}
+	for _, c := range bf.Cells {
+		id := fmt.Sprintf("cell %d ranks %s %s", c.Ranks, c.Config, c.Fault)
+		if c.Ranks < 2 || c.NT < 1 || c.NT > c.Ranks {
+			return bf, fmt.Errorf("bench faultscale: %s: bad geometry %d->%d", id, c.Ranks, c.NT)
+		}
+		if c.Wave < 1 {
+			return bf, fmt.Errorf("bench faultscale: %s: wave address %d", id, c.Wave)
+		}
+		if math.IsNaN(c.WallSeconds) || math.IsInf(c.WallSeconds, 0) || c.WallSeconds <= 0 {
+			return bf, fmt.Errorf("bench faultscale: %s: wallSeconds = %v", id, c.WallSeconds)
+		}
+		if !c.Survived {
+			return bf, fmt.Errorf("bench faultscale: %s: did not survive: %s", id, c.Err)
+		}
+		if c.PeakLiveBytes <= 0 {
+			return bf, fmt.Errorf("bench faultscale: %s: peak live bytes %d", id, c.PeakLiveBytes)
+		}
+		if c.PeakRetainedBytes < 0 || c.PeakRetainedBytes > bf.MemCeiling {
+			return bf, fmt.Errorf("bench faultscale: %s: peak retained bytes %d outside [0, %d]",
+				id, c.PeakRetainedBytes, bf.MemCeiling)
+		}
+		if sum := c.PeakLiveBytes + c.PeakRetainedBytes; sum > 4*bf.MemCeiling {
+			return bf, fmt.Errorf("bench faultscale: %s: peak live+retained %d exceeds 4x%d",
+				id, sum, bf.MemCeiling)
+		}
+		oneSided := strings.Contains(strings.ToUpper(c.Config), "RMA")
+		switch c.Fault {
+		case FaultCrashWave:
+			if c.VictimGID < 0 || c.VictimGID >= c.Ranks {
+				return bf, fmt.Errorf("bench faultscale: %s: victim gid %d", id, c.VictimGID)
+			}
+			if c.MaxRung > 2 {
+				return bf, fmt.Errorf("bench faultscale: %s: crash recovered at rung %d (want <= 2)",
+					id, c.MaxRung)
+			}
+			// A two-sided pass must climb the ladder to survive a source
+			// crash. One-sided passes may ride through without recovering
+			// at all (rung -1): exposure snapshots keep serving Gets after
+			// the exposer dies.
+			if c.MaxRung < 0 && !oneSided {
+				return bf, fmt.Errorf("bench faultscale: %s: crash caused no recovery (rung %d)",
+					id, c.MaxRung)
+			}
+		case FaultDropWave:
+			if c.MaxRung != 0 {
+				return bf, fmt.Errorf("bench faultscale: %s: drop recovered at rung %d (want 0)",
+					id, c.MaxRung)
+			}
+			if c.WaveVolumeBytes <= 0 {
+				return bf, fmt.Errorf("bench faultscale: %s: wave volume %d", id, c.WaveVolumeBytes)
+			}
+			if c.RetransmittedBytes <= 0 || c.RetransmittedBytes >= c.WaveVolumeBytes {
+				return bf, fmt.Errorf("bench faultscale: %s: retransmitted %d outside (0, %d) — rung 0 must resend less than one wave",
+					id, c.RetransmittedBytes, c.WaveVolumeBytes)
+			}
+		default:
+			return bf, fmt.Errorf("bench faultscale: %s: unknown fault kind", id)
+		}
+	}
+	if bf.ChaosRanks < 2 || bf.ChaosPlans < 1 {
+		return bf, fmt.Errorf("bench faultscale: chaos campaign %d ranks x %d plans", bf.ChaosRanks, bf.ChaosPlans)
+	}
+	if bf.Workers < 2 {
+		return bf, fmt.Errorf("bench faultscale: determinism campaign ran with %d workers (want >= 2)", bf.Workers)
+	}
+	if !bf.Identical {
+		return bf, fmt.Errorf("bench faultscale: -j %d chaos outcomes were not byte-identical to sequential", bf.Workers)
+	}
+	return bf, nil
+}

@@ -67,9 +67,11 @@ func ParsePairFamily(name string) ([]Pair, error) {
 // configuration matrix. The fault stack covers all three communication
 // methods, so "all" is the full 18-config matrix {Baseline, Merge} x
 // {P2P, COL, RMA} x {S, A, T}, "sync" its six synchronous rows, and "rma"
-// the six one-sided configurations alone. Shared by cmd/faultsweep (fixed
-// crashes, chaos plans, and replay) so campaign and replay matrices cannot
-// drift.
+// the six one-sided configurations alone. "scale" delegates to
+// ParseConfigFamily's ceiling-capable pair (Merge P2P/RMA, the variants
+// usable at 10k+ ranks), matching cmd/redistsweep. Shared by
+// cmd/faultsweep (fixed crashes, chaos plans, and replay) so campaign and
+// replay matrices cannot drift.
 func FaultConfigs(family string) ([]core.Config, error) {
 	comms := []core.CommMethod{core.P2P, core.COL, core.RMA}
 	overlaps := []core.Overlap{core.Sync}
@@ -80,8 +82,10 @@ func FaultConfigs(family string) ([]core.Config, error) {
 	case "rma":
 		comms = []core.CommMethod{core.RMA}
 		overlaps = append(overlaps, core.NonBlocking, core.Thread)
+	case "scale":
+		return ParseConfigFamily("scale")
 	default:
-		return nil, fmt.Errorf("unknown fault family %q (want sync, all, or rma)", family)
+		return nil, fmt.Errorf("unknown fault family %q (want sync, all, rma, or scale)", family)
 	}
 	var configs []core.Config
 	for _, spawn := range []core.SpawnMethod{core.Baseline, core.Merge} {

@@ -143,6 +143,31 @@ type FaultHooks interface {
 // SetFaultHooks attaches (or, with nil, detaches) the fault-injection hooks.
 func (w *World) SetFaultHooks(h FaultHooks) { w.hooks = h }
 
+// WaveObserver is an optional extension of FaultHooks: implementations are
+// told when a rank issues a memory-ceiling transfer wave, so fault plans
+// can address crash and drop windows by wave index instead of wall-clock
+// time (which would have to be probed per configuration).
+type WaveObserver interface {
+	// WaveStarted reports that the rank with world-unique id gid began
+	// issuing wave index wave (1-based) of a redistribution pass. The
+	// issuing rank is the data source for two-sided sends and the pulling
+	// origin for one-sided Gets, so observers keep a per-rank wave phase —
+	// at scale the ranks' schedules drift by more than a wave, and a single
+	// global "current wave" would make per-rank fault addressing racy.
+	WaveStarted(gid, wave int)
+}
+
+// AnnounceWave forwards a wave-issue notification from the rank gid to the
+// fault hooks when they observe waves; a no-op otherwise.
+func (w *World) AnnounceWave(gid, wave int) {
+	if w.hooks == nil {
+		return
+	}
+	if o, ok := w.hooks.(WaveObserver); ok {
+		o.WaveStarted(gid, wave)
+	}
+}
+
 // Machine returns the underlying cluster.
 func (w *World) Machine() *cluster.Machine { return w.machine }
 

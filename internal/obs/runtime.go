@@ -1,6 +1,9 @@
 package obs
 
-import "runtime/metrics"
+import (
+	"runtime/metrics"
+	"sync/atomic"
+)
 
 // RuntimeSample is one self-profiling reading of the host Go process via
 // runtime/metrics: how much the telemetry (and everything else in the
@@ -8,11 +11,20 @@ import "runtime/metrics"
 // and goroutines. Campaign meters attach one sample per emitted line so
 // long sweeps expose their real resource trajectory, not just virtual
 // time.
+//
+// TotalBytes and PeakRSSBytes are the process-level counterpart of the
+// simulation's per-rank redist/peak_live_bytes gauge: /memory/classes/
+// total:bytes counts every byte the Go runtime has mapped (heap, stacks,
+// metadata — the closest runtime/metrics proxy for resident set size),
+// and PeakRSSBytes is its process-wide high-water mark across every
+// sample taken so far, from any stream or meter.
 type RuntimeSample struct {
 	HeapBytes       uint64 `json:"heapBytes"`       // live heap objects
 	TotalAllocBytes uint64 `json:"totalAllocBytes"` // cumulative allocated
 	GCCycles        uint64 `json:"gcCycles"`
 	Goroutines      uint64 `json:"goroutines"`
+	TotalBytes      uint64 `json:"totalBytes"`   // mapped runtime memory now
+	PeakRSSBytes    uint64 `json:"peakRssBytes"` // high-water of TotalBytes
 }
 
 var runtimeSamples = []metrics.Sample{
@@ -20,9 +32,15 @@ var runtimeSamples = []metrics.Sample{
 	{Name: "/gc/heap/allocs:bytes"},
 	{Name: "/gc/cycles/total:gc-cycles"},
 	{Name: "/sched/goroutines:goroutines"},
+	{Name: "/memory/classes/total:bytes"},
 }
 
-// SampleRuntime reads the current process-level sample.
+// peakRSS is the process-wide high-water mark of /memory/classes/
+// total:bytes, advanced by every SampleRuntime call from any goroutine.
+var peakRSS atomic.Uint64
+
+// SampleRuntime reads the current process-level sample and advances the
+// peak-RSS high-water mark.
 func SampleRuntime() RuntimeSample {
 	s := make([]metrics.Sample, len(runtimeSamples))
 	copy(s, runtimeSamples)
@@ -33,10 +51,22 @@ func SampleRuntime() RuntimeSample {
 		}
 		return 0
 	}
+	total := u(4)
+	for {
+		old := peakRSS.Load()
+		if total <= old {
+			break
+		}
+		if peakRSS.CompareAndSwap(old, total) {
+			break
+		}
+	}
 	return RuntimeSample{
 		HeapBytes:       u(0),
 		TotalAllocBytes: u(1),
 		GCCycles:        u(2),
 		Goroutines:      u(3),
+		TotalBytes:      total,
+		PeakRSSBytes:    peakRSS.Load(),
 	}
 }

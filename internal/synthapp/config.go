@@ -262,6 +262,30 @@ func StencilConfig(iterSeconds float64, procsRef int, gridBytes int64) *Config {
 	}
 }
 
+// ScaleConfig builds the extreme-scale fault-campaign application: a
+// deliberately small iteration loop (the cell's cost is the 10k-rank
+// redistribution and its recovery, not the emulated app) over one
+// variable dense item of elemsPerRank 8-byte elements per source rank,
+// reconfiguring at iteration 1 of 3. Pair it with a Config.MemCeiling of
+// a fraction of the 8*elemsPerRank-byte block so the redistribution runs
+// a multi-wave schedule — the geometry wave-addressed fault plans
+// (fault.Action.Wave) and the rung-0 incomplete-wave contract assume.
+func ScaleConfig(ns int, elemsPerRank int64) *Config {
+	return &Config{
+		Name:              fmt.Sprintf("scale-%d", ns),
+		TotalIterations:   3,
+		ReconfigIteration: 1,
+		Stages: []Stage{
+			{Type: StageCompute, Work: 1e-4 * float64(ns)},
+			{Type: StageAllreduce, Bytes: 8},
+		},
+		Data: []DataSpec{
+			{Name: "x", Kind: DenseData, Elements: int64(ns) * elemsPerRank, ElemSize: 8},
+		},
+		CheckpointCost: 120e-6,
+	}
+}
+
 // TotalDataBytes reports the wire size of all declared data and the
 // fraction that is constant (asynchronously redistributable).
 func (c *Config) TotalDataBytes() (total int64, constantFraction float64) {

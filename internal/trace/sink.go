@@ -10,12 +10,30 @@ type Sink interface {
 	Record(Event)
 }
 
+// GaugeSink is the optional gauge extension of Sink: a sink that also
+// holds named high-water gauges (internal/obs streams). Tee composites
+// forward SetGauge to every component that implements it, so a gauge
+// published through a fan-out (full recorder plus streaming aggregator)
+// still reaches the stream instead of vanishing in the indirection.
+type GaugeSink interface {
+	Sink
+	SetGauge(name string, v float64)
+}
+
 // multiSink fans one event stream out to several sinks in order.
 type multiSink []Sink
 
 func (m multiSink) Record(ev Event) {
 	for _, s := range m {
 		s.Record(ev)
+	}
+}
+
+func (m multiSink) SetGauge(name string, v float64) {
+	for _, s := range m {
+		if gs, ok := s.(GaugeSink); ok {
+			gs.SetGauge(name, v)
+		}
 	}
 }
 
